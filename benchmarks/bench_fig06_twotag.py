@@ -1,0 +1,38 @@
+"""E1 — Figure 6: the naive two-tag architecture vs the 2MB baseline.
+
+Paper result: despite the capacity increase, partner-line victimization
+costs 12% average performance; 37 of 60 cache-sensitive traces lose, and
+the DRAM read ratio shows large positive outliers.
+"""
+
+from benchmarks.conftest import ratio_maps
+from repro.sim.config import BASELINE_2MB, TWO_TAG_2MB
+from repro.sim.metrics import count_losers, geomean
+from repro.sim.report import ratio_series_summary
+
+
+def run_figure6(runner, names):
+    return ratio_maps(runner, TWO_TAG_2MB, BASELINE_2MB, names)
+
+
+def test_fig06_naive_twotag(benchmark, runner, sensitive_names):
+    ipc, reads = benchmark.pedantic(
+        run_figure6, args=(runner, sensitive_names), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ratio_series_summary(
+            "Figure 6 — naive two-tag (IPC and DRAM-read ratios vs 2MB baseline)",
+            ipc,
+            reads,
+        )
+    )
+    losers = count_losers(ipc.values())
+    mean = geomean(ipc.values())
+    print(f"  paper: geomean 0.88 (−12%), 37/60 traces lose")
+    print(f"  measured: geomean {mean:.3f}, {losers}/60 traces lose")
+
+    # Shape assertions: many traces must lose, and the strawman must be
+    # clearly worse than Base-Victim's guaranteed-no-loss behaviour.
+    assert losers >= 10, "partner victimization must hurt a substantial subset"
+    assert min(ipc.values()) < 0.99, "there must be real negative outliers"

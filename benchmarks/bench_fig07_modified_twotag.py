@@ -1,0 +1,48 @@
+"""E2 — Figure 7: the modified (ECM-like) two-tag architecture.
+
+Paper result: +4.7% for compression-friendly traces but −3.8% for poorly
+compressing ones, negative outliers down to −14%, and nearly half the
+traces (27/60) still lose vs the uncompressed cache.
+"""
+
+from benchmarks.conftest import ratio_maps
+from repro.sim.config import BASELINE_2MB, TWO_TAG_MODIFIED_2MB
+from repro.sim.metrics import count_losers, geomean
+from repro.sim.report import ratio_series_summary
+
+
+def run_figure7(runner, names):
+    return ratio_maps(runner, TWO_TAG_MODIFIED_2MB, BASELINE_2MB, names)
+
+
+def test_fig07_modified_twotag(
+    benchmark, runner, sensitive_names, friendly_names, poor_names
+):
+    ipc, reads = benchmark.pedantic(
+        run_figure7, args=(runner, sensitive_names), rounds=1, iterations=1
+    )
+    print()
+    print(
+        ratio_series_summary(
+            "Figure 7 — modified two-tag (vs 2MB uncompressed baseline)",
+            ipc,
+            reads,
+        )
+    )
+    cf = geomean(ipc[n] for n in friendly_names)
+    poor = geomean(ipc[n] for n in poor_names)
+    print(f"  paper: CF +4.7%, poor −3.8%, 27/60 lose, outliers to −14%")
+    print(
+        f"  measured: CF {cf:.3f}, poor {poor:.3f}, "
+        f"{count_losers(ipc.values())}/60 lose, min {min(ipc.values()):.3f}"
+    )
+
+    # Shape: the repair is not safe — real negative outliers remain and
+    # they concentrate in the poorly compressing traces (our synthetic
+    # suite reproduces the direction; the paper's magnitudes were larger,
+    # see EXPERIMENTS.md).
+    assert min(ipc.values()) < 0.98, "negative outliers must exist"
+    assert count_losers(ipc.values()) >= 5, "a real population must lose"
+    assert cf > poor, "compression-friendly traces must fare better"
+    worst = min(ipc, key=ipc.get)
+    assert worst in set(poor_names) or ipc[worst] < 0.99

@@ -1,0 +1,50 @@
+"""E13 — Section IV.C: area overheads.
+
+Paper arithmetic for a 2MB 16-way LLC with 48-bit addresses: the added
+Victim Cache tag (31 bits) plus 9 metadata bits (two 4-bit size fields,
+one valid bit) cost 40b/(39b+512b) = 7.3% of the tag+data array; adding
+the 1.2% compression/decompression logic estimate yields 8.5% total.
+"""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.power.area import base_victim_area, paper_headline_area
+from repro.sim.report import format_table
+
+
+def run_sec4c():
+    headline = paper_headline_area()
+    sweep = {
+        f"{mb}MB/16w": base_victim_area(CacheGeometry(mb * 2**20, 16))
+        for mb in (1, 2, 4, 8)
+    }
+    return headline, sweep
+
+
+def test_sec4c_area(benchmark):
+    headline, sweep = benchmark.pedantic(run_sec4c, rounds=1, iterations=1)
+    print()
+    print("Section IV.C — Base-Victim area overhead")
+    rows = [
+        [
+            label,
+            report.tag_bits,
+            report.added_bits,
+            f"{report.tag_metadata_overhead:.1%}",
+            f"{report.total_overhead:.1%}",
+        ]
+        for label, report in sweep.items()
+    ]
+    print(
+        format_table(
+            ["geometry", "tag bits", "added bits/way", "tags+meta", "total"],
+            rows,
+        )
+    )
+    print(f"\n  paper: 31-bit tags, 40 added bits, 7.3% tags+meta, 8.5% total")
+
+    assert headline.tag_bits == 31
+    assert headline.added_bits == 40
+    assert headline.tag_metadata_overhead == pytest.approx(0.073, abs=0.001)
+    assert headline.total_overhead == pytest.approx(0.085, abs=0.001)

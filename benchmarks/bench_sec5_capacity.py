@@ -1,0 +1,86 @@
+"""E14 — Sections V / VI.B.4: effective capacity of the architectures.
+
+Paper: functional simulation of VSC-2X/DCC-style designs "comes close to
+an 80% increase in cache capacity", while the opportunistic Base-Victim
+architecture reaches ~1.5x effective capacity even though friendly data
+compresses ~2x — the victim cache's pairing constraint costs the rest.
+This bench measures resident logical lines per physical line slot on the
+compression-friendly traces.
+"""
+
+from benchmarks.conftest import ratio_maps
+from repro.core.interfaces import AccessKind
+from repro.sim.config import (
+    ARCH_BASE_VICTIM,
+    ARCH_DCC,
+    ARCH_SCC,
+    ARCH_VSC,
+    BENCH,
+    MachineConfig,
+)
+from repro.sim.metrics import geomean
+from repro.workloads.suite import friendly_specs
+
+#: Traces sampled for the functional capacity measurement.
+SAMPLE = 12
+
+
+def effective_capacity(runner, machine: MachineConfig, name: str) -> float:
+    """Average resident logical lines / physical lines over a trace replay.
+
+    Drives the raw architecture directly (no hierarchy) so the number is
+    a pure capacity measurement, as in the paper's functional models.
+    """
+    llc = machine.build_llc(BENCH)
+    suite = runner.suite
+    trace = suite.trace(name)
+    data = suite.data_model(name)
+    physical = llc.geometry.num_lines
+    samples = []
+    addrs = trace.addrs
+    kinds = trace.kinds
+    for i in range(len(addrs)):
+        kind = AccessKind.WRITE if kinds[i] == 1 else AccessKind.READ
+        llc.access(addrs[i], kind, data.size_of(addrs[i]))
+        if i % 2048 == 2047:
+            samples.append(llc.resident_logical_lines() / physical)
+    # Ignore the cold-start ramp: use the second half of the run.
+    tail = samples[len(samples) // 2 :]
+    return sum(tail) / len(tail)
+
+
+def run_sec5(runner):
+    names = [spec.name for spec in friendly_specs() if spec.ws_factor > 1.4]
+    names = names[:SAMPLE]
+    machines = {
+        "vsc-2x": MachineConfig(arch=ARCH_VSC),
+        "dcc": MachineConfig(arch=ARCH_DCC),
+        "scc": MachineConfig(arch=ARCH_SCC),
+        "base-victim": MachineConfig(arch=ARCH_BASE_VICTIM),
+    }
+    return {
+        label: [effective_capacity(runner, machine, n) for n in names]
+        for label, machine in machines.items()
+    }
+
+
+def test_sec5_effective_capacity(benchmark, runner):
+    capacities = benchmark.pedantic(run_sec5, args=(runner,), rounds=1, iterations=1)
+    print()
+    means = {label: geomean(values) for label, values in capacities.items()}
+    print("Sections V / VI.B.4 — effective capacity on friendly traces")
+    print(f"  paper: VSC-2X/DCC-class designs ~1.8x, Base-Victim ~1.5x")
+    print(
+        "  measured: "
+        + ", ".join(f"{label} {mean:.2f}x" for label, mean in means.items())
+    )
+
+    # Shape: the unconstrained decoupled designs pack more than
+    # Base-Victim's pairing constraint allows; all exceed 1x.
+    assert means["vsc-2x"] > means["base-victim"] > 1.2
+    assert means["vsc-2x"] > 1.5
+    assert means["base-victim"] < 1.85
+    # DCC/SCC trade capacity for simpler data paths: between BV and VSC,
+    # with SCC's power-of-two rounding costing it some packing density.
+    assert means["dcc"] > 1.2
+    assert means["scc"] <= means["vsc-2x"] + 0.05

@@ -1,0 +1,76 @@
+"""E12 — Section VI.B.4: Victim Cache replacement policy ablation.
+
+Paper result: none of the tried variants (LRU, size/LRU mixes) improved
+significantly on the ECM-inspired default; effective capacity stays
+~1.5x despite ~2x compressibility.  This bench sweeps every implemented
+victim-cache policy (including the strict literal ECM reading and plain
+random from the worked examples) and reports the spread.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import ratio_maps
+from repro.cache.replacement.victim import VICTIM_POLICIES
+from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB
+from repro.sim.metrics import geomean
+from repro.sim.report import format_table
+
+
+def run_sec6b4(runner, names):
+    means = {}
+    for policy in sorted(VICTIM_POLICIES):
+        machine = replace(BASE_VICTIM_2MB, victim_policy=policy)
+        ipc, _ = ratio_maps(runner, machine, BASELINE_2MB, names)
+        means[policy] = geomean(ipc.values())
+    # Ablation of the clean-victim design choice (Section IV.B.3): the
+    # non-inclusive variant defers demotion writebacks.
+    dirty = replace(BASE_VICTIM_2MB, clean_victims=False)
+    ipc, _ = ratio_maps(runner, dirty, BASELINE_2MB, names)
+    means["ecm (dirty victims)"] = geomean(ipc.values())
+    writes_base = sum(
+        runner.run_single(BASELINE_2MB, n).memory_writes for n in names
+    )
+    writes_clean = sum(
+        runner.run_single(BASE_VICTIM_2MB, n).memory_writes for n in names
+    )
+    writes_dirty = sum(runner.run_single(dirty, n).memory_writes for n in names)
+    write_ratios = {
+        "clean victims": writes_clean / writes_base,
+        "dirty victims": writes_dirty / writes_base,
+    }
+    return means, write_ratios
+
+
+def test_sec6b4_victim_policies(benchmark, runner, sensitive_names):
+    means, write_ratios = benchmark.pedantic(
+        run_sec6b4, args=(runner, sensitive_names), rounds=1, iterations=1
+    )
+    print()
+    rows = [[policy, f"{mean:.4f}"] for policy, mean in sorted(means.items())]
+    print("Section VI.B.4 — Victim Cache replacement policy ablation")
+    print(format_table(["victim policy", "geomean IPC ratio"], rows))
+    policy_means = {k: v for k, v in means.items() if "dirty" not in k}
+    spread = max(policy_means.values()) - min(policy_means.values())
+    print(f"\n  paper: no variant significantly beats ECM; spread is small")
+    print(f"  measured spread: {spread:.4f}")
+    print(
+        "  memory-write ratio vs baseline: "
+        f"clean victims {write_ratios['clean victims']:.3f} (paper: 1.00), "
+        f"dirty victims {write_ratios['dirty victims']:.3f} (< 1: deferred writebacks)"
+    )
+
+    # Shape: every policy gains (the guarantee is policy-independent).
+    assert all(mean > 1.0 for mean in means.values())
+    # The variants the paper tried (LRU, size/LRU mix) do not improve on
+    # ECM — their spread is tiny, exactly as Section VI.B.4 reports.
+    paper_variants = {means[p] for p in ("ecm", "lru", "mix")}
+    assert max(paper_variants) - min(paper_variants) < 0.02
+    assert means["ecm"] >= max(paper_variants) - 0.005
+    # Quality-insensitive choices cost capacity: plain random (the worked
+    # examples' placeholder) and the strict literal ECM reading trail.
+    assert means["random"] <= means["ecm"]
+    assert means["ecm-strict"] <= means["ecm"]
+    # Section IV.B.3 trade-off: clean victims save no write traffic, the
+    # non-inclusive dirty variant does.
+    assert write_ratios["clean victims"] > 0.95
+    assert write_ratios["dirty victims"] < write_ratios["clean victims"]

@@ -1,0 +1,67 @@
+"""E10 — Table I: workload suite composition and compressibility.
+
+Paper: 100 traces in four categories (30 SPECfp, 29 SPECint, 14
+productivity, 27 client), 60 cache-sensitive; of those, 50 are
+compression-friendly (~50% average compressed block size) and 10 compress
+poorly (>75%); the average across all 60 is ~55% (Section VI.A).
+"""
+
+from collections import Counter
+
+from repro.sim.report import format_table
+from repro.workloads.suite import (
+    all_specs,
+    CATEGORIES,
+    friendly_specs,
+    poor_specs,
+    sensitive_specs,
+    TraceSuite,
+)
+
+
+def run_table1():
+    counts = Counter(spec.category for spec in all_specs())
+    sensitive = Counter(spec.category for spec in sensitive_specs())
+    suite = TraceSuite(reference_llc_lines=512, length=1)
+    fractions = {
+        spec.name: suite.data_model(spec.name).average_size_fraction()
+        for spec in sensitive_specs()
+    }
+    return counts, sensitive, fractions
+
+
+def test_table1_workloads(benchmark):
+    counts, sensitive, fractions = benchmark.pedantic(
+        run_table1, rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        [category, counts[category], sensitive[category]]
+        for category in CATEGORIES
+    ]
+    rows.append(["total", sum(counts.values()), sum(sensitive.values())])
+    print(
+        format_table(["category", "traces (Table I)", "cache-sensitive"], rows)
+    )
+
+    friendly = {spec.name for spec in friendly_specs()}
+    poor = {spec.name for spec in poor_specs()}
+    cf_avg = sum(fractions[n] for n in friendly) / len(friendly)
+    poor_avg = sum(fractions[n] for n in poor) / len(poor)
+    all_avg = sum(fractions.values()) / len(fractions)
+    print(f"\n  compressed block size (fraction of 64B, measured with BDI):")
+    print(f"  paper: CF ~0.50, poor >0.75, all-60 average ~0.55")
+    print(
+        f"  measured: CF {cf_avg:.2f} ({len(friendly)} traces), "
+        f"poor {poor_avg:.2f} ({len(poor)} traces), all {all_avg:.2f}"
+    )
+
+    # Table I population.
+    assert counts == Counter(
+        {"fspec": 30, "ispec": 29, "productivity": 14, "client": 27}
+    )
+    assert sum(sensitive.values()) == 60
+    # Section VI.A compressibility bands.
+    assert 0.40 <= cf_avg <= 0.60
+    assert poor_avg > 0.75
+    assert 0.45 <= all_avg <= 0.62

@@ -1,0 +1,57 @@
+"""Shared fixtures for the paper-reproduction bench suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  All benches share one
+:class:`~repro.sim.experiment.ExperimentRunner` on the ``BENCH`` preset
+with an on-disk result cache, so machine configurations that recur across
+figures (the 2MB baseline, Base-Victim, 3MB) are simulated once.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import BENCH
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import dram_read_ratio, ipc_ratio
+from repro.workloads.suite import friendly_specs, poor_specs, sensitive_specs
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner with persistent caching."""
+    return ExperimentRunner(BENCH)
+
+
+@pytest.fixture(scope="session")
+def sensitive_names() -> list[str]:
+    """The 60 cache-sensitive trace names (Section V)."""
+    return [spec.name for spec in sensitive_specs()]
+
+
+@pytest.fixture(scope="session")
+def friendly_names() -> list[str]:
+    """The 50 compression-friendly cache-sensitive traces."""
+    return [spec.name for spec in friendly_specs()]
+
+
+@pytest.fixture(scope="session")
+def poor_names() -> list[str]:
+    """The 10 poorly compressing cache-sensitive traces."""
+    return [spec.name for spec in poor_specs()]
+
+
+def ratio_maps(runner, machine, baseline, names):
+    """Per-trace IPC and DRAM-read ratios of ``machine`` vs ``baseline``."""
+    ipc = {}
+    reads = {}
+    for name in names:
+        base = runner.run_single(baseline, name)
+        run = runner.run_single(machine, name)
+        ipc[name] = ipc_ratio(run, base)
+        reads[name] = dram_read_ratio(run, base)
+    return ipc, reads

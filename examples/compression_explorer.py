@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare compression algorithms on the workload suite's data palettes.
+
+The Base-Victim architecture is algorithm-agnostic (Section VII.A); this
+example measures how BDI (the paper's choice), FPC, C-Pack and plain
+zero-detection compress each workload category's characteristic data, and
+what that means for Base-Victim's pairing constraint (two lines sharing
+one physical way).
+"""
+
+from repro.compression import (
+    BDICompressor,
+    CPackCompressor,
+    EVAL_GEOMETRY,
+    FPCCompressor,
+    ZeroContentCompressor,
+)
+from repro.workloads.datagen import build_palette
+from repro.workloads.suite import CATEGORIES
+
+ALGORITHMS = [
+    BDICompressor(),
+    FPCCompressor(),
+    CPackCompressor(),
+    ZeroContentCompressor(),
+]
+
+
+def palette_stats(category: str, comp_class: str):
+    """Average compressed fraction per algorithm over one palette."""
+    palette = build_palette(category, comp_class, seed=2024)
+    rows = {}
+    for algorithm in ALGORITHMS:
+        total = sum(algorithm.compressed_size(entry.data) for entry in palette)
+        rows[algorithm.name] = total / (len(palette) * 64)
+    return rows
+
+
+def pairing_probability(category: str, comp_class: str) -> float:
+    """How often two random lines of this palette share one physical way."""
+    palette = build_palette(category, comp_class, seed=2024)
+    bdi = BDICompressor()
+    sizes = [
+        bdi.compress(entry.data).size_in_segments(EVAL_GEOMETRY)
+        for entry in palette
+    ]
+    fits = sum(
+        1
+        for i, a in enumerate(sizes)
+        for b in sizes[i:]
+        if EVAL_GEOMETRY.fits_together(a, b)
+    )
+    pairs = len(sizes) * (len(sizes) + 1) // 2
+    return fits / pairs
+
+
+def main() -> None:
+    header = f"{'category':14s} {'class':9s}" + "".join(
+        f"{algorithm.name:>8s}" for algorithm in ALGORITHMS
+    )
+    print("average compressed size (fraction of 64B):")
+    print(header)
+    for category in CATEGORIES:
+        for comp_class in ("friendly", "poor"):
+            rows = palette_stats(category, comp_class)
+            cells = "".join(f"{rows[a.name]:8.2f}" for a in ALGORITHMS)
+            print(f"{category:14s} {comp_class:9s}{cells}")
+
+    print("\nprobability two lines share one physical way (BDI, 4B segments):")
+    for category in CATEGORIES:
+        friendly = pairing_probability(category, "friendly")
+        poor = pairing_probability(category, "poor")
+        print(f"{category:14s} friendly {friendly:.2f}   poor {poor:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare Base-Victim against the decoupled compressed caches.
+
+Section II of the paper surveys VSC, DCC and SCC and argues they buy
+extra effective capacity at the cost of data-array changes, deeper
+pipelines and multi-line evictions.  This example measures what each
+design's *functional* capacity and hit rate look like on one
+compression-friendly trace, next to Base-Victim's opportunistic scheme.
+"""
+
+from repro.core import AccessKind
+from repro.sim.config import (
+    ARCH_BASE_VICTIM,
+    ARCH_DCC,
+    ARCH_SCC,
+    ARCH_UNCOMPRESSED,
+    ARCH_VSC,
+    MachineConfig,
+    TEST,
+)
+from repro.workloads.suite import TraceSuite
+
+ARCHS = (ARCH_UNCOMPRESSED, ARCH_BASE_VICTIM, ARCH_SCC, ARCH_DCC, ARCH_VSC)
+
+
+def main() -> None:
+    suite = TraceSuite(TEST.reference_llc_lines, TEST.trace_length)
+    name = "sysmark.1"
+    trace = suite.trace(name)
+    print(f"trace {name}: {len(trace)} accesses, "
+          f"footprint {trace.unique_lines()} lines\n")
+
+    print(f"{'architecture':16s} {'hit rate':>9s} {'capacity':>9s} {'multi-evict':>12s}")
+    for arch in ARCHS:
+        llc = MachineConfig(arch=arch).build_llc(TEST)
+        data = suite.data_model(name)
+        hits = 0
+        for i in range(len(trace)):
+            kind = AccessKind.WRITE if trace.kinds[i] == 1 else AccessKind.READ
+            addr = trace.addrs[i]
+            if trace.kinds[i] == 1:
+                data.on_write(addr)
+            hits += llc.access(addr, kind, data.size_of(addr)).hit
+        capacity = llc.resident_logical_lines() / llc.geometry.num_lines
+        multi = getattr(
+            llc,
+            "stat_multi_evict_fills",
+            getattr(
+                llc,
+                "stat_multi_line_evictions",
+                getattr(llc, "stat_superblock_evictions", 0),
+            ),
+        )
+        print(
+            f"{arch:16s} {hits / len(trace):9.3f} {capacity:8.2f}x {multi:12d}"
+        )
+
+    print(
+        "\nThe decoupled designs pack more lines (higher capacity) but pay"
+        "\nwith multi-line evictions; Base-Victim stays at ~1.5x with zero"
+        "\nsuch events — the paper's Section II trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Section III's negative interaction, reproduced two ways.
+
+First the paper's worked example (Figure 2): a naive two-tag compressed
+cache must evict the MRU line to make room for an incoming fill because
+the MRU line shares a physical way with the LRU victim.
+
+Then the population effect: on a workload whose working set already fits
+the LLC, compression has nothing to win — but the naive two-tag cache
+still loses performance, while Base-Victim by construction cannot.
+"""
+
+from repro import BASELINE_2MB, BASE_VICTIM_2MB, ExperimentRunner, TWO_TAG_2MB
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement import LRUPolicy
+from repro.compression.segments import EXAMPLE_GEOMETRY
+from repro.core import AccessKind, TwoTagLLC
+from repro.sim.metrics import ipc_ratio
+
+
+def worked_example() -> None:
+    """Figure 2: partner line victimization kills the MRU line."""
+    # One set, 4 physical ways, 8 tags, 8-byte segments as in the paper.
+    llc = TwoTagLLC(CacheGeometry(4 * 64, 4), LRUPolicy(), EXAMPLE_GEOMETRY)
+
+    # Build the Figure 2 state: the MRU line (6 segments) shares way 0
+    # with the LRU line (2 segments); all eight logical slots are full.
+    llc.access(0x10, AccessKind.READ, 6)  # will become MRU
+    llc.access(0x11, AccessKind.READ, 2)  # shares way 0, will be LRU
+    for addr in (0x20, 0x21, 0x30, 0x31, 0x40, 0x41):
+        llc.access(addr, AccessKind.READ, 4)
+    llc.access(0x10, AccessKind.READ, 6)  # 0x10 is MRU again
+
+    print("before the fill:")
+    print(f"  MRU line 0x10 resident: {llc.contains(0x10)}")
+
+    # Incoming 6-segment line: LRU victim is 0x11 (2 segments) whose
+    # partner is the 6-segment MRU line 0x10 — they cannot coexist.
+    result = llc.access(0x99, AccessKind.READ, 6)
+
+    print("after filling a 6-segment line:")
+    print(f"  MRU line 0x10 resident: {llc.contains(0x10)}  <-- victimized!")
+    print(f"  partner victimizations: {llc.stat_partner_victimizations}")
+    print(f"  lines invalidated from L1/L2: {len(result.invalidates)}\n")
+
+
+def population_effect() -> None:
+    """Traces where partner victimization bites: two-tag loses, Base-Victim
+    never does (uses the bench preset; results cache under .repro_cache)."""
+    from repro import BENCH  # bench-scale traces show the real losses
+
+    runner = ExperimentRunner(BENCH)
+    print(f"{'trace':14s} {'two-tag':>9s} {'base-victim':>12s}")
+    for name in ("gemsFDTD.2", "bwaves.1", "3dmark.4", "cinebench.3"):
+        base = runner.run_single(BASELINE_2MB, name)
+        tt = runner.run_single(TWO_TAG_2MB, name)
+        bv = runner.run_single(BASE_VICTIM_2MB, name)
+        print(
+            f"{name:14s} {ipc_ratio(tt, base):9.3f} {ipc_ratio(bv, base):12.3f}"
+        )
+    print("\n(ratios < 1.0 are performance losses vs the uncompressed cache)")
+
+
+if __name__ == "__main__":
+    worked_example()
+    population_effect()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy ``setup.py develop`` editable installs); all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

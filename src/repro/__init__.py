@@ -1,0 +1,103 @@
+"""Base-Victim Compression: an opportunistic cache compression architecture.
+
+Python reproduction of Gaur, Alameldeen and Subramoney (ISCA 2016).
+
+Public API layers:
+
+* :mod:`repro.compression` — BDI (the paper's algorithm), FPC, C-Pack,
+  zero-content detection; full lossless codecs.
+* :mod:`repro.core` — LLC architectures: the Base-Victim contribution,
+  the two-tag strawmen, the uncompressed baseline and the VSC functional
+  comparator.
+* :mod:`repro.cache` — set-associative substrate, replacement policies,
+  inclusive three-level hierarchy, stream prefetcher.
+* :mod:`repro.memory` / :mod:`repro.timing` / :mod:`repro.power` — DDR3
+  timing+energy, analytic core model, SRAM energy/area models.
+* :mod:`repro.workloads` — the Table I synthetic trace suite and mixes.
+* :mod:`repro.sim` — drivers, presets, experiment runner, reporting.
+
+Quickstart::
+
+    from repro import ExperimentRunner, BENCH, BASELINE_2MB, BASE_VICTIM_2MB
+    runner = ExperimentRunner(BENCH)
+    base = runner.run_single(BASELINE_2MB, "mcf.1")
+    bv = runner.run_single(BASE_VICTIM_2MB, "mcf.1")
+    print(bv.ipc / base.ipc)
+"""
+
+from repro.cache.config import CacheGeometry
+from repro.compression import (
+    BDICompressor,
+    SC2Compressor,
+    CompressedBlock,
+    CompressionAlgorithm,
+    CPackCompressor,
+    FPCCompressor,
+    make_compressor,
+    SegmentGeometry,
+    ZeroContentCompressor,
+)
+from repro.core import (
+    AccessKind,
+    BaseVictimLLC,
+    DCCFunctionalLLC,
+    LLCAccessResult,
+    LLCArchitecture,
+    SCCFunctionalLLC,
+    TwoTagLLC,
+    UncompressedLLC,
+    VSCFunctionalLLC,
+)
+from repro.sim import (
+    BASE_VICTIM_2MB,
+    BASELINE_2MB,
+    BENCH,
+    ExperimentRunner,
+    MachineConfig,
+    PAPER,
+    Preset,
+    RunResult,
+    TEST,
+    TWO_TAG_2MB,
+    TWO_TAG_MODIFIED_2MB,
+    UNCOMPRESSED_3MB,
+)
+from repro.workloads import TraceSuite, build_mixes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "BASE_VICTIM_2MB",
+    "BASELINE_2MB",
+    "BaseVictimLLC",
+    "BDICompressor",
+    "BENCH",
+    "build_mixes",
+    "CacheGeometry",
+    "CompressedBlock",
+    "CompressionAlgorithm",
+    "CPackCompressor",
+    "DCCFunctionalLLC",
+    "ExperimentRunner",
+    "FPCCompressor",
+    "LLCAccessResult",
+    "LLCArchitecture",
+    "MachineConfig",
+    "make_compressor",
+    "PAPER",
+    "Preset",
+    "RunResult",
+    "SC2Compressor",
+    "SCCFunctionalLLC",
+    "SegmentGeometry",
+    "TEST",
+    "TraceSuite",
+    "TWO_TAG_2MB",
+    "TWO_TAG_MODIFIED_2MB",
+    "TwoTagLLC",
+    "UNCOMPRESSED_3MB",
+    "UncompressedLLC",
+    "VSCFunctionalLLC",
+    "ZeroContentCompressor",
+]

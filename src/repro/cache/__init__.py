@@ -1,0 +1,11 @@
+"""Cache substrate: geometry, replacement, plain caches, hierarchy."""
+
+from repro.cache.config import CacheConfigError, CacheGeometry
+from repro.cache.setassoc import EvictedLine, SetAssociativeCache
+
+__all__ = [
+    "CacheConfigError",
+    "CacheGeometry",
+    "EvictedLine",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,98 @@
+"""Cache geometry configuration and validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.segments import LINE_SIZE_BYTES
+
+
+class CacheConfigError(ValueError):
+    """Raised for inconsistent cache geometry."""
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one set-associative cache.
+
+    Parameters mirror the paper's Section V configuration, e.g. the
+    single-thread LLC is ``CacheGeometry(size_bytes=2 * 2**20, associativity=16)``.
+    """
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = LINE_SIZE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise CacheConfigError(f"size_bytes must be positive, got {self.size_bytes}")
+        if self.associativity <= 0:
+            raise CacheConfigError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        if not _is_power_of_two(self.line_bytes):
+            raise CacheConfigError(
+                f"line_bytes must be a power of two, got {self.line_bytes}"
+            )
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise CacheConfigError(
+                f"{self.size_bytes}B does not divide into "
+                f"{self.associativity} ways of {self.line_bytes}B lines"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise CacheConfigError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        """Total physical line slots."""
+        return self.num_sets * self.associativity
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of byte-offset bits within a line."""
+        return self.line_bytes.bit_length() - 1
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index for a *line-granular* address (byte address >> offset)."""
+        return line_addr & (self.num_sets - 1)
+
+    def scaled(self, factor: float) -> CacheGeometry:
+        """Shrink/grow capacity by ``factor``, keeping associativity.
+
+        Used by the bench presets: the paper runs a 2MB LLC on 200M
+        instructions; the Python benches run the same experiments on a
+        geometry scaled down together with the workload footprints, which
+        preserves reuse-distance/capacity ratios.
+        """
+        new_size = int(self.size_bytes * factor)
+        min_size = self.associativity * self.line_bytes
+        new_size = max(min_size, (new_size // min_size) * min_size)
+        # Keep the set count a power of two.
+        sets = new_size // min_size
+        sets = 1 << (sets.bit_length() - 1)
+        return CacheGeometry(sets * min_size, self.associativity, self.line_bytes)
+
+    def __str__(self) -> str:
+        if self.size_bytes % (1 << 20) == 0:
+            size = f"{self.size_bytes >> 20}MB"
+        elif self.size_bytes % (1 << 10) == 0:
+            size = f"{self.size_bytes >> 10}KB"
+        else:
+            size = f"{self.size_bytes}B"
+        return f"{size}/{self.associativity}w"

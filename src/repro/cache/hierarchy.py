@@ -1,0 +1,257 @@
+"""Three-level inclusive cache hierarchy.
+
+Models the paper's per-core hierarchy (Section V): a 32KB 8-way L1 data
+cache, a 256KB 8-way unified L2, and a shared last-level cache that is
+*inclusive* of the core caches.  The LLC is any
+:class:`~repro.core.interfaces.LLCArchitecture`; every line the LLC evicts
+from (or demotes out of) its baseline image is back-invalidated from L1 and
+L2, and modified upper-level data is written back to memory — the paper's
+Section IV.A protocol, and the channel through which bad compressed-cache
+replacement decisions (partner line victimization) hurt the core caches.
+
+Writebacks are modelled explicitly: dirty L1 victims merge into the L2,
+dirty L2 victims become LLC ``WRITEBACK`` accesses carrying the line's
+current compressed size.  A multi-stream prefetcher (Section V) observes
+demand L2 misses and injects ``PREFETCH`` fills into the LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cache.config import CacheGeometry
+from repro.cache.prefetch import StreamPrefetcher
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.setassoc import SetAssociativeCache
+from repro.core.interfaces import AccessKind, LLCArchitecture
+
+#: Levels at which an access can be served.
+L1, L2, LLC, MEMORY = 1, 2, 3, 4
+
+
+@dataclass
+class HierarchyStats:
+    """Counters accumulated over a run."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    llc_victim_hits: int = 0
+    llc_misses: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    compressed_hits: int = 0
+    back_invalidations: int = 0
+    silent_evictions: int = 0
+    llc_data_reads: int = 0
+    llc_data_writes: int = 0
+    llc_fill_segments: int = 0
+    llc_accesses: int = 0
+    prefetch_fills: int = 0
+    writebacks_to_llc: int = 0
+
+    def merge_llc_result(self, result) -> None:
+        """Fold one LLC access result into the counters."""
+        self.memory_reads += result.memory_reads
+        self.memory_writes += result.memory_writes
+        self.silent_evictions += result.silent_evictions
+        self.llc_data_reads += result.data_reads
+        self.llc_data_writes += result.data_writes
+        self.llc_fill_segments += result.fill_segments
+        self.llc_accesses += 1
+
+
+class AccessOutcome:
+    """Where a demand access was served and what latency adders it incurred."""
+
+    __slots__ = ("level", "extra_llc_cycles", "dram_latency")
+
+    def __init__(
+        self, level: int, extra_llc_cycles: int = 0, dram_latency: float = 0.0
+    ) -> None:
+        self.level = level
+        self.extra_llc_cycles = extra_llc_cycles
+        self.dram_latency = dram_latency
+
+
+@dataclass
+class HierarchyConfig:
+    """Geometry knobs for the private levels (paper defaults)."""
+
+    l1_geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(32 * 1024, 8)
+    )
+    l2_geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(256 * 1024, 8)
+    )
+    prefetch_degree: int = 2
+    #: Deliver CHAR-style downgrade hints to the LLC on L2 evictions.
+    l2_eviction_hints: bool = True
+
+    def scaled(self, factor: float) -> "HierarchyConfig":
+        """Scale the private caches together with the LLC (bench presets)."""
+        return HierarchyConfig(
+            l1_geometry=self.l1_geometry.scaled(factor),
+            l2_geometry=self.l2_geometry.scaled(factor),
+            prefetch_degree=self.prefetch_degree,
+            l2_eviction_hints=self.l2_eviction_hints,
+        )
+
+
+class CacheHierarchy:
+    """L1 + L2 private caches in front of a pluggable LLC architecture."""
+
+    def __init__(
+        self,
+        llc: LLCArchitecture,
+        size_fn: Callable[[int], int],
+        config: HierarchyConfig | None = None,
+        memory=None,
+    ) -> None:
+        self.config = config or HierarchyConfig()
+        self.llc = llc
+        #: Maps a line address to its current compressed size in segments.
+        self.size_fn = size_fn
+        #: Optional :class:`~repro.memory.dram.DRAMModel`; when present the
+        #: hierarchy issues its reads/writes so misses get real latencies.
+        self.memory = memory
+        #: Current CPU cycle, set by the timing driver before each access;
+        #: used as the DRAM arrival time.
+        self.now = 0.0
+        self.l1 = SetAssociativeCache(self.config.l1_geometry, LRUPolicy(), name="l1d")
+        self.l2 = SetAssociativeCache(self.config.l2_geometry, LRUPolicy(), name="l2")
+        self.prefetcher = StreamPrefetcher(degree=self.config.prefetch_degree)
+        self.stats = HierarchyStats()
+        self._last_read_latency = 0.0
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> AccessOutcome:
+        """One demand load/store from the core; returns where it was served."""
+        stats = self.stats
+        stats.accesses += 1
+
+        if self.l1.probe(addr, is_write):
+            stats.l1_hits += 1
+            return AccessOutcome(L1)
+
+        if self.l2.probe(addr):
+            stats.l2_hits += 1
+            self._fill_l1(addr, is_write)
+            return AccessOutcome(L2)
+
+        # L2 demand miss: train the prefetcher before the LLC access so the
+        # stream runs ahead of the demand stream.
+        prefetches = self.prefetcher.observe(addr)
+
+        result = self.llc.access(addr, AccessKind.READ, self.size_fn(addr))
+        stats.merge_llc_result(result)
+        self._account_memory(addr, result, demand=True)
+        self._process_invalidates(result)
+        extra = self.llc.extra_tag_cycles
+        if result.hit:
+            stats.llc_hits += 1
+            if result.victim_hit:
+                stats.llc_victim_hits += 1
+            if result.compressed_hit:
+                stats.compressed_hits += 1
+                extra += _decompression_cycles(self.llc)
+            outcome = AccessOutcome(LLC, extra)
+        else:
+            stats.llc_misses += 1
+            outcome = AccessOutcome(MEMORY, extra, self._last_read_latency)
+
+        self._fill_l2(addr)
+        self._fill_l1(addr, is_write)
+        for target in prefetches:
+            self._prefetch(target)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Fills, writebacks, invalidations
+    # ------------------------------------------------------------------
+
+    def _fill_l1(self, addr: int, is_write: bool) -> None:
+        victim = self.l1.fill(addr, dirty=is_write)
+        if victim is not None and victim.dirty:
+            # Dirty L1 victim merges into the (inclusive) L2.
+            if not self.l2.probe(victim.addr, is_write=True):
+                # Inclusion guarantees presence; refill defensively if not.
+                self._fill_l2(victim.addr, dirty=True)
+
+    def _fill_l2(self, addr: int, dirty: bool = False) -> None:
+        victim = self.l2.fill(addr, dirty=dirty)
+        if victim is None:
+            return
+        # L1 must not outlive its L2 copy (inclusive pair).
+        present, l1_dirty = self.l1.invalidate(victim.addr)
+        was_dirty = victim.dirty or (present and l1_dirty)
+        if was_dirty:
+            self.stats.writebacks_to_llc += 1
+            result = self.llc.access(
+                victim.addr, AccessKind.WRITEBACK, self.size_fn(victim.addr)
+            )
+            self.stats.merge_llc_result(result)
+            self._account_memory(victim.addr, result, demand=False)
+            self._process_invalidates(result)
+        elif self.config.l2_eviction_hints:
+            # Clean, unreused L2 eviction: CHAR-style downgrade hint.
+            self.llc.hint_downgrade(victim.addr)
+
+    def _prefetch(self, addr: int) -> None:
+        """Inject one hardware prefetch into the LLC."""
+        if self.llc.contains(addr):
+            return  # a prefetch hit is dropped without touching any state
+        result = self.llc.access(addr, AccessKind.PREFETCH, self.size_fn(addr))
+        self.stats.merge_llc_result(result)
+        self._account_memory(addr, result, demand=False)
+        self._process_invalidates(result)
+        if not result.hit:
+            self.stats.prefetch_fills += 1
+
+    def _process_invalidates(self, result) -> None:
+        """Back-invalidate lines the LLC dropped from its baseline image."""
+        for addr, wrote_back in result.invalidates:
+            p1, d1 = self.l1.invalidate(addr)
+            p2, d2 = self.l2.invalidate(addr)
+            if p1 or p2:
+                self.stats.back_invalidations += 1
+            if (d1 or d2) and not wrote_back:
+                # Most-recent data lived upstream; it must reach memory.
+                self.stats.memory_writes += 1
+                if self.memory is not None:
+                    self.memory.write(addr, self.now)
+
+    def _account_memory(self, addr: int, result, demand: bool) -> None:
+        """Issue the DRAM traffic of one LLC access to the memory model."""
+        self._last_read_latency = 0.0
+        if self.memory is None:
+            return
+        if result.memory_reads:
+            latency = self.memory.read(addr, self.now)
+            if demand:
+                self._last_read_latency = latency
+        for _ in range(result.memory_writes):
+            self.memory.write(addr, self.now)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def check_inclusion(self) -> None:
+        """Verify L1 ⊆ L2 ⊆ LLC; used by the integration tests."""
+        for addr in self.l1.resident_lines():
+            if not self.l2.contains(addr):
+                raise AssertionError(f"L1 line {addr:#x} missing from L2")
+        for addr in self.l2.resident_lines():
+            if not self.llc.contains(addr):
+                raise AssertionError(f"L2 line {addr:#x} missing from LLC")
+
+
+def _decompression_cycles(llc: LLCArchitecture) -> int:
+    """Decompression latency adder; BDI costs 2 cycles (Section V)."""
+    return 2

@@ -1,0 +1,66 @@
+"""Replacement policies for the baseline and victim caches."""
+
+from repro.cache.replacement.base import DeterministicRandom, ReplacementPolicy
+from repro.cache.replacement.camp import CAMPPolicy
+from repro.cache.replacement.char import CharPolicy
+from repro.cache.replacement.drrip import DRRIPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.replacement.random_ import RandomPolicy
+from repro.cache.replacement.srrip import SRRIPPolicy
+from repro.cache.replacement.victim import (
+    ECMStrictVictimPolicy,
+    ECMVictimPolicy,
+    LRUVictimPolicy,
+    MixVictimPolicy,
+    RandomVictimPolicy,
+    VICTIM_POLICIES,
+    VictimCandidate,
+    VictimInsertionPolicy,
+    make_victim_policy,
+)
+
+#: Registry of baseline replacement policies by name.
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    NRUPolicy.name: NRUPolicy,
+    SRRIPPolicy.name: SRRIPPolicy,
+    DRRIPPolicy.name: DRRIPPolicy,
+    CharPolicy.name: CharPolicy,
+    CAMPPolicy.name: CAMPPolicy,
+    RandomPolicy.name: RandomPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a registered baseline replacement policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown policy {name!r}; known: {known}") from None
+    return cls()
+
+
+__all__ = [
+    "CAMPPolicy",
+    "CharPolicy",
+    "DeterministicRandom",
+    "DRRIPPolicy",
+    "ECMStrictVictimPolicy",
+    "ECMVictimPolicy",
+    "LRUPolicy",
+    "LRUVictimPolicy",
+    "make_policy",
+    "make_victim_policy",
+    "MixVictimPolicy",
+    "NRUPolicy",
+    "POLICIES",
+    "RandomPolicy",
+    "RandomVictimPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "VICTIM_POLICIES",
+    "VictimCandidate",
+    "VictimInsertionPolicy",
+]

@@ -1,0 +1,111 @@
+"""Replacement policy interface.
+
+A policy instance is shared by all sets of one cache; per-set state lives in
+a small mutable object created by :meth:`ReplacementPolicy.make_set_state`.
+The cache calls back into the policy on every hit, fill and invalidation,
+and asks it to pick a victim way on replacement.  Invalid ways are always
+preferred as victims; ``choose_victim`` is only consulted when the set is
+full, exactly as in the paper's baseline cache.
+
+Policies must be deterministic: any randomness comes from an internal
+deterministic PRNG seeded at construction so that experiments reproduce
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract replacement policy for a set-associative cache."""
+
+    #: Short identifier used in configuration and reports.
+    name: str = "abstract"
+
+    #: Bits of replacement metadata per line, for area accounting.
+    metadata_bits: int = 0
+
+    @abc.abstractmethod
+    def make_set_state(self, ways: int, set_index: int) -> Any:
+        """Create per-set policy state for a set with ``ways`` ways."""
+
+    @abc.abstractmethod
+    def on_hit(self, state: Any, way: int) -> None:
+        """Update state after a hit to ``way``."""
+
+    @abc.abstractmethod
+    def on_fill(self, state: Any, way: int) -> None:
+        """Update state after filling a new line into ``way``."""
+
+    def on_fill_sized(self, state: Any, way: int, size_segments: int | None) -> None:
+        """Fill hook carrying the line's compressed size.
+
+        Compressed-cache architectures call this variant so size-aware
+        policies (CAMP-style, Section VII.C) can see the size; the default
+        ignores it and defers to :meth:`on_fill`.  ``size_segments`` is
+        None in uncompressed caches.
+        """
+        self.on_fill(state, way)
+
+    @abc.abstractmethod
+    def choose_victim(self, state: Any) -> int:
+        """Pick the victim way in a full set."""
+
+    def on_invalidate(self, state: Any, way: int) -> None:
+        """Update state after ``way`` is invalidated (default: no-op)."""
+
+    def on_hint(self, state: Any, way: int) -> None:
+        """React to a downgrade hint (CHAR-style); default: no-op."""
+
+    def eligible_victims(self, state: Any) -> list[int]:
+        """Ways the policy currently considers acceptable victims.
+
+        Used by the modified two-tag architecture (Section VI.A), which
+        searches "for a tag (based on NRU) which does not need to evict its
+        partner" — i.e. it intersects the policy's eviction candidates with
+        the fit constraint.  The default defers to :meth:`choose_victim`'s
+        single answer; age-based policies override this to return their
+        whole not-recently-used tier.  Implementations may age internal
+        state (as NRU does when every line is referenced).
+        """
+        return [self.choose_victim(state)]
+
+    def notes(self) -> str:
+        """Free-form description used in experiment reports."""
+        return self.name
+
+
+class DeterministicRandom:
+    """Tiny xorshift64* PRNG: deterministic, fast, no external state.
+
+    Used wherever the paper says "random replacement" so results are
+    reproducible across runs and platforms.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 0x9E3779B97F4A7C15) -> None:
+        self._state = (seed or 1) & 0xFFFFFFFFFFFFFFFF
+
+    def next(self) -> int:
+        """Next 64-bit pseudo-random value."""
+        x = self._state
+        x ^= (x >> 12) & 0xFFFFFFFFFFFFFFFF
+        x = (x ^ (x << 25)) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 27
+        self._state = x
+        return (x * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish integer in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next() % bound
+
+    def choice(self, items: Sequence[Any]) -> Any:
+        """Pick one element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.below(len(items))]

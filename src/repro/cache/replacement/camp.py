@@ -1,0 +1,118 @@
+"""CAMP-style compression-aware replacement (simplified).
+
+Pekhimenko et al., "Exploiting Compressed Block Size as an Indicator of
+Future Reuse" (HPCA 2015) propose Compression-Aware Management Policies:
+compressed block size correlates with data structure identity and hence
+with reuse, so insertion priority should depend on size.  The Base-Victim
+paper names adopting CAMP in the Baseline Cache as future work
+(Section VII.C); this module provides that extension.
+
+The simplification follows CAMP's SIP (Size-based Insertion Policy) idea
+on an RRIP substrate with set-dueling:
+
+* leader sets A insert every line at RRPV 2 (plain SRRIP),
+* leader sets B insert *small* lines (<= half the physical line) at
+  RRPV 2 and large ones at RRPV 3 (evict-soon),
+* follower sets use whichever leader wins the PSEL counter.
+
+Size reaches the policy through the
+:meth:`~repro.cache.replacement.base.ReplacementPolicy.on_fill_sized`
+hook that the compressed-cache architectures call.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+_RRPV_BITS = 2
+_RRPV_MAX = (1 << _RRPV_BITS) - 1
+_RRPV_LONG = _RRPV_MAX - 1
+_PSEL_BITS = 10
+_PSEL_MAX = (1 << _PSEL_BITS) - 1
+_PSEL_INIT = _PSEL_MAX // 2
+_DUEL_PERIOD = 32
+
+#: Lines at most this many segments (of 16) count as "small".
+SMALL_THRESHOLD_SEGMENTS = 8
+
+
+class _CAMPState:
+    __slots__ = ("rrpv", "leader")
+
+    def __init__(self, ways: int, leader: int) -> None:
+        self.rrpv = [_RRPV_MAX] * ways
+        self.leader = leader
+
+
+class CAMPPolicy(ReplacementPolicy):
+    """Size-aware insertion on an SRRIP substrate with set dueling."""
+
+    name = "camp"
+    metadata_bits = _RRPV_BITS
+
+    def __init__(self) -> None:
+        self._psel = _PSEL_INIT
+
+    def make_set_state(self, ways: int, set_index: int) -> _CAMPState:
+        phase = set_index % _DUEL_PERIOD
+        leader = 1 if phase == 0 else (-1 if phase == 1 else 0)
+        return _CAMPState(ways, leader)
+
+    def _size_aware(self, state: _CAMPState) -> bool:
+        if state.leader == 1:
+            return False
+        if state.leader == -1:
+            return True
+        return self._psel > _PSEL_INIT
+
+    def on_hit(self, state: _CAMPState, way: int) -> None:
+        state.rrpv[way] = 0
+
+    def on_fill(self, state: _CAMPState, way: int) -> None:
+        self.on_fill_sized(state, way, None)
+
+    def on_fill_sized(
+        self, state: _CAMPState, way: int, size_segments: int | None
+    ) -> None:
+        if state.leader == 1 and self._psel < _PSEL_MAX:
+            self._psel += 1
+        elif state.leader == -1 and self._psel > 0:
+            self._psel -= 1
+        if (
+            self._size_aware(state)
+            and size_segments is not None
+            and size_segments > SMALL_THRESHOLD_SEGMENTS
+        ):
+            # Large (poorly compressing) lines: predicted low reuse.
+            state.rrpv[way] = _RRPV_MAX
+        else:
+            state.rrpv[way] = _RRPV_LONG
+
+    def choose_victim(self, state: _CAMPState) -> int:
+        rrpv = state.rrpv
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= _RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def eligible_victims(self, state: _CAMPState) -> list[int]:
+        rrpv = state.rrpv
+        while True:
+            tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
+            if tier:
+                return tier
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_invalidate(self, state: _CAMPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_MAX
+
+    def on_hint(self, state: _CAMPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_MAX
+
+    @property
+    def psel(self) -> int:
+        """Current selector value (exposed for tests)."""
+        return self._psel

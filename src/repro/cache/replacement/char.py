@@ -1,0 +1,116 @@
+"""CHAR-style hierarchy-aware replacement (simplified).
+
+Chaudhuri et al., "Introducing Hierarchy-awareness in Replacement and
+Bypass Algorithms for Last-level Caches" (PACT 2012).  The Base-Victim
+paper evaluates CHAR "with 1 bit ages and not on top of SRRIP" and notes it
+"uses set-dueling for learning workload cache behavior and then sends
+downgrade hints on L2 cache evictions" (Section VI.B.2).  This module
+implements exactly those mechanisms:
+
+* 1-bit ages (NRU-like referenced bits),
+* set-dueling between two insertion ages — "recently used" (bit set, hard
+  to evict) versus "not recently used" (bit clear, evicted early) — with a
+  saturating PSEL counter updated on misses to the leader sets,
+* downgrade hints: the hierarchy calls :meth:`CharPolicy.on_hint` when the
+  L2 evicts a line that was never re-referenced there, clearing the LLC
+  age bit so dead lines are evicted earlier.
+
+The full CHAR classifier (per-class reuse probabilities) is out of scope,
+as it was in the paper's own simplified evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+_PSEL_BITS = 10
+_PSEL_MAX = (1 << _PSEL_BITS) - 1
+_PSEL_INIT = _PSEL_MAX // 2
+#: One leader set of each flavour per this many sets.
+_DUEL_PERIOD = 32
+
+
+class _CharState:
+    __slots__ = ("referenced", "hand", "leader")
+
+    def __init__(self, ways: int, leader: int) -> None:
+        self.referenced = [False] * ways
+        self.hand = 0
+        #: +1 → always-insert-referenced leader, -1 → insert-clear leader,
+        #: 0 → follower.
+        self.leader = leader
+
+
+class CharPolicy(ReplacementPolicy):
+    """Set-dueling 1-bit-age policy with L2-eviction downgrade hints."""
+
+    name = "char"
+    metadata_bits = 1
+
+    def __init__(self) -> None:
+        self._psel = _PSEL_INIT
+
+    def make_set_state(self, ways: int, set_index: int) -> _CharState:
+        phase = set_index % _DUEL_PERIOD
+        if phase == 0:
+            leader = 1
+        elif phase == 1:
+            leader = -1
+        else:
+            leader = 0
+        return _CharState(ways, leader)
+
+    def _insert_referenced(self, state: _CharState) -> bool:
+        if state.leader == 1:
+            return True
+        if state.leader == -1:
+            return False
+        # Follower: low PSEL favours the insert-referenced leader.
+        return self._psel <= _PSEL_INIT
+
+    def on_hit(self, state: _CharState, way: int) -> None:
+        state.referenced[way] = True
+
+    def on_fill(self, state: _CharState, way: int) -> None:
+        # A fill means this set missed: charge the leader responsible.
+        if state.leader == 1 and self._psel < _PSEL_MAX:
+            self._psel += 1
+        elif state.leader == -1 and self._psel > 0:
+            self._psel -= 1
+        state.referenced[way] = self._insert_referenced(state)
+
+    def choose_victim(self, state: _CharState) -> int:
+        referenced = state.referenced
+        ways = len(referenced)
+        for offset in range(ways):
+            way = (state.hand + offset) % ways
+            if not referenced[way]:
+                state.hand = (way + 1) % ways
+                return way
+        for way in range(ways):
+            referenced[way] = False
+        victim = state.hand
+        state.hand = (victim + 1) % ways
+        return victim
+
+    def eligible_victims(self, state: _CharState) -> list[int]:
+        referenced = state.referenced
+        ways = len(referenced)
+        tier = [way for way in range(ways) if not referenced[way]]
+        if tier:
+            return tier
+        for way in range(ways):
+            referenced[way] = False
+        return list(range(ways))
+
+    def on_invalidate(self, state: _CharState, way: int) -> None:
+        state.referenced[way] = False
+
+    def on_hint(self, state: _CharState, way: int) -> None:
+        """Downgrade hint from an L2 eviction: age the line."""
+        state.referenced[way] = False
+
+    @property
+    def psel(self) -> int:
+        """Current set-dueling selector value (exposed for tests)."""
+        return self._psel

@@ -1,0 +1,99 @@
+"""Dynamic Re-Reference Interval Prediction (DRRIP).
+
+Jaleel et al., ISCA 2010 — the set-dueling dynamic variant of SRRIP.
+The Base-Victim paper evaluates SRRIP (Section VI.B.2); DRRIP is provided
+as a further advanced baseline since the architecture composes with any
+policy.  Leader sets run SRRIP (insert at RRPV 2) and BRRIP (insert at
+RRPV 3, occasionally 2); follower sets use whichever wins a saturating
+PSEL counter updated on leader-set misses.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import DeterministicRandom, ReplacementPolicy
+
+_RRPV_BITS = 2
+_RRPV_MAX = (1 << _RRPV_BITS) - 1  # 3
+_RRPV_LONG = _RRPV_MAX - 1  # 2
+_PSEL_BITS = 10
+_PSEL_MAX = (1 << _PSEL_BITS) - 1
+_PSEL_INIT = _PSEL_MAX // 2
+_DUEL_PERIOD = 32
+#: BRRIP inserts at RRPV 2 once in this many fills ("epsilon").
+_BRRIP_PERIOD = 32
+
+
+class _DRRIPState:
+    __slots__ = ("rrpv", "leader")
+
+    def __init__(self, ways: int, leader: int) -> None:
+        self.rrpv = [_RRPV_MAX] * ways
+        #: +1 -> SRRIP leader, -1 -> BRRIP leader, 0 -> follower.
+        self.leader = leader
+
+
+class DRRIPPolicy(ReplacementPolicy):
+    """Set-dueling SRRIP/BRRIP."""
+
+    name = "drrip"
+    metadata_bits = _RRPV_BITS
+
+    def __init__(self, seed: int = 0xD121) -> None:
+        self._psel = _PSEL_INIT
+        self._rng = DeterministicRandom(seed)
+
+    def make_set_state(self, ways: int, set_index: int) -> _DRRIPState:
+        phase = set_index % _DUEL_PERIOD
+        leader = 1 if phase == 0 else (-1 if phase == 1 else 0)
+        return _DRRIPState(ways, leader)
+
+    def _use_brrip(self, state: _DRRIPState) -> bool:
+        if state.leader == 1:
+            return False
+        if state.leader == -1:
+            return True
+        return self._psel > _PSEL_INIT
+
+    def on_hit(self, state: _DRRIPState, way: int) -> None:
+        state.rrpv[way] = 0
+
+    def on_fill(self, state: _DRRIPState, way: int) -> None:
+        # Leader-set misses steer PSEL: an SRRIP-leader miss votes BRRIP.
+        if state.leader == 1 and self._psel < _PSEL_MAX:
+            self._psel += 1
+        elif state.leader == -1 and self._psel > 0:
+            self._psel -= 1
+        if self._use_brrip(state):
+            long_insert = self._rng.below(_BRRIP_PERIOD) == 0
+            state.rrpv[way] = _RRPV_LONG if long_insert else _RRPV_MAX
+        else:
+            state.rrpv[way] = _RRPV_LONG
+
+    def choose_victim(self, state: _DRRIPState) -> int:
+        rrpv = state.rrpv
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= _RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def eligible_victims(self, state: _DRRIPState) -> list[int]:
+        rrpv = state.rrpv
+        while True:
+            tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
+            if tier:
+                return tier
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_invalidate(self, state: _DRRIPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_MAX
+
+    def on_hint(self, state: _DRRIPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_MAX
+
+    @property
+    def psel(self) -> int:
+        """Current selector value (exposed for tests)."""
+        return self._psel

@@ -1,0 +1,61 @@
+"""True LRU replacement.
+
+Used in the paper's Section III/IV worked examples and as a Victim Cache
+policy variant in Section VI.B.4.  Per-set state is a monotonically
+increasing timestamp per way; the victim is the smallest timestamp.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class _LRUState:
+    __slots__ = ("stamps", "clock")
+
+    def __init__(self, ways: int) -> None:
+        self.stamps = [0] * ways
+        self.clock = 0
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least Recently Used."""
+
+    name = "lru"
+    # log2(16) bits per line for a 16-way stack position.
+    metadata_bits = 4
+
+    def make_set_state(self, ways: int, set_index: int) -> _LRUState:
+        return _LRUState(ways)
+
+    def _touch(self, state: _LRUState, way: int) -> None:
+        state.clock += 1
+        state.stamps[way] = state.clock
+
+    def on_hit(self, state: _LRUState, way: int) -> None:
+        self._touch(state, way)
+
+    def on_fill(self, state: _LRUState, way: int) -> None:
+        self._touch(state, way)
+
+    def choose_victim(self, state: _LRUState) -> int:
+        stamps = state.stamps
+        victim = 0
+        lowest = stamps[0]
+        for way in range(1, len(stamps)):
+            if stamps[way] < lowest:
+                lowest = stamps[way]
+                victim = way
+        return victim
+
+    def eligible_victims(self, state: _LRUState) -> list[int]:
+        """Bottom half of the LRU stack, least recent first."""
+        order = sorted(range(len(state.stamps)), key=lambda w: state.stamps[w])
+        return order[: max(1, len(order) // 2)]
+
+    def on_invalidate(self, state: _LRUState, way: int) -> None:
+        state.stamps[way] = 0
+
+    def stack_order(self, state: _LRUState) -> list[int]:
+        """Ways from MRU to LRU — used by the VSC model's multi-evict fill."""
+        return sorted(range(len(state.stamps)), key=lambda w: -state.stamps[w])

@@ -1,0 +1,73 @@
+"""1-bit Not Recently Used (NRU) replacement.
+
+The paper's default LLC policy (Section V): each line has one "referenced"
+bit.  Hits and fills set the bit; the victim is the first way whose bit is
+clear.  When every bit is set, all bits except the just-touched way's are
+cleared (the classic NRU reset) and the search repeats.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class _NRUState:
+    __slots__ = ("referenced", "hand")
+
+    def __init__(self, ways: int) -> None:
+        self.referenced = [False] * ways
+        # Rotating start position so victims spread across ways.
+        self.hand = 0
+
+
+class NRUPolicy(ReplacementPolicy):
+    """1-bit Not Recently Used."""
+
+    name = "nru"
+    metadata_bits = 1
+
+    def make_set_state(self, ways: int, set_index: int) -> _NRUState:
+        return _NRUState(ways)
+
+    def on_hit(self, state: _NRUState, way: int) -> None:
+        state.referenced[way] = True
+
+    def on_fill(self, state: _NRUState, way: int) -> None:
+        state.referenced[way] = True
+
+    def choose_victim(self, state: _NRUState) -> int:
+        referenced = state.referenced
+        ways = len(referenced)
+        for offset in range(ways):
+            way = (state.hand + offset) % ways
+            if not referenced[way]:
+                state.hand = (way + 1) % ways
+                return way
+        # All referenced: age everything and victimize at the hand.
+        for way in range(ways):
+            referenced[way] = False
+        victim = state.hand
+        state.hand = (victim + 1) % ways
+        return victim
+
+    def eligible_victims(self, state: _NRUState) -> list[int]:
+        referenced = state.referenced
+        ways = len(referenced)
+        tier = [
+            (state.hand + offset) % ways
+            for offset in range(ways)
+            if not referenced[(state.hand + offset) % ways]
+        ]
+        if tier:
+            return tier
+        # Everything referenced: age all lines, then all are eligible.
+        for way in range(ways):
+            referenced[way] = False
+        return [(state.hand + offset) % ways for offset in range(ways)]
+
+    def on_invalidate(self, state: _NRUState, way: int) -> None:
+        state.referenced[way] = False
+
+    def on_hint(self, state: _NRUState, way: int) -> None:
+        """A downgrade hint clears the referenced bit (used by CHAR)."""
+        state.referenced[way] = False

@@ -1,0 +1,38 @@
+"""Deterministic random replacement."""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import DeterministicRandom, ReplacementPolicy
+
+
+class _RandomState:
+    __slots__ = ("ways",)
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (deterministic PRNG)."""
+
+    name = "random"
+    metadata_bits = 0
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        self._rng = DeterministicRandom(seed)
+
+    def make_set_state(self, ways: int, set_index: int) -> _RandomState:
+        return _RandomState(ways)
+
+    def on_hit(self, state: _RandomState, way: int) -> None:
+        pass
+
+    def on_fill(self, state: _RandomState, way: int) -> None:
+        pass
+
+    def choose_victim(self, state: _RandomState) -> int:
+        return self._rng.below(state.ways)
+
+    def eligible_victims(self, state: _RandomState) -> list[int]:
+        """Random has no preference: every way is an acceptable victim."""
+        return list(range(state.ways))

@@ -1,0 +1,67 @@
+"""Static Re-Reference Interval Prediction (SRRIP).
+
+Jaleel et al., ISCA 2010 — evaluated as an advanced baseline policy in the
+paper's Section VI.B.2 ("SRRIP that uses 2 bits per cache line for managing
+ages").  Lines carry a 2-bit Re-Reference Prediction Value (RRPV):
+
+* fill inserts with RRPV = 2 ("long re-reference interval"),
+* a hit promotes to RRPV = 0 (hit-priority variant),
+* the victim is any way with RRPV = 3; if none exists all RRPVs are
+  incremented until one reaches 3.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+_RRPV_BITS = 2
+_RRPV_MAX = (1 << _RRPV_BITS) - 1  # 3
+_RRPV_LONG = _RRPV_MAX - 1  # 2, insertion value
+
+
+class _SRRIPState:
+    __slots__ = ("rrpv",)
+
+    def __init__(self, ways: int) -> None:
+        self.rrpv = [_RRPV_MAX] * ways
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """2-bit SRRIP with hit-priority promotion."""
+
+    name = "srrip"
+    metadata_bits = _RRPV_BITS
+
+    def make_set_state(self, ways: int, set_index: int) -> _SRRIPState:
+        return _SRRIPState(ways)
+
+    def on_hit(self, state: _SRRIPState, way: int) -> None:
+        state.rrpv[way] = 0
+
+    def on_fill(self, state: _SRRIPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_LONG
+
+    def choose_victim(self, state: _SRRIPState) -> int:
+        rrpv = state.rrpv
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= _RRPV_MAX:
+                    return way
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def eligible_victims(self, state: _SRRIPState) -> list[int]:
+        rrpv = state.rrpv
+        while True:
+            tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
+            if tier:
+                return tier
+            for way in range(len(rrpv)):
+                rrpv[way] += 1
+
+    def on_invalidate(self, state: _SRRIPState, way: int) -> None:
+        state.rrpv[way] = _RRPV_MAX
+
+    def on_hint(self, state: _SRRIPState, way: int) -> None:
+        """Downgrade hint: age the line to distant re-reference."""
+        state.rrpv[way] = _RRPV_MAX

@@ -1,0 +1,146 @@
+"""Victim Cache insertion/replacement policies for Base-Victim.
+
+When the Baseline Cache replaces a (now clean) line, Base-Victim tries to
+keep it in the Victim Cache: the line may be stored in the victim slot of
+any way whose *base* partner leaves enough free segments (Section IV.B.1).
+A policy chooses among those candidate ways, possibly silently evicting the
+clean victim line already there.
+
+The paper's default is "a replacement policy inspired by ECM [Baek et al.,
+HPCA 2013]: we first search for the way that can fit the victim line; then
+among all the candidates, we select the way with the largest size of the
+base partner line" — i.e. pack the victim next to the fullest base that
+still fits, preserving the emptier ways for future, larger victims.
+Section VI.B.4 also tries random, LRU and a size/LRU mix; none beat ECM.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cache.replacement.base import DeterministicRandom
+
+
+@dataclass(frozen=True)
+class VictimCandidate:
+    """One way whose victim slot could receive the replaced base line."""
+
+    way: int
+    base_size: int
+    occupied: bool
+    victim_size: int
+    victim_stamp: int
+
+
+class VictimInsertionPolicy(abc.ABC):
+    """Chooses the victim-slot way for a replaced baseline line."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        """Pick the way to insert into; ``candidates`` is non-empty."""
+
+    def notes(self) -> str:
+        """Free-form description used in experiment reports."""
+        return self.name
+
+
+class ECMVictimPolicy(VictimInsertionPolicy):
+    """Paper default: prefer free slots, then the largest base partner.
+
+    Among candidates with a free victim slot (no silent eviction needed),
+    pick the one with the largest base partner; if every candidate is
+    occupied, pick the occupied way with the largest base partner.
+    """
+
+    name = "ecm"
+
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        free = [c for c in candidates if not c.occupied]
+        pool = free if free else candidates
+        best = max(pool, key=lambda c: (c.base_size, -c.way))
+        return best.way
+
+
+class ECMStrictVictimPolicy(VictimInsertionPolicy):
+    """Literal reading of Section IV.B.1: largest base partner, full stop.
+
+    Ignores whether the slot is occupied, so it may silently evict a victim
+    even when a free slot exists.  Kept for the Section VI.B.4 ablation.
+    """
+
+    name = "ecm-strict"
+
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        best = max(candidates, key=lambda c: (c.base_size, -c.way))
+        return best.way
+
+
+class RandomVictimPolicy(VictimInsertionPolicy):
+    """Uniform random among fitting ways (Section IV.B's worked examples)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0xBADC0DE) -> None:
+        self._rng = DeterministicRandom(seed)
+
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        return candidates[self._rng.below(len(candidates))].way
+
+
+class LRUVictimPolicy(VictimInsertionPolicy):
+    """Evict the least-recently-inserted/hit victim among candidates.
+
+    Free slots (stamp 0) naturally win.  One of the Section VI.B.4
+    variants; the paper found it no better than ECM.
+    """
+
+    name = "lru"
+
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        best = min(
+            candidates,
+            key=lambda c: (c.victim_stamp if c.occupied else -1, c.way),
+        )
+        return best.way
+
+
+class MixVictimPolicy(VictimInsertionPolicy):
+    """Size/recency mix from Section VI.B.4.
+
+    Prefer free slots with the largest base partner (capacity packing);
+    among occupied slots, evict the stalest small victim first by ranking
+    on (victim_stamp, -victim_size).
+    """
+
+    name = "mix"
+
+    def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        free = [c for c in candidates if not c.occupied]
+        if free:
+            return max(free, key=lambda c: (c.base_size, -c.way)).way
+        best = min(candidates, key=lambda c: (c.victim_stamp, -c.victim_size, c.way))
+        return best.way
+
+
+#: Registry of victim-cache policies by name.
+VICTIM_POLICIES: dict[str, type[VictimInsertionPolicy]] = {
+    ECMVictimPolicy.name: ECMVictimPolicy,
+    ECMStrictVictimPolicy.name: ECMStrictVictimPolicy,
+    RandomVictimPolicy.name: RandomVictimPolicy,
+    LRUVictimPolicy.name: LRUVictimPolicy,
+    MixVictimPolicy.name: MixVictimPolicy,
+}
+
+
+def make_victim_policy(name: str) -> VictimInsertionPolicy:
+    """Instantiate a registered victim-cache policy by name."""
+    try:
+        cls = VICTIM_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(VICTIM_POLICIES))
+        raise ValueError(f"unknown victim policy {name!r}; known: {known}") from None
+    return cls()

@@ -1,0 +1,180 @@
+"""Uncompressed set-associative cache.
+
+This is the substrate used for the private L1/L2 caches, for the
+uncompressed-LLC baseline, and as the lockstep *shadow cache* that the test
+suite runs next to Base-Victim to check the paper's structural guarantee
+(the Baseline Cache always mirrors an uncompressed cache).
+
+The cache is line-granular and trace-driven: addresses are line numbers
+(byte address >> log2(line size)).  It separates ``probe`` (lookup + policy
+update on hit) from ``fill`` (allocation + victim eviction) so a hierarchy
+can thread misses through lower levels before filling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+
+
+class EvictedLine(NamedTuple):
+    """A line pushed out of the cache by a fill or invalidation."""
+
+    addr: int
+    dirty: bool
+
+
+class _Set:
+    """One cache set: per-way tag/valid/dirty plus policy state."""
+
+    __slots__ = ("tags", "valid", "dirty", "policy_state", "lookup", "valid_count")
+
+    def __init__(self, ways: int, policy_state: object) -> None:
+        self.tags = [0] * ways
+        self.valid = [False] * ways
+        self.dirty = [False] * ways
+        self.policy_state = policy_state
+        #: addr -> way, kept in sync with tags/valid for O(1) lookup.
+        self.lookup: dict[int, int] = {}
+        self.valid_count = 0
+
+
+class SetAssociativeCache:
+    """Plain (uncompressed) set-associative, write-back, write-allocate cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        name: str = "cache",
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.name = name
+        ways = geometry.associativity
+        self._sets = [
+            _Set(ways, policy.make_set_state(ways, index))
+            for index in range(geometry.num_sets)
+        ]
+        self._set_mask = geometry.num_sets - 1
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_evictions = 0
+        self.stat_writebacks = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def probe(self, addr: int, is_write: bool = False) -> bool:
+        """Look up ``addr``; update policy and dirty bit on hit."""
+        cset = self._sets[addr & self._set_mask]
+        way = cset.lookup.get(addr)
+        if way is None:
+            self.stat_misses += 1
+            return False
+        self.policy.on_hit(cset.policy_state, way)
+        if is_write:
+            cset.dirty[way] = True
+        self.stat_hits += 1
+        return True
+
+    def fill(self, addr: int, dirty: bool = False) -> EvictedLine | None:
+        """Allocate ``addr``, evicting a victim if the set is full.
+
+        Returns the evicted line (with its dirty state) or None.  Filling
+        an address already present is rejected — that indicates a protocol
+        bug in the caller.
+        """
+        cset = self._sets[addr & self._set_mask]
+        if addr in cset.lookup:
+            raise ValueError(f"{self.name}: fill of already-present line {addr:#x}")
+        victim: EvictedLine | None = None
+        if cset.valid_count == len(cset.valid):
+            way = self.policy.choose_victim(cset.policy_state)
+            victim = EvictedLine(cset.tags[way], cset.dirty[way])
+            del cset.lookup[cset.tags[way]]
+            self.stat_evictions += 1
+            if victim.dirty:
+                self.stat_writebacks += 1
+        else:
+            way = self._free_way(cset)
+            assert way is not None
+            cset.valid_count += 1
+        cset.tags[way] = addr
+        cset.valid[way] = True
+        cset.dirty[way] = dirty
+        cset.lookup[addr] = way
+        self.policy.on_fill(cset.policy_state, way)
+        return victim
+
+    def access(self, addr: int, is_write: bool = False) -> tuple[bool, EvictedLine | None]:
+        """Probe-and-allocate convenience for standalone (single-level) use."""
+        if self.probe(addr, is_write):
+            return True, None
+        victim = self.fill(addr, dirty=is_write)
+        return False, victim
+
+    def invalidate(self, addr: int) -> tuple[bool, bool]:
+        """Remove ``addr`` if present; returns (was_present, was_dirty)."""
+        cset = self._sets[addr & self._set_mask]
+        way = cset.lookup.pop(addr, None)
+        if way is None:
+            return False, False
+        was_dirty = cset.dirty[way]
+        cset.valid[way] = False
+        cset.dirty[way] = False
+        cset.valid_count -= 1
+        self.policy.on_invalidate(cset.policy_state, way)
+        return True, was_dirty
+
+    def hint_downgrade(self, addr: int) -> None:
+        """Deliver a CHAR-style downgrade hint for ``addr`` if present."""
+        cset = self._sets[addr & self._set_mask]
+        way = cset.lookup.get(addr)
+        if way is not None:
+            self.policy.on_hint(cset.policy_state, way)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        """True iff ``addr`` is currently cached."""
+        return addr in self._sets[addr & self._set_mask].lookup
+
+    def is_dirty(self, addr: int) -> bool:
+        """True iff ``addr`` is cached and modified."""
+        cset = self._sets[addr & self._set_mask]
+        way = cset.lookup.get(addr)
+        return way is not None and cset.dirty[way]
+
+    def resident_lines(self) -> Iterator[int]:
+        """All currently cached line addresses."""
+        for cset in self._sets:
+            yield from cset.lookup
+
+    def set_contents(self, set_index: int) -> list[int]:
+        """Valid line addresses in one set (order is way order)."""
+        cset = self._sets[set_index]
+        return [cset.tags[w] for w in range(len(cset.tags)) if cset.valid[w]]
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(len(cset.lookup) for cset in self._sets)
+
+    @staticmethod
+    def _free_way(cset: _Set) -> int | None:
+        valid = cset.valid
+        for way in range(len(valid)):
+            if not valid[way]:
+                return way
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.name}, {self.geometry}, "
+            f"policy={self.policy.name})"
+        )

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Exposes the paper's experiments and some exploration helpers::
+
+    repro list-experiments
+    repro list-traces [--sensitive]
+    repro run --machine base-victim --trace mcf.1 [--preset bench]
+    repro compare --trace mcf.1
+    repro area
+    repro export --csv fig8.csv
+
+The figure/table benches proper live in ``benchmarks/`` and run through
+pytest; the CLI is the quick interactive front end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.power.area import base_victim_area, paper_headline_area
+from repro.sim.config import (
+    ARCH_BASE_VICTIM,
+    ARCH_DCC,
+    ARCH_SCC,
+    ARCH_TWO_TAG,
+    ARCH_TWO_TAG_MODIFIED,
+    ARCH_UNCOMPRESSED,
+    ARCH_VSC,
+    BASE_VICTIM_2MB,
+    BASELINE_2MB,
+    MachineConfig,
+    PRESETS,
+    TWO_TAG_2MB,
+    TWO_TAG_MODIFIED_2MB,
+    UNCOMPRESSED_3MB,
+)
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import dram_read_ratio, ipc_ratio
+from repro.workloads.suite import all_specs, sensitive_specs
+
+_ARCH_CHOICES = (
+    ARCH_UNCOMPRESSED,
+    ARCH_BASE_VICTIM,
+    ARCH_TWO_TAG,
+    ARCH_TWO_TAG_MODIFIED,
+    ARCH_VSC,
+    ARCH_DCC,
+    ARCH_SCC,
+)
+
+
+def _cmd_list_experiments(args: argparse.Namespace) -> int:
+    rows = [
+        ("E1", "Figure 6", "benchmarks/bench_fig06_twotag.py"),
+        ("E2", "Figure 7", "benchmarks/bench_fig07_modified_twotag.py"),
+        ("E3", "Figure 8", "benchmarks/bench_fig08_basevictim.py"),
+        ("E4", "Figure 9", "benchmarks/bench_fig09_categories.py"),
+        ("E5", "Figure 10", "benchmarks/bench_fig10_replacement.py"),
+        ("E6", "Figure 11", "benchmarks/bench_fig11_llc_size.py"),
+        ("E7", "Figure 12", "benchmarks/bench_fig12_all_traces.py"),
+        ("E8", "Figure 13", "benchmarks/bench_fig13_multiprogram.py"),
+        ("E9", "Figure 14", "benchmarks/bench_fig14_energy.py"),
+        ("E10", "Table I", "benchmarks/bench_table1_workloads.py"),
+        ("E11", "Sec VI.B.1", "benchmarks/bench_sec6b1_associativity.py"),
+        ("E12", "Sec VI.B.4", "benchmarks/bench_sec6b4_victim_policy.py"),
+        ("E13", "Sec IV.C", "benchmarks/bench_sec4c_area.py"),
+        ("E14", "Sec V/VI.A", "benchmarks/bench_sec5_capacity.py"),
+        ("E15", "Sec VI.D", "benchmarks/bench_sec6d_traffic.py"),
+        ("EXT", "beyond paper", "benchmarks/bench_ext_policies.py"),
+    ]
+    for exp_id, artifact, target in rows:
+        print(f"{exp_id:5s} {artifact:12s} {target}")
+    print("\nRun one with:  pytest <target> --benchmark-only -s")
+    return 0
+
+
+def _cmd_list_traces(args: argparse.Namespace) -> int:
+    specs = sensitive_specs() if args.sensitive else list(all_specs())
+    for spec in specs:
+        flags = []
+        if spec.cache_sensitive:
+            flags.append("sensitive")
+        flags.append(spec.comp_class)
+        print(
+            f"{spec.name:16s} {spec.category:13s} {spec.pattern:8s} "
+            f"ws={spec.ws_factor:<5g} {','.join(flags)}"
+        )
+    print(f"\n{len(specs)} traces")
+    return 0
+
+
+def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(
+        arch=args.machine,
+        llc_ways=args.ways,
+        llc_sets_mult=args.sets_mult,
+        policy=args.policy,
+        victim_policy=args.victim_policy,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    preset = PRESETS[args.preset]
+    runner = ExperimentRunner(preset)
+    machine = _machine_from_args(args)
+    result = runner.run_single(machine, args.trace)
+    print(f"trace:        {result.trace}")
+    print(f"machine:      {result.machine}")
+    print(f"instructions: {result.instructions}")
+    print(f"cycles:       {result.cycles:.0f}")
+    print(f"IPC:          {result.ipc:.4f}")
+    print(f"LLC hit rate: {result.llc_hit_rate:.4f}")
+    print(f"victim hits:  {result.llc_victim_hits}")
+    print(f"DRAM reads:   {result.memory_reads}")
+    print(f"DRAM writes:  {result.memory_writes}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    preset = PRESETS[args.preset]
+    runner = ExperimentRunner(preset)
+    machines = [
+        BASELINE_2MB,
+        BASE_VICTIM_2MB,
+        TWO_TAG_2MB,
+        TWO_TAG_MODIFIED_2MB,
+        UNCOMPRESSED_3MB,
+    ]
+    base = runner.run_single(BASELINE_2MB, args.trace)
+    print(f"{'machine':40s} {'IPC':>8s} {'ratio':>7s} {'rd-ratio':>8s}")
+    for machine in machines:
+        run = runner.run_single(machine, args.trace)
+        print(
+            f"{machine.label:40s} {run.ipc:8.4f} "
+            f"{ipc_ratio(run, base):7.3f} {dram_read_ratio(run, base):8.3f}"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Export the Figure 8/12 series as CSV and an ASCII plot."""
+    from repro.sim.figures import ascii_series_plot, write_series_csv
+    from repro.sim.metrics import dram_read_ratio, ipc_ratio
+    from repro.workloads.suite import all_specs, sensitive_specs
+
+    preset = PRESETS[args.preset]
+    runner = ExperimentRunner(preset)
+    specs = all_specs() if args.all_traces else sensitive_specs()
+    ipc: dict[str, float] = {}
+    reads: dict[str, float] = {}
+    for spec in specs:
+        base = runner.run_single(BASELINE_2MB, spec.name)
+        bv = runner.run_single(BASE_VICTIM_2MB, spec.name)
+        ipc[spec.name] = ipc_ratio(bv, base)
+        reads[spec.name] = dram_read_ratio(bv, base)
+    series = {"ipc_ratio": ipc, "dram_read_ratio": reads}
+    if args.csv:
+        write_series_csv(args.csv, series)
+        print(f"wrote {args.csv}")
+    print(ascii_series_plot(series, "Base-Victim vs 2MB uncompressed baseline"))
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    report = paper_headline_area()
+    print("Section IV.C area accounting (2MB 16-way, 48-bit addresses):")
+    print(f"  tag bits per way:            {report.tag_bits}")
+    print(f"  added bits per way:          {report.added_bits}")
+    print(f"  tag+metadata overhead:       {report.tag_metadata_overhead:.1%}")
+    print(f"  compression logic overhead:  {report.compression_logic_overhead:.1%}")
+    print(f"  total overhead:              {report.total_overhead:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Base-Victim compressed cache reproduction (ISCA 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-experiments", help="map figures/tables to bench targets")
+
+    p_traces = sub.add_parser("list-traces", help="show the 100-trace suite")
+    p_traces.add_argument("--sensitive", action="store_true")
+
+    for name, helptext in (
+        ("run", "run one trace on one machine"),
+        ("compare", "compare all architectures on one trace"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--trace", required=True)
+        p.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+        p.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=_ARCH_CHOICES)
+        p.add_argument("--ways", type=int, default=16)
+        p.add_argument("--sets-mult", type=float, default=1.0)
+        p.add_argument("--policy", default="nru")
+        p.add_argument("--victim-policy", default="ecm")
+
+    sub.add_parser("area", help="print the Section IV.C area overheads")
+
+    p_export = sub.add_parser(
+        "export", help="export the Base-Victim ratio series (CSV + ASCII plot)"
+    )
+    p_export.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+    p_export.add_argument("--all-traces", action="store_true")
+    p_export.add_argument("--csv", help="CSV output path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-experiments": _cmd_list_experiments,
+        "list-traces": _cmd_list_traces,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "area": _cmd_area,
+        "export": _cmd_export,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Cache compression algorithms.
+
+The Base-Victim paper uses BDI (Section V); FPC, C-Pack and zero-content
+detection are provided as drop-in alternatives since the architecture is
+algorithm-agnostic (Section VII.A: "we can use any of the previously
+proposed compression algorithms").
+"""
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+from repro.compression.bdi import BDI_ENCODINGS, BDICompressor
+from repro.compression.cpack import CPackCompressor
+from repro.compression.fpc import FPCCompressor
+from repro.compression.sc2 import SC2Compressor
+from repro.compression.segments import (
+    EVAL_GEOMETRY,
+    EVAL_SEGMENT_BYTES,
+    EXAMPLE_GEOMETRY,
+    EXAMPLE_SEGMENT_BYTES,
+    LINE_SIZE_BYTES,
+    SegmentError,
+    SegmentGeometry,
+)
+from repro.compression.zero import ZeroContentCompressor
+
+#: Registry of available algorithms by name, for configuration files.
+ALGORITHMS: dict[str, type[CompressionAlgorithm]] = {
+    BDICompressor.name: BDICompressor,
+    FPCCompressor.name: FPCCompressor,
+    CPackCompressor.name: CPackCompressor,
+    SC2Compressor.name: SC2Compressor,
+    ZeroContentCompressor.name: ZeroContentCompressor,
+}
+
+
+def make_compressor(name: str, line_size: int = LINE_SIZE_BYTES) -> CompressionAlgorithm:
+    """Instantiate a registered compression algorithm by name."""
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise CompressionError(f"unknown algorithm {name!r}; known: {known}") from None
+    return cls(line_size)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BDI_ENCODINGS",
+    "BDICompressor",
+    "CompressedBlock",
+    "CompressionAlgorithm",
+    "CompressionError",
+    "CPackCompressor",
+    "EVAL_GEOMETRY",
+    "EVAL_SEGMENT_BYTES",
+    "EXAMPLE_GEOMETRY",
+    "EXAMPLE_SEGMENT_BYTES",
+    "FPCCompressor",
+    "LINE_SIZE_BYTES",
+    "make_compressor",
+    "SC2Compressor",
+    "SegmentError",
+    "SegmentGeometry",
+    "ZeroContentCompressor",
+]

@@ -1,0 +1,122 @@
+"""Common interface for cache compression algorithms.
+
+Every algorithm consumes a 64-byte cache line (as ``bytes``) and produces a
+:class:`CompressedBlock` describing the encoding chosen, the compressed size
+in bytes, and enough information to reconstruct the original line exactly.
+Decompression must be lossless; this is checked by round-trip tests and by
+property-based tests in ``tests/compression``.
+
+The simulators never store compressed payloads — only sizes matter for hit
+rates — but the algorithms here are complete codecs so that compressibility
+numbers are *measured*, not assumed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.compression.segments import LINE_SIZE_BYTES, SegmentGeometry
+
+
+class CompressionError(ValueError):
+    """Raised on malformed input to a compressor or decompressor."""
+
+
+@dataclass(frozen=True)
+class CompressedBlock:
+    """Result of compressing one cache line.
+
+    Attributes
+    ----------
+    algorithm:
+        Short name of the producing algorithm (e.g. ``"bdi"``).
+    encoding:
+        Algorithm-specific encoding label (e.g. ``"base8-delta1"``); the
+        label ``"uncompressed"`` means the line did not compress and
+        ``size_bytes`` equals the line size.
+    size_bytes:
+        Compressed size in bytes, *including* any bases/dictionaries but
+        excluding tag metadata (the encoding id lives in tag metadata per
+        Section IV.C of the paper).
+    payload:
+        Opaque encoded representation sufficient for decompression.
+    """
+
+    algorithm: str
+    encoding: str
+    size_bytes: int
+    payload: object
+
+    @property
+    def is_compressed(self) -> bool:
+        """True when the encoding actually saved space."""
+        return self.size_bytes < LINE_SIZE_BYTES
+
+    @property
+    def is_zero(self) -> bool:
+        """True for all-zero blocks, which skip decompression (Section V)."""
+        return self.encoding == "zeros"
+
+    def size_in_segments(self, geometry: SegmentGeometry) -> int:
+        """Compressed size rounded up to the geometry's segment granularity."""
+        return geometry.size_in_segments(self.size_bytes)
+
+
+class CompressionAlgorithm(abc.ABC):
+    """Abstract lossless compressor for fixed-size cache lines."""
+
+    #: Short identifier, used in reports and configuration files.
+    name: str = "abstract"
+
+    #: Decompression latency in cycles for compressed (non-zero) blocks.
+    #: The paper charges 2 cycles for BDI (Section V).
+    decompression_cycles: int = 2
+
+    def __init__(self, line_size: int = LINE_SIZE_BYTES) -> None:
+        if line_size <= 0 or line_size % 8 != 0:
+            raise CompressionError(
+                f"line_size must be a positive multiple of 8, got {line_size}"
+            )
+        self.line_size = line_size
+
+    def _check_line(self, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray)):
+            raise CompressionError(f"expected bytes, got {type(data).__name__}")
+        if len(data) != self.line_size:
+            raise CompressionError(
+                f"expected a {self.line_size}-byte line, got {len(data)} bytes"
+            )
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line; never fails, falls back to uncompressed."""
+
+    @abc.abstractmethod
+    def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line exactly."""
+
+    def compressed_size(self, data: bytes) -> int:
+        """Convenience: compressed size in bytes of one line."""
+        return self.compress(data).size_bytes
+
+    def compression_ratio(self, data: bytes) -> float:
+        """Original size divided by compressed size (>= 1.0).
+
+        All-zero blocks, which compress to zero payload bytes, are reported
+        with the conventional ratio of ``line_size`` (one metadata byte of
+        effective storage) to keep the ratio finite.
+        """
+        size = self.compressed_size(data)
+        if size == 0:
+            return float(self.line_size)
+        return self.line_size / size
+
+    def _uncompressed(self, data: bytes) -> CompressedBlock:
+        """Fallback block representing the line stored verbatim."""
+        return CompressedBlock(
+            algorithm=self.name,
+            encoding="uncompressed",
+            size_bytes=self.line_size,
+            payload=bytes(data),
+        )

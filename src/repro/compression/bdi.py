@@ -1,0 +1,177 @@
+"""Base-Delta-Immediate (BDI) compression.
+
+Implements the cache compression algorithm of Pekhimenko et al., "Base-
+Delta-Immediate Compression: Practical Data Compression for On-Chip Caches"
+(PACT 2012), which the Base-Victim paper adopts as its LLC compression
+algorithm (Section V) for its fast two-cycle decompression.
+
+A 64-byte line is viewed as an array of ``base_size``-byte words.  The line
+compresses under encoding ``(base_size, delta_size)`` when every word is
+within a narrow ``delta_size``-byte signed delta of either (a) a single
+arbitrary base value — the first word that is not close to zero — or (b) an
+implicit zero base (the "immediate" case).  A per-word bitmask records which
+base each word used.
+
+Special cases checked first, cheapest encodings preferred:
+
+* ``zeros``     — the whole line is zero; 1 byte.
+* ``repeated``  — one 8-byte value repeated; 8 bytes.
+
+The compressed size charged for a delta encoding is
+``base_size + n_words * delta_size + ceil(n_words / 8)`` (the last term is
+the base-selection bitmask).  Among all applicable encodings the smallest
+is chosen; if none beats the uncompressed size the line is stored verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+
+#: The (base_size, delta_size) pairs evaluated by the BDI paper, in bytes.
+BDI_ENCODINGS: tuple[tuple[int, int], ...] = (
+    (8, 1),
+    (8, 2),
+    (8, 4),
+    (4, 1),
+    (4, 2),
+    (2, 1),
+)
+
+
+@dataclass(frozen=True)
+class _DeltaPayload:
+    """Internal payload for a base+delta encoding."""
+
+    base_size: int
+    delta_size: int
+    base: int
+    deltas: tuple[int, ...]
+    from_zero: tuple[bool, ...]
+
+
+def _words(data: bytes, word_size: int) -> list[int]:
+    """Split a line into little-endian unsigned words of ``word_size`` bytes."""
+    return [
+        int.from_bytes(data[i : i + word_size], "little")
+        for i in range(0, len(data), word_size)
+    ]
+
+
+def _signed_fits(delta: int, delta_size: int) -> bool:
+    """True iff ``delta`` fits in a signed ``delta_size``-byte integer."""
+    bound = 1 << (8 * delta_size - 1)
+    return -bound <= delta < bound
+
+
+class BDICompressor(CompressionAlgorithm):
+    """Base-Delta-Immediate codec for fixed-size cache lines."""
+
+    name = "bdi"
+    decompression_cycles = 2
+
+    def compress(self, data: bytes) -> CompressedBlock:
+        self._check_line(data)
+        data = bytes(data)
+
+        if data == b"\x00" * self.line_size:
+            return CompressedBlock(self.name, "zeros", 1, None)
+
+        first_word = data[:8]
+        if data == first_word * (self.line_size // 8):
+            return CompressedBlock(
+                self.name, "repeated", 8, int.from_bytes(first_word, "little")
+            )
+
+        best: CompressedBlock | None = None
+        for base_size, delta_size in BDI_ENCODINGS:
+            block = self._try_delta_encoding(data, base_size, delta_size)
+            if block is not None and (best is None or block.size_bytes < best.size_bytes):
+                best = block
+
+        if best is not None and best.size_bytes < self.line_size:
+            return best
+        return self._uncompressed(data)
+
+    def _try_delta_encoding(
+        self, data: bytes, base_size: int, delta_size: int
+    ) -> CompressedBlock | None:
+        """Attempt one (base, delta) pair; None when any word does not fit."""
+        words = _words(data, base_size)
+        n_words = len(words)
+        half = 1 << (8 * base_size - 1)
+        modulus = 1 << (8 * base_size)
+
+        base: int | None = None
+        deltas: list[int] = []
+        from_zero: list[bool] = []
+        for word in words:
+            # Signed distance from the implicit zero base.
+            signed_word = word - modulus if word >= half else word
+            if _signed_fits(signed_word, delta_size):
+                deltas.append(signed_word)
+                from_zero.append(True)
+                continue
+            if base is None:
+                base = word
+            delta = word - base
+            # Deltas wrap modulo the word size; take the representative
+            # closest to zero so e.g. 0xFF..FF - 0 compresses as -1 would.
+            if delta >= half:
+                delta -= modulus
+            elif delta < -half:
+                delta += modulus
+            if not _signed_fits(delta, delta_size):
+                return None
+            deltas.append(delta)
+            from_zero.append(False)
+
+        mask_bytes = -(-n_words // 8)
+        size = base_size + n_words * delta_size + mask_bytes
+        payload = _DeltaPayload(
+            base_size=base_size,
+            delta_size=delta_size,
+            base=base if base is not None else 0,
+            deltas=tuple(deltas),
+            from_zero=tuple(from_zero),
+        )
+        encoding = f"base{base_size}-delta{delta_size}"
+        return CompressedBlock(self.name, encoding, size, payload)
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        if block.algorithm != self.name:
+            raise CompressionError(
+                f"block was produced by {block.algorithm!r}, not {self.name!r}"
+            )
+        if block.encoding == "zeros":
+            return b"\x00" * self.line_size
+        if block.encoding == "repeated":
+            value = block.payload
+            if not isinstance(value, int):
+                raise CompressionError("repeated-value payload must be an int")
+            return value.to_bytes(8, "little") * (self.line_size // 8)
+        if block.encoding == "uncompressed":
+            payload = block.payload
+            if not isinstance(payload, bytes) or len(payload) != self.line_size:
+                raise CompressionError("uncompressed payload must be the raw line")
+            return payload
+
+        payload = block.payload
+        if not isinstance(payload, _DeltaPayload):
+            raise CompressionError(f"unknown BDI encoding {block.encoding!r}")
+        modulus = 1 << (8 * payload.base_size)
+        out = bytearray()
+        for delta, zero_based in zip(payload.deltas, payload.from_zero):
+            base = 0 if zero_based else payload.base
+            word = (base + delta) % modulus
+            out += word.to_bytes(payload.base_size, "little")
+        if len(out) != self.line_size:
+            raise CompressionError(
+                f"decompressed {len(out)} bytes, expected {self.line_size}"
+            )
+        return bytes(out)

@@ -1,0 +1,147 @@
+"""C-Pack (Cache Packer) compression.
+
+Implements the dictionary-based algorithm of Chen et al., "C-Pack: A High-
+Performance Microprocessor Cache Compression Algorithm" (IEEE TVLSI 2010),
+cited as related work by the Base-Victim paper (Section VII).  The line is
+scanned as 32-bit words; each word is encoded by the cheapest of:
+
+====  =================================  =========================
+code  meaning                            encoded bits (incl. code)
+====  =================================  =========================
+00    zero word                           2
+01    full match with a dictionary entry  2 + 4 (dictionary index)
+10    word stored verbatim                2 + 32
+1100  zero-extended byte (000B)           4 + 8
+1101  match high 3 bytes (mmmB)           4 + 4 + 8
+1110  match high 2 bytes (mmBB)           4 + 4 + 16
+====  =================================  =========================
+
+The dictionary is a 16-entry FIFO of previously seen words, updated with
+every word that was not a zero or full match (as in the original design).
+Decompression replays the same dictionary updates, so the codec is
+self-contained and lossless.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+
+_WORD_BYTES = 4
+_DICT_ENTRIES = 16
+_INDEX_BITS = 4
+
+
+class CPackCompressor(CompressionAlgorithm):
+    """C-Pack dictionary codec."""
+
+    name = "cpack"
+    decompression_cycles = 8
+
+    def compress(self, data: bytes) -> CompressedBlock:
+        self._check_line(data)
+        data = bytes(data)
+        words = [
+            int.from_bytes(data[i : i + _WORD_BYTES], "big")
+            for i in range(0, self.line_size, _WORD_BYTES)
+        ]
+
+        dictionary: list[int] = []
+        entries: list[tuple[str, int, int]] = []
+        bits = 0
+        for word in words:
+            kind, payload, cost = self._encode_word(word, dictionary)
+            entries.append((kind, payload, cost))
+            bits += cost
+            if kind not in ("zero", "full"):
+                self._push(dictionary, word)
+
+        size = -(-bits // 8)
+        if size >= self.line_size:
+            return self._uncompressed(data)
+        if data == b"\x00" * self.line_size:
+            return CompressedBlock(self.name, "zeros", size, tuple(entries))
+        return CompressedBlock(self.name, "cpack", size, tuple(entries))
+
+    @staticmethod
+    def _push(dictionary: list[int], word: int) -> None:
+        """FIFO insert, bounded at 16 entries."""
+        dictionary.append(word)
+        if len(dictionary) > _DICT_ENTRIES:
+            dictionary.pop(0)
+
+    @staticmethod
+    def _encode_word(word: int, dictionary: list[int]) -> tuple[str, int, int]:
+        """Pick the cheapest encoding for ``word`` given the dictionary."""
+        if word == 0:
+            return "zero", 0, 2
+        if word in dictionary:
+            return "full", dictionary.index(word), 2 + _INDEX_BITS
+        if word <= 0xFF:
+            return "zzzb", word, 4 + 8
+        best: tuple[str, int, int] | None = None
+        for index, entry in enumerate(dictionary):
+            if entry >> 8 == word >> 8:
+                candidate = ("mmmb", (index << 8) | (word & 0xFF), 4 + _INDEX_BITS + 8)
+                if best is None or candidate[2] < best[2]:
+                    best = candidate
+            elif entry >> 16 == word >> 16:
+                candidate = (
+                    "mmbb",
+                    (index << 16) | (word & 0xFFFF),
+                    4 + _INDEX_BITS + 16,
+                )
+                if best is None or candidate[2] < best[2]:
+                    best = candidate
+        if best is not None:
+            return best
+        return "verbatim", word, 2 + 32
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        if block.algorithm != self.name:
+            raise CompressionError(
+                f"block was produced by {block.algorithm!r}, not {self.name!r}"
+            )
+        if block.encoding == "uncompressed":
+            payload = block.payload
+            if not isinstance(payload, bytes) or len(payload) != self.line_size:
+                raise CompressionError("uncompressed payload must be the raw line")
+            return payload
+        entries = block.payload
+        if not isinstance(entries, tuple):
+            raise CompressionError(f"unknown C-Pack encoding {block.encoding!r}")
+
+        dictionary: list[int] = []
+        words: list[int] = []
+        for kind, payload, _ in entries:
+            word = self._decode_word(kind, payload, dictionary)
+            words.append(word)
+            if kind not in ("zero", "full"):
+                self._push(dictionary, word)
+        if len(words) != self.line_size // _WORD_BYTES:
+            raise CompressionError(
+                f"decoded {len(words)} words, expected {self.line_size // _WORD_BYTES}"
+            )
+        return b"".join(word.to_bytes(_WORD_BYTES, "big") for word in words)
+
+    @staticmethod
+    def _decode_word(kind: str, payload: int, dictionary: list[int]) -> int:
+        """Expand one C-Pack entry back to a 32-bit word."""
+        if kind == "zero":
+            return 0
+        if kind == "full":
+            return dictionary[payload]
+        if kind == "zzzb":
+            return payload
+        if kind == "mmmb":
+            index, low = payload >> 8, payload & 0xFF
+            return (dictionary[index] >> 8) << 8 | low
+        if kind == "mmbb":
+            index, low = payload >> 16, payload & 0xFFFF
+            return (dictionary[index] >> 16) << 16 | low
+        if kind == "verbatim":
+            return payload
+        raise CompressionError(f"unknown C-Pack entry kind {kind!r}")

@@ -1,0 +1,165 @@
+"""Frequent Pattern Compression (FPC).
+
+Implements the significance-based algorithm of Alameldeen and Wood,
+"Adaptive Cache Compression for High-Performance Processors" (ISCA 2004),
+cited by the Base-Victim paper as related work (Section VII).  FPC scans a
+line as 32-bit words and encodes each with a 3-bit prefix naming one of
+seven frequent patterns (or the uncompressed fallback):
+
+====  ===========================================  ============
+code  pattern                                       payload bits
+====  ===========================================  ============
+000   zero run (1-8 consecutive zero words)         3
+001   4-bit sign-extended                           4
+010   8-bit sign-extended                           8
+011   16-bit sign-extended                          16
+100   16-bit padded with zeros (low half zero)      16
+101   two 16-bit halves, each 8-bit sign-extended   16
+110   word of repeated bytes                        8
+111   uncompressed word                             32
+====  ===========================================  ============
+
+The compressed size is the total of prefix and payload bits, rounded up to
+bytes.  Decompression reverses the per-word encoding exactly.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+
+_WORD_BYTES = 4
+_WORD_BITS = 32
+_PREFIX_BITS = 3
+_MAX_ZERO_RUN = 8
+
+
+def _sign_extend_fits(word: int, bits: int) -> bool:
+    """True iff the 32-bit word is a sign-extended ``bits``-bit value."""
+    signed = word - (1 << 32) if word >= (1 << 31) else word
+    bound = 1 << (bits - 1)
+    return -bound <= signed < bound
+
+
+def _encode_word(word: int) -> tuple[str, int, int]:
+    """Classify one 32-bit word: (pattern, payload_bits, payload_value)."""
+    if _sign_extend_fits(word, 4):
+        return "sext4", 4, word & 0xF
+    if _sign_extend_fits(word, 8):
+        return "sext8", 8, word & 0xFF
+    if _sign_extend_fits(word, 16):
+        return "sext16", 16, word & 0xFFFF
+    if word & 0xFFFF == 0:
+        return "padded16", 16, word >> 16
+    high, low = word >> 16, word & 0xFFFF
+    if _sign_extend_fits_16(high) and _sign_extend_fits_16(low):
+        return "halfwords", 16, (high & 0xFF) << 8 | (low & 0xFF)
+    b = word & 0xFF
+    if word == b | b << 8 | b << 16 | b << 24:
+        return "repbytes", 8, b
+    return "uncompressed", _WORD_BITS, word
+
+
+def _sign_extend_fits_16(half: int) -> bool:
+    """True iff a 16-bit half is a sign-extended 8-bit value."""
+    signed = half - (1 << 16) if half >= (1 << 15) else half
+    return -128 <= signed < 128
+
+
+class FPCCompressor(CompressionAlgorithm):
+    """Frequent Pattern Compression codec."""
+
+    name = "fpc"
+    decompression_cycles = 5
+
+    def compress(self, data: bytes) -> CompressedBlock:
+        self._check_line(data)
+        data = bytes(data)
+        words = [
+            int.from_bytes(data[i : i + _WORD_BYTES], "little")
+            for i in range(0, self.line_size, _WORD_BYTES)
+        ]
+
+        entries: list[tuple[str, int, int]] = []
+        bits = 0
+        i = 0
+        while i < len(words):
+            if words[i] == 0:
+                run = 1
+                while (
+                    i + run < len(words)
+                    and words[i + run] == 0
+                    and run < _MAX_ZERO_RUN
+                ):
+                    run += 1
+                entries.append(("zerorun", 3, run - 1))
+                bits += _PREFIX_BITS + 3
+                i += run
+                continue
+            pattern, payload_bits, payload = _encode_word(words[i])
+            entries.append((pattern, payload_bits, payload))
+            bits += _PREFIX_BITS + payload_bits
+            i += 1
+
+        size = -(-bits // 8)
+        if size >= self.line_size:
+            return self._uncompressed(data)
+        if all(p == "zerorun" for p, _, _ in entries) and data == b"\x00" * self.line_size:
+            return CompressedBlock(self.name, "zeros", size, tuple(entries))
+        return CompressedBlock(self.name, "fpc", size, tuple(entries))
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        if block.algorithm != self.name:
+            raise CompressionError(
+                f"block was produced by {block.algorithm!r}, not {self.name!r}"
+            )
+        if block.encoding == "uncompressed":
+            payload = block.payload
+            if not isinstance(payload, bytes) or len(payload) != self.line_size:
+                raise CompressionError("uncompressed payload must be the raw line")
+            return payload
+        entries = block.payload
+        if not isinstance(entries, tuple):
+            raise CompressionError(f"unknown FPC encoding {block.encoding!r}")
+
+        words: list[int] = []
+        for pattern, _, payload in entries:
+            words.extend(_decode_entry(pattern, payload))
+        if len(words) != self.line_size // _WORD_BYTES:
+            raise CompressionError(
+                f"decoded {len(words)} words, expected {self.line_size // _WORD_BYTES}"
+            )
+        return b"".join(word.to_bytes(_WORD_BYTES, "little") for word in words)
+
+
+def _decode_entry(pattern: str, payload: int) -> list[int]:
+    """Expand one FPC entry back to its 32-bit word(s)."""
+    if pattern == "zerorun":
+        return [0] * (payload + 1)
+    if pattern == "sext4":
+        return [_sign_extend(payload, 4)]
+    if pattern == "sext8":
+        return [_sign_extend(payload, 8)]
+    if pattern == "sext16":
+        return [_sign_extend(payload, 16)]
+    if pattern == "padded16":
+        return [payload << 16]
+    if pattern == "halfwords":
+        high = _sign_extend(payload >> 8, 8) & 0xFFFF
+        low = _sign_extend(payload & 0xFF, 8) & 0xFFFF
+        return [high << 16 | low]
+    if pattern == "repbytes":
+        return [payload | payload << 8 | payload << 16 | payload << 24]
+    if pattern == "uncompressed":
+        return [payload]
+    raise CompressionError(f"unknown FPC pattern {pattern!r}")
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    """Sign-extend a ``bits``-bit value to an unsigned 32-bit word."""
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & 0xFFFFFFFF

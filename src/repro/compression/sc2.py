@@ -1,0 +1,153 @@
+"""SC2: statistical cache compression with Huffman coding.
+
+Implements the scheme of Arelakis and Stenstrom, "SC2: A Statistical
+Compression Cache Scheme" (ISCA 2014), cited by the Base-Victim paper as
+related work (Section VII).  SC2 samples the value distribution of cache
+data, builds a Huffman code over the most frequent 32-bit words, and
+encodes each word either with its Huffman code or with an escape prefix
+followed by the verbatim word.
+
+The hardware scheme trains periodically on cache contents; this
+implementation exposes the same life cycle:
+
+* :meth:`SC2Compressor.train` — build the codebook from sample lines,
+* :meth:`SC2Compressor.compress` / :meth:`SC2Compressor.decompress` —
+  use the current codebook (an untrained compressor knows only the
+  always-present zero symbol).
+
+Code lengths follow a canonical Huffman construction over observed
+frequencies, capped at :data:`MAX_CODE_BITS` as real designs do.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+
+_WORD_BYTES = 4
+
+#: Number of frequent values the codebook may hold (SC2 uses O(water) —
+#: a few hundred entries in the paper's design).
+DEFAULT_CODEBOOK_SIZE = 256
+
+#: Hardware decoders bound code length; longer codes are escape-coded.
+MAX_CODE_BITS = 14
+
+#: Escape prefix bits preceding a verbatim 32-bit word.
+ESCAPE_BITS = 4
+
+
+def _huffman_code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
+    """Code length per symbol via the classic two-queue Huffman build."""
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        return {symbol: 1 for symbol in frequencies}
+    counter = itertools.count()
+    heap = [
+        (freq, next(counter), {symbol: 0})
+        for symbol, freq in frequencies.items()
+    ]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        freq_a, _, lengths_a = heapq.heappop(heap)
+        freq_b, _, lengths_b = heapq.heappop(heap)
+        merged = {s: l + 1 for s, l in lengths_a.items()}
+        merged.update({s: l + 1 for s, l in lengths_b.items()})
+        heapq.heappush(heap, (freq_a + freq_b, next(counter), merged))
+    return heap[0][2]
+
+
+class SC2Compressor(CompressionAlgorithm):
+    """Huffman-based statistical compressor with explicit training."""
+
+    name = "sc2"
+    decompression_cycles = 8
+
+    def __init__(
+        self,
+        line_size: int = 64,
+        codebook_size: int = DEFAULT_CODEBOOK_SIZE,
+    ) -> None:
+        super().__init__(line_size)
+        if codebook_size <= 0:
+            raise CompressionError(
+                f"codebook_size must be positive, got {codebook_size}"
+            )
+        self.codebook_size = codebook_size
+        #: word -> code length in bits.  Untrained: zero is 1 bit (the
+        #: overwhelmingly frequent value in any cache).
+        self._code_bits: dict[int, int] = {0: 1}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train(self, sample_lines: list[bytes]) -> None:
+        """Rebuild the codebook from sampled cache lines."""
+        counts: Counter[int] = Counter()
+        for line in sample_lines:
+            self._check_line(line)
+            for i in range(0, self.line_size, _WORD_BYTES):
+                counts[int.from_bytes(line[i : i + _WORD_BYTES], "little")] += 1
+        if not counts:
+            raise CompressionError("cannot train on an empty sample")
+        frequent = dict(counts.most_common(self.codebook_size))
+        lengths = _huffman_code_lengths(frequent)
+        self._code_bits = {
+            symbol: min(length, MAX_CODE_BITS)
+            for symbol, length in lengths.items()
+        }
+        # Zero always stays encodable even if absent from the sample.
+        self._code_bits.setdefault(0, MAX_CODE_BITS)
+
+    @property
+    def codebook(self) -> dict[int, int]:
+        """Current word -> code-length table (copied)."""
+        return dict(self._code_bits)
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+
+    def compress(self, data: bytes) -> CompressedBlock:
+        self._check_line(data)
+        data = bytes(data)
+        words = [
+            int.from_bytes(data[i : i + _WORD_BYTES], "little")
+            for i in range(0, self.line_size, _WORD_BYTES)
+        ]
+        bits = 0
+        for word in words:
+            code = self._code_bits.get(word)
+            if code is not None:
+                bits += code
+            else:
+                bits += ESCAPE_BITS + 32
+        size = -(-bits // 8)
+        if size >= self.line_size:
+            return self._uncompressed(data)
+        encoding = "zeros" if data == b"\x00" * self.line_size else "sc2"
+        return CompressedBlock(self.name, encoding, size, tuple(words))
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        if block.algorithm != self.name:
+            raise CompressionError(
+                f"block was produced by {block.algorithm!r}, not {self.name!r}"
+            )
+        if block.encoding == "uncompressed":
+            payload = block.payload
+            if not isinstance(payload, bytes) or len(payload) != self.line_size:
+                raise CompressionError("uncompressed payload must be the raw line")
+            return payload
+        words = block.payload
+        if not isinstance(words, tuple):
+            raise CompressionError(f"unknown SC2 encoding {block.encoding!r}")
+        return b"".join(word.to_bytes(_WORD_BYTES, "little") for word in words)

@@ -1,0 +1,108 @@
+"""Segment arithmetic for compressed cache lines.
+
+Compressed cache architectures do not track line sizes at byte granularity.
+Instead, a line's compressed size is rounded up to a fixed *segment*
+boundary, and the tag metadata stores the size in segments.  The paper's
+examples (Section III and IV.B) use 8-byte segments for clarity, while the
+evaluation (Section IV.C and V) aligns compressed data to 4-byte segments so
+that a 4-bit size field can describe all 16 possible sizes of a 64-byte
+line.  Both granularities are supported here.
+
+All Base-Victim fit decisions reduce to segment arithmetic: two logical
+lines may share one physical way iff the sum of their sizes in segments is
+at most the number of segments in a physical line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Cache line size used throughout the paper and this reproduction.
+LINE_SIZE_BYTES = 64
+
+#: Segment granularity used by the paper's evaluation (Section IV.C).
+EVAL_SEGMENT_BYTES = 4
+
+#: Segment granularity used by the paper's illustrative examples.
+EXAMPLE_SEGMENT_BYTES = 8
+
+
+class SegmentError(ValueError):
+    """Raised for invalid segment geometry or sizes."""
+
+
+@dataclass(frozen=True)
+class SegmentGeometry:
+    """Describes how a physical cache line is divided into segments.
+
+    Parameters
+    ----------
+    line_bytes:
+        Physical line size in bytes (64 in the paper).
+    segment_bytes:
+        Alignment granularity for compressed lines (4 in the paper's
+        evaluation, 8 in its worked examples).
+    """
+
+    line_bytes: int = LINE_SIZE_BYTES
+    segment_bytes: int = EVAL_SEGMENT_BYTES
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0:
+            raise SegmentError(f"line_bytes must be positive, got {self.line_bytes}")
+        if self.segment_bytes <= 0:
+            raise SegmentError(
+                f"segment_bytes must be positive, got {self.segment_bytes}"
+            )
+        if self.line_bytes % self.segment_bytes != 0:
+            raise SegmentError(
+                "line_bytes must be a multiple of segment_bytes: "
+                f"{self.line_bytes} % {self.segment_bytes} != 0"
+            )
+
+    @property
+    def segments_per_line(self) -> int:
+        """Number of segments in one physical line (16 for 64B/4B)."""
+        return self.line_bytes // self.segment_bytes
+
+    def size_in_segments(self, size_bytes: int) -> int:
+        """Round a compressed byte size up to whole segments.
+
+        A size of zero (an all-zero block whose data requires no storage
+        beyond the tag metadata) rounds to zero segments.
+        """
+        if size_bytes < 0:
+            raise SegmentError(f"size_bytes must be non-negative, got {size_bytes}")
+        if size_bytes > self.line_bytes:
+            raise SegmentError(
+                f"compressed size {size_bytes}B exceeds line size {self.line_bytes}B"
+            )
+        return -(-size_bytes // self.segment_bytes)
+
+    def fits_together(self, *segment_sizes: int) -> bool:
+        """True iff lines of the given segment sizes share one physical line."""
+        total = 0
+        for size in segment_sizes:
+            if size < 0 or size > self.segments_per_line:
+                raise SegmentError(
+                    f"segment size {size} out of range 0..{self.segments_per_line}"
+                )
+            total += size
+        return total <= self.segments_per_line
+
+    def free_segments(self, *segment_sizes: int) -> int:
+        """Segments left in a physical line already holding the given sizes."""
+        used = sum(segment_sizes)
+        if used > self.segments_per_line:
+            raise SegmentError(
+                f"lines of sizes {segment_sizes} overflow a "
+                f"{self.segments_per_line}-segment physical line"
+            )
+        return self.segments_per_line - used
+
+
+#: Geometry used by the paper's evaluation: 64B lines, 4B segments, 16 segments.
+EVAL_GEOMETRY = SegmentGeometry(LINE_SIZE_BYTES, EVAL_SEGMENT_BYTES)
+
+#: Geometry used by the paper's Section III/IV examples: 64B lines, 8B segments.
+EXAMPLE_GEOMETRY = SegmentGeometry(LINE_SIZE_BYTES, EXAMPLE_SEGMENT_BYTES)

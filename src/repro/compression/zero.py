@@ -1,0 +1,41 @@
+"""Zero-content detection.
+
+A trivial "compressor" that only recognises all-zero lines, modelling the
+zero-content caches of Dusser et al. (ICS 2009) discussed in the paper's
+related work, and the zero-block fast path of Section V: zero blocks are
+identified from the tag-metadata size field and skip decompression
+entirely.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import (
+    CompressedBlock,
+    CompressionAlgorithm,
+    CompressionError,
+)
+
+
+class ZeroContentCompressor(CompressionAlgorithm):
+    """Detects all-zero lines; everything else is stored verbatim."""
+
+    name = "zero"
+    decompression_cycles = 0
+
+    def compress(self, data: bytes) -> CompressedBlock:
+        self._check_line(data)
+        if bytes(data) == b"\x00" * self.line_size:
+            return CompressedBlock(self.name, "zeros", 1, None)
+        return self._uncompressed(bytes(data))
+
+    def decompress(self, block: CompressedBlock) -> bytes:
+        if block.algorithm != self.name:
+            raise CompressionError(
+                f"block was produced by {block.algorithm!r}, not {self.name!r}"
+            )
+        if block.encoding == "zeros":
+            return b"\x00" * self.line_size
+        payload = block.payload
+        if not isinstance(payload, bytes) or len(payload) != self.line_size:
+            raise CompressionError("uncompressed payload must be the raw line")
+        return payload

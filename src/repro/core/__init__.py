@@ -1,0 +1,21 @@
+"""LLC architectures: the paper's contribution and its comparators."""
+
+from repro.core.basevictim import BaseVictimLLC
+from repro.core.dcc import DCCFunctionalLLC
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+from repro.core.scc import SCCFunctionalLLC
+from repro.core.twotag import TwoTagLLC
+from repro.core.uncompressed import UncompressedLLC
+from repro.core.vsc import VSCFunctionalLLC
+
+__all__ = [
+    "AccessKind",
+    "BaseVictimLLC",
+    "DCCFunctionalLLC",
+    "LLCAccessResult",
+    "LLCArchitecture",
+    "SCCFunctionalLLC",
+    "TwoTagLLC",
+    "UncompressedLLC",
+    "VSCFunctionalLLC",
+]

@@ -1,0 +1,222 @@
+"""Functional model of the Decoupled Compressed Cache (DCC).
+
+Sardashti & Wood (MICRO 2013), discussed at length in the paper's
+Section II: DCC decouples tags from data through super-block tags (one
+tag covers four aligned neighbouring lines) and allocates compressed
+lines in 16-byte sub-blocks anywhere in the set's data space, removing
+VSC's recompaction.  The Base-Victim paper argues DCC still requires
+multi-segment data-array activations and complex multi-line evictions,
+and therefore compares against it functionally only.
+
+This model captures the capacity behaviour that matters for that
+comparison:
+
+* one super-block tag covers up to :data:`LINES_PER_SUPERBLOCK` aligned
+  lines (so neighbouring lines share tag space — DCC's spatial-locality
+  bet),
+* the set offers twice the baseline tag count in super-block tags,
+* data space equals the physical ways' segments; lines allocate in
+  16-byte (4-segment) sub-blocks with free compaction,
+* replacement evicts whole super-blocks in LRU order until the incoming
+  line fits (the multi-line evictions of Section II).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.config import CacheGeometry
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+#: Aligned lines covered by one super-block tag.
+LINES_PER_SUPERBLOCK = 4
+
+#: DCC allocates data in 16B sub-blocks: 4 segments of 4 bytes.
+SUBBLOCK_SEGMENTS = 4
+
+
+def _round_to_subblock(size_segments: int) -> int:
+    """DCC stores lines in whole 16B sub-blocks (zero lines still take 0)."""
+    return -(-size_segments // SUBBLOCK_SEGMENTS) * SUBBLOCK_SEGMENTS
+
+
+class _SuperBlock:
+    """One super-block: up to four neighbouring lines under one tag."""
+
+    __slots__ = ("lines",)
+
+    def __init__(self) -> None:
+        #: line offset within the super-block -> (size_segments, dirty)
+        self.lines: dict[int, tuple[int, bool]] = {}
+
+    @property
+    def used_segments(self) -> int:
+        return sum(size for size, _ in self.lines.values())
+
+
+class DCCFunctionalLLC(LLCArchitecture):
+    """Functional (hit-rate/capacity only) DCC model."""
+
+    name = "dcc"
+    extra_tag_cycles = 1
+    tags_per_way = 2  # 2x super-block tags per baseline way
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        segment_geometry: SegmentGeometry | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.segment_geometry = segment_geometry or SegmentGeometry(
+            geometry.line_bytes
+        )
+        self.segments_per_line = self.segment_geometry.segments_per_line
+        self.set_segments = geometry.associativity * self.segments_per_line
+        #: Twice the baseline tags, but each covers a super-block.
+        self.set_tags = geometry.associativity * 2
+        # Per set: superblock base address -> _SuperBlock, LRU order.
+        self._sets: list[OrderedDict[int, _SuperBlock]] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._used = [0] * geometry.num_sets
+        self._set_mask = geometry.num_sets - 1
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_superblock_evictions = 0
+        self.stat_writeback_misses = 0
+
+    @staticmethod
+    def _split(addr: int) -> tuple[int, int]:
+        return addr // LINES_PER_SUPERBLOCK, addr % LINES_PER_SUPERBLOCK
+
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        if not 0 <= size_segments <= self.segments_per_line:
+            raise ValueError(
+                f"size_segments {size_segments} out of range "
+                f"0..{self.segments_per_line}"
+            )
+        result = LLCAccessResult()
+        # DCC indexes sets by super-block so neighbours share a set.
+        sb_addr, offset = self._split(addr)
+        index = sb_addr & self._set_mask
+        cset = self._sets[index]
+        size = _round_to_subblock(size_segments)
+
+        block = cset.get(sb_addr)
+        if block is not None and offset in block.lines:
+            self.stat_hits += 1
+            result.hit = True
+            if kind == AccessKind.PREFETCH:
+                return result
+            cset.move_to_end(sb_addr)
+            old_size, dirty = block.lines[offset]
+            result.data_reads = 1
+            result.compressed_hit = 0 < old_size < self.segments_per_line
+            if kind in (AccessKind.WRITE, AccessKind.WRITEBACK):
+                self._used[index] += size - old_size
+                block.lines[offset] = (size, True)
+                self._shrink(index, keep=(sb_addr, offset), result=result)
+            return result
+
+        if kind == AccessKind.WRITEBACK:
+            self.stat_writeback_misses += 1
+            result.memory_writes = 1
+            return result
+
+        self.stat_misses += 1
+        result.memory_reads = 1
+        self._fill(index, sb_addr, offset, size, kind == AccessKind.WRITE, result)
+        result.data_writes = 1
+        result.fill_segments = size
+        if kind != AccessKind.PREFETCH:
+            result.data_reads += 1
+        return result
+
+    def _fill(
+        self,
+        index: int,
+        sb_addr: int,
+        offset: int,
+        size: int,
+        dirty: bool,
+        result: LLCAccessResult,
+    ) -> None:
+        cset = self._sets[index]
+        while self._used[index] + size > self.set_segments or (
+            sb_addr not in cset and len(cset) >= self.set_tags
+        ):
+            # Evict LRU super-blocks (never the one being filled into,
+            # unless it is the only one left).
+            victim_addr = next((a for a in cset if a != sb_addr), sb_addr)
+            self._evict_superblock(index, victim_addr, result)
+        block = cset.get(sb_addr)
+        if block is None:
+            block = _SuperBlock()
+            cset[sb_addr] = block
+        else:
+            cset.move_to_end(sb_addr)
+        block.lines[offset] = (size, dirty)
+        self._used[index] += size
+
+    def _evict_superblock(
+        self, index: int, sb_addr: int, result: LLCAccessResult
+    ) -> None:
+        block = self._sets[index].pop(sb_addr)
+        self.stat_superblock_evictions += 1
+        for offset, (size, dirty) in block.lines.items():
+            self._used[index] -= size
+            if dirty:
+                result.memory_writes += 1
+            result.invalidates.append(
+                (sb_addr * LINES_PER_SUPERBLOCK + offset, dirty)
+            )
+
+    def _shrink(
+        self, index: int, keep: tuple[int, int], result: LLCAccessResult
+    ) -> None:
+        cset = self._sets[index]
+        keep_sb, keep_offset = keep
+        while self._used[index] > self.set_segments:
+            victim = next((a for a in cset if a != keep_sb), None)
+            if victim is not None:
+                self._evict_superblock(index, victim, result)
+                continue
+            # Only the written super-block remains: drop its other lines.
+            block = cset[keep_sb]
+            offset = next(o for o in block.lines if o != keep_offset)
+            size, dirty = block.lines.pop(offset)
+            self._used[index] -= size
+            if dirty:
+                result.memory_writes += 1
+            result.invalidates.append(
+                (keep_sb * LINES_PER_SUPERBLOCK + offset, dirty)
+            )
+
+    def contains(self, addr: int) -> bool:
+        sb_addr, offset = self._split(addr)
+        block = self._sets[sb_addr & self._set_mask].get(sb_addr)
+        return block is not None and offset in block.lines
+
+    def resident_logical_lines(self) -> int:
+        return sum(
+            len(block.lines) for cset in self._sets for block in cset.values()
+        )
+
+    def check_invariants(self) -> None:
+        """Validate segment accounting; used by property-based tests."""
+        for index, cset in enumerate(self._sets):
+            used = sum(block.used_segments for block in cset.values())
+            if used != self._used[index]:
+                raise AssertionError(
+                    f"set {index}: tracked {self._used[index]} != actual {used}"
+                )
+            if used > self.set_segments:
+                raise AssertionError(
+                    f"set {index}: {used} segments exceed {self.set_segments}"
+                )
+            if len(cset) > self.set_tags:
+                raise AssertionError(
+                    f"set {index}: {len(cset)} super-block tags exceed "
+                    f"{self.set_tags}"
+                )

@@ -1,0 +1,121 @@
+"""Common interface for last-level cache architectures.
+
+Every LLC organisation studied by the paper — uncompressed baseline, the
+naive and modified two-tag strawmen (Section III / VI.A), Base-Victim
+(Section IV) and the VSC functional comparator (Section II / V) — presents
+the same trace-driven interface: ``access(addr, kind, size_segments)``.
+
+``size_segments`` is the line's *current* compressed size in segments
+(computed by the workload's data model with a real compressor); the
+architectures never see data bytes, only sizes, which is all that hit-rate
+and traffic behaviour depends on.  Uncompressed architectures ignore it.
+"""
+
+from __future__ import annotations
+
+import abc
+from enum import IntEnum
+
+
+class AccessKind(IntEnum):
+    """What an LLC request is."""
+
+    #: Demand read (includes read-for-ownership).
+    READ = 0
+    #: Writeback of modified data from the level above.
+    WRITEBACK = 1
+    #: Demand store in LLC-only simulations (write-allocate).
+    WRITE = 2
+    #: Hardware prefetch fill request.
+    PREFETCH = 3
+
+
+class LLCAccessResult:
+    """Outcome of one LLC access.
+
+    Attributes
+    ----------
+    hit:
+        The request found its line in the LLC (in either logical cache).
+    victim_hit:
+        The hit was served by the Victim Cache (Base-Victim only).
+    compressed_hit:
+        The hit line was stored compressed and needs decompression; zero
+        and uncompressed blocks skip it (Section V).
+    memory_reads / memory_writes:
+        DRAM traffic caused by this access (fill reads, writebacks).
+    invalidates:
+        ``(line_addr, wrote_back)`` pairs for lines that inclusive
+        upper-level caches must drop: base lines evicted from, or demoted
+        out of, the baseline image.  ``wrote_back`` is True when this LLC
+        already wrote the line's data to memory (it was dirty here), so
+        the hierarchy does not count a second write for upper-level dirty
+        copies.
+    silent_evictions:
+        Clean victim-cache lines dropped without any traffic.
+    data_reads / data_writes:
+        LLC data-array operations, including base<->victim migrations —
+        the "+31% additional accesses to LLC" of Section VI.D.
+    fill_segments:
+        Segments written into the data array by fills/migrations; with
+        SRAM word enables only these segments burn write energy, without
+        them each partial write becomes a read-modify-write (Section VI.D).
+    """
+
+    __slots__ = (
+        "hit",
+        "victim_hit",
+        "compressed_hit",
+        "memory_reads",
+        "memory_writes",
+        "invalidates",
+        "silent_evictions",
+        "data_reads",
+        "data_writes",
+        "fill_segments",
+    )
+
+    def __init__(self) -> None:
+        self.hit = False
+        self.victim_hit = False
+        self.compressed_hit = False
+        self.memory_reads = 0
+        self.memory_writes = 0
+        self.invalidates: list[tuple[int, bool]] = []
+        self.silent_evictions = 0
+        self.data_reads = 0
+        self.data_writes = 0
+        self.fill_segments = 0
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"LLCAccessResult({fields})"
+
+
+class LLCArchitecture(abc.ABC):
+    """Abstract last-level cache organisation."""
+
+    #: Short identifier used in configuration and reports.
+    name: str = "abstract"
+
+    #: Extra tag-lookup cycles vs. the uncompressed baseline.  The paper
+    #: charges one additional cycle when tags are doubled (Section V).
+    extra_tag_cycles: int = 0
+
+    #: Number of logical tags per physical way (1 or 2).
+    tags_per_way: int = 1
+
+    @abc.abstractmethod
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Process one request for line ``addr`` of the given compressed size."""
+
+    @abc.abstractmethod
+    def contains(self, addr: int) -> bool:
+        """True iff ``addr`` currently hits in this LLC."""
+
+    def hint_downgrade(self, addr: int) -> None:
+        """CHAR-style downgrade hint from an L2 eviction; default no-op."""
+
+    def resident_logical_lines(self) -> int:
+        """Number of logical lines currently stored (for capacity studies)."""
+        raise NotImplementedError

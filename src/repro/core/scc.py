@@ -1,0 +1,206 @@
+"""Functional model of the Skewed Compressed Cache (SCC).
+
+Sardashti, Seznec & Wood (MICRO 2014), Section II of the Base-Victim
+paper: SCC removes DCC's backward pointers by *skewing* — a line's
+placement way group is chosen by its compressed size class, and a
+physical line only ever holds neighbouring lines of one size class, so
+tag-data mapping stays direct.  The paper argues it still needs
+multi-segment activations and multi-line evictions, and compares
+functionally.
+
+The model captures SCC's packing rule: compressed sizes round up to a
+power-of-two fraction of the line (8, 16, 32 or 64 bytes), and one
+physical line holds 64/size equally-sized neighbouring lines.  Physical
+ways are managed in LRU order; an eviction frees one physical line (all
+logical lines packed in it — SCC's compacted multi-line eviction).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.config import CacheGeometry
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+#: Size classes in segments (of 16): 1/8, 1/4, 1/2 and full lines.
+SIZE_CLASSES = (2, 4, 8, 16)
+
+
+def size_class(size_segments: int) -> int:
+    """Round a compressed size up to SCC's power-of-two classes."""
+    for cls in SIZE_CLASSES:
+        if size_segments <= cls:
+            return cls
+    raise ValueError(f"size {size_segments} exceeds a full line")
+
+
+class _PhysicalLine:
+    """One physical way holding neighbouring lines of one size class.
+
+    SCC packs only *neighbouring* lines: the lines sharing a physical way
+    are the aligned group ``addr // capacity`` and each occupies the slot
+    ``addr % capacity`` — that is how SCC keeps the tag-data mapping
+    direct without backward pointers.
+    """
+
+    __slots__ = ("cls", "group", "lines")
+
+    def __init__(self, cls: int, group: int) -> None:
+        self.cls = cls
+        self.group = group
+        #: slot index within the physical line -> (line addr, dirty)
+        self.lines: dict[int, tuple[int, bool]] = {}
+
+    @property
+    def capacity(self) -> int:
+        return 16 // self.cls
+
+
+class SCCFunctionalLLC(LLCArchitecture):
+    """Functional (hit-rate/capacity only) SCC model."""
+
+    name = "scc"
+    extra_tag_cycles = 1
+    tags_per_way = 2
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        segment_geometry: SegmentGeometry | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.segment_geometry = segment_geometry or SegmentGeometry(
+            geometry.line_bytes
+        )
+        self.segments_per_line = self.segment_geometry.segments_per_line
+        self.ways = geometry.associativity
+        # Per set: physical line id -> _PhysicalLine, LRU order.
+        self._sets: list[OrderedDict[int, _PhysicalLine]] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._line_counter = 0
+        self._set_mask = geometry.num_sets - 1
+        # addr -> (set index, physical line id, slot)
+        self._where: dict[int, tuple[int, int, int]] = {}
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_multi_line_evictions = 0
+        self.stat_writeback_misses = 0
+
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        if not 0 <= size_segments <= self.segments_per_line:
+            raise ValueError(
+                f"size_segments {size_segments} out of range "
+                f"0..{self.segments_per_line}"
+            )
+        result = LLCAccessResult()
+        # Index at neighbour-group granularity (8 lines) so the lines that
+        # may share a physical way actually map to the same set.
+        index = (addr >> 3) & self._set_mask
+        location = self._where.get(addr)
+
+        if location is not None:
+            self.stat_hits += 1
+            result.hit = True
+            if kind == AccessKind.PREFETCH:
+                return result
+            set_index, line_id, slot = location
+            cset = self._sets[set_index]
+            physical = cset[line_id]
+            cset.move_to_end(line_id)
+            result.data_reads = 1
+            result.compressed_hit = physical.cls < self.segments_per_line
+            if kind in (AccessKind.WRITE, AccessKind.WRITEBACK):
+                new_cls = size_class(max(1, size_segments))
+                if new_cls != physical.cls:
+                    # The line changed class: it must move to a line of
+                    # its new class (SCC relocates on class change).
+                    del physical.lines[slot]
+                    del self._where[addr]
+                    if not physical.lines:
+                        del cset[line_id]
+                    self._fill(index, addr, new_cls, True, result)
+                else:
+                    physical.lines[slot] = (addr, True)
+            return result
+
+        if kind == AccessKind.WRITEBACK:
+            self.stat_writeback_misses += 1
+            result.memory_writes = 1
+            return result
+
+        self.stat_misses += 1
+        result.memory_reads = 1
+        cls = size_class(max(1, size_segments))
+        self._fill(index, addr, cls, kind == AccessKind.WRITE, result)
+        result.data_writes = 1
+        result.fill_segments = cls
+        if kind != AccessKind.PREFETCH:
+            result.data_reads += 1
+        return result
+
+    def _fill(
+        self, index: int, addr: int, cls: int, dirty: bool, result: LLCAccessResult
+    ) -> None:
+        cset = self._sets[index]
+        capacity = 16 // cls
+        group = addr // capacity
+        slot = addr % capacity
+        # A physical line already holding this line's neighbour group?
+        for line_id, physical in cset.items():
+            if (
+                physical.cls == cls
+                and physical.group == group
+                and slot not in physical.lines
+            ):
+                physical.lines[slot] = (addr, dirty)
+                self._where[addr] = (index, line_id, slot)
+                cset.move_to_end(line_id)
+                return
+        # Allocate a new physical line, evicting LRU ways as needed.
+        while len(cset) >= self.ways:
+            self._evict_physical_line(index, result)
+        self._line_counter += 1
+        line_id = self._line_counter
+        physical = _PhysicalLine(cls, group)
+        physical.lines[slot] = (addr, dirty)
+        cset[line_id] = physical
+        self._where[addr] = (index, line_id, slot)
+
+    def _evict_physical_line(self, index: int, result: LLCAccessResult) -> None:
+        cset = self._sets[index]
+        line_id, physical = cset.popitem(last=False)
+        if len(physical.lines) > 1:
+            self.stat_multi_line_evictions += 1
+        for slot, (line_addr, dirty) in physical.lines.items():
+            del self._where[line_addr]
+            if dirty:
+                result.memory_writes += 1
+            result.invalidates.append((line_addr, dirty))
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._where
+
+    def resident_logical_lines(self) -> int:
+        return len(self._where)
+
+    def check_invariants(self) -> None:
+        """Validate slot accounting; used by property-based tests."""
+        seen = 0
+        for index, cset in enumerate(self._sets):
+            if len(cset) > self.ways:
+                raise AssertionError(
+                    f"set {index}: {len(cset)} physical lines exceed {self.ways}"
+                )
+            for line_id, physical in cset.items():
+                if len(physical.lines) > physical.capacity:
+                    raise AssertionError(
+                        f"set {index} line {line_id}: over capacity"
+                    )
+                for slot, (addr, _) in physical.lines.items():
+                    if self._where.get(addr) != (index, line_id, slot):
+                        raise AssertionError(f"addr {addr:#x}: stale location")
+                    seen += 1
+        if seen != len(self._where):
+            raise AssertionError("location map out of sync")

@@ -1,0 +1,287 @@
+"""Two-tags-per-way compressed cache strawmen (Sections III and VI.A).
+
+The simple two-tag architecture associates two logical tags with every
+physical way: a way can hold two lines when their compressed sizes share
+its segments.  The replacement policy runs over all ``2 * ways`` logical
+lines.  Because compressibility and recency do not correlate, the policy's
+chosen victim may not free enough space, forcing one of two bad options the
+paper analyses:
+
+* **Naive** (Figure 6): *partner line victimization* — evict every logical
+  line in the physical way of the chosen victim, even if the partner is
+  the MRU line.
+* **Modified** (Figure 7): an ECM-like repair — search the policy's
+  eviction-eligible tier for victims whose eviction needs no partner
+  eviction, pick the one with the largest compressed size, and only fall
+  back to partner victimization when no such candidate exists.
+
+Both lose to the uncompressed baseline on many traces, which is the
+paper's motivation for Base-Victim.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+
+class _TwoTagSet:
+    """One two-tag set: ``2 * ways`` logical slots.
+
+    The slot layout mirrors the hardware organisation of two tag arrays:
+    slot ``l`` is tag ``l // ways`` of physical way ``l % ways``, so slots
+    ``l`` and ``l + ways`` share one physical line.
+    """
+
+    __slots__ = ("tags", "valid", "dirty", "size", "policy_state", "lookup")
+
+    def __init__(self, slots: int, policy_state: object) -> None:
+        self.tags = [0] * slots
+        self.valid = [False] * slots
+        self.dirty = [False] * slots
+        self.size = [0] * slots
+        self.policy_state = policy_state
+        self.lookup: dict[int, int] = {}
+
+
+class TwoTagLLC(LLCArchitecture):
+    """Simple two-tag compressed LLC, naive or modified replacement."""
+
+    name = "two-tag"
+    extra_tag_cycles = 1
+    tags_per_way = 2
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: ReplacementPolicy,
+        segment_geometry: SegmentGeometry | None = None,
+        modified: bool = False,
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.modified = modified
+        if modified:
+            self.name = "two-tag-modified"
+        self.segment_geometry = segment_geometry or SegmentGeometry(
+            geometry.line_bytes
+        )
+        self.segments_per_line = self.segment_geometry.segments_per_line
+        slots = geometry.associativity * 2
+        self._sets = [
+            _TwoTagSet(slots, policy.make_set_state(slots, index))
+            for index in range(geometry.num_sets)
+        ]
+        self._set_mask = geometry.num_sets - 1
+
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_partner_victimizations = 0
+        self.stat_writeback_misses = 0
+
+    # ------------------------------------------------------------------
+    # Main access path
+    # ------------------------------------------------------------------
+
+    def _partner(self, slot: int) -> int:
+        """The logical slot sharing ``slot``'s physical way."""
+        ways = self.geometry.associativity
+        return slot - ways if slot >= ways else slot + ways
+
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        if not 0 <= size_segments <= self.segments_per_line:
+            raise ValueError(
+                f"size_segments {size_segments} out of range "
+                f"0..{self.segments_per_line}"
+            )
+        result = LLCAccessResult()
+        cset = self._sets[addr & self._set_mask]
+
+        slot = cset.lookup.get(addr)
+        if slot is not None:
+            self._hit(cset, slot, kind, size_segments, result)
+            return result
+
+        if kind == AccessKind.WRITEBACK:
+            self.stat_writeback_misses += 1
+            result.memory_writes = 1
+            return result
+
+        self.stat_misses += 1
+        result.memory_reads = 1
+        self._fill(cset, addr, size_segments, kind == AccessKind.WRITE, result)
+        result.data_writes += 1
+        result.fill_segments += size_segments
+        if kind != AccessKind.PREFETCH:
+            result.data_reads += 1
+        return result
+
+    def _hit(
+        self,
+        cset: _TwoTagSet,
+        slot: int,
+        kind: int,
+        size_segments: int,
+        result: LLCAccessResult,
+    ) -> None:
+        result.hit = True
+        self.stat_hits += 1
+        if kind == AccessKind.PREFETCH:
+            return
+
+        self.policy.on_hit(cset.policy_state, slot)
+        if kind == AccessKind.READ:
+            result.data_reads = 1
+            result.compressed_hit = self._needs_decompression(cset.size[slot])
+            return
+
+        # WRITE or WRITEBACK: new data, possibly a new compressed size.
+        cset.dirty[slot] = True
+        cset.size[slot] = size_segments
+        result.data_writes = 1
+        result.fill_segments = size_segments
+        partner = self._partner(slot)
+        if (
+            cset.valid[partner]
+            and size_segments + cset.size[partner] > self.segments_per_line
+        ):
+            # The grown line overflows the shared way: the partner must go.
+            self._evict(cset, partner, result)
+            self.stat_partner_victimizations += 1
+
+    # ------------------------------------------------------------------
+    # Fill / replacement
+    # ------------------------------------------------------------------
+
+    def _fill(
+        self,
+        cset: _TwoTagSet,
+        addr: int,
+        size_segments: int,
+        dirty: bool,
+        result: LLCAccessResult,
+    ) -> None:
+        slot = self._choose_slot(cset, size_segments, result)
+        partner = self._partner(slot)
+        if cset.valid[slot]:
+            self._evict(cset, slot, result)
+        if (
+            cset.valid[partner]
+            and size_segments + cset.size[partner] > self.segments_per_line
+        ):
+            self._evict(cset, partner, result)
+            self.stat_partner_victimizations += 1
+        cset.tags[slot] = addr
+        cset.valid[slot] = True
+        cset.dirty[slot] = dirty
+        cset.size[slot] = size_segments
+        cset.lookup[addr] = slot
+        self.policy.on_fill_sized(cset.policy_state, slot, size_segments)
+
+    def _choose_slot(
+        self, cset: _TwoTagSet, size_segments: int, result: LLCAccessResult
+    ) -> int:
+        """Pick the logical slot to fill; may imply partner eviction.
+
+        The *naive* scheme (Section III, option 1) does not look at sizes
+        at all: it takes the first invalid slot, or the policy's victim,
+        and lets ``_fill`` victimize the partner when the incoming line
+        does not fit — exactly the behaviour whose glass jaws Figure 6
+        demonstrates.
+
+        The *modified* scheme (Section VI.A) repairs that: it prefers
+        invalid slots whose partner leaves room, then searches the
+        policy's eviction-eligible tier for victims that need no partner
+        eviction (taking the largest compressed size among them), and
+        only then falls back to partner victimization.
+        """
+        valid = cset.valid
+        size = cset.size
+
+        if not self.modified:
+            # Naive: strict policy order over all logical tags, exactly as
+            # Section III describes ("LRU replacement indicates it should
+            # replace the LRU line").  Sizes are never consulted here;
+            # ``_fill`` victimizes the partner when the line does not fit.
+            return self.policy.choose_victim(cset.policy_state)
+
+        # Modified (Section VI.A): among the policy's eviction-eligible
+        # tier, keep only slots whose use needs no partner eviction.
+        # Invalid slots are the cheapest candidates (nothing is evicted at
+        # all); among valid ones the largest compressed size frees the
+        # most segments, per ECM's capacity-maximising goal.
+        eligible = self.policy.eligible_victims(cset.policy_state)
+        candidates = [
+            slot
+            for slot in eligible
+            if self._fits_after_evicting(cset, slot, size_segments)
+        ]
+        if candidates:
+            return max(
+                candidates,
+                key=lambda s: (not valid[s], size[s] if valid[s] else 0, -s),
+            )
+        for slot in range(len(valid)):
+            if not valid[slot]:
+                return slot
+        return self.policy.choose_victim(cset.policy_state)
+
+    def _fits_after_evicting(
+        self, cset: _TwoTagSet, slot: int, size_segments: int
+    ) -> bool:
+        partner = self._partner(slot)
+        return (
+            not cset.valid[partner]
+            or size_segments + cset.size[partner] <= self.segments_per_line
+        )
+
+    def _evict(self, cset: _TwoTagSet, slot: int, result: LLCAccessResult) -> None:
+        addr = cset.tags[slot]
+        was_dirty = cset.dirty[slot]
+        if was_dirty:
+            result.memory_writes += 1
+        result.invalidates.append((addr, was_dirty))
+        del cset.lookup[addr]
+        cset.valid[slot] = False
+        cset.dirty[slot] = False
+        self.policy.on_invalidate(cset.policy_state, slot)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _needs_decompression(self, size_segments: int) -> bool:
+        return 0 < size_segments < self.segments_per_line
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._sets[addr & self._set_mask].lookup
+
+    def hint_downgrade(self, addr: int) -> None:
+        cset = self._sets[addr & self._set_mask]
+        slot = cset.lookup.get(addr)
+        if slot is not None:
+            self.policy.on_hint(cset.policy_state, slot)
+
+    def resident_logical_lines(self) -> int:
+        return sum(len(cset.lookup) for cset in self._sets)
+
+    def check_invariants(self) -> None:
+        """Validate per-way segment budgets; used by property-based tests."""
+        spl = self.segments_per_line
+        ways = self.geometry.associativity
+        for index, cset in enumerate(self._sets):
+            for way in range(ways):
+                used = 0
+                for slot in (way, way + ways):
+                    if cset.valid[slot]:
+                        used += cset.size[slot]
+                        if cset.lookup.get(cset.tags[slot]) != slot:
+                            raise AssertionError(
+                                f"set {index} slot {slot}: lookup out of sync"
+                            )
+                if used > spl:
+                    raise AssertionError(
+                        f"set {index} way {way}: {used} segments exceed {spl}"
+                    )

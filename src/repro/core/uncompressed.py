@@ -1,0 +1,85 @@
+"""Uncompressed LLC baseline.
+
+Wraps the plain :class:`~repro.cache.setassoc.SetAssociativeCache` in the
+:class:`~repro.core.interfaces.LLCArchitecture` interface so every
+experiment can swap architectures freely.  This is the paper's 2MB 16-way
+NRU baseline (Section V) and also serves as the lockstep shadow cache in
+the Base-Victim invariant tests.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.setassoc import SetAssociativeCache
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+
+class UncompressedLLC(LLCArchitecture):
+    """Plain set-associative LLC with a pluggable replacement policy."""
+
+    name = "uncompressed"
+    extra_tag_cycles = 0
+    tags_per_way = 1
+
+    def __init__(self, geometry: CacheGeometry, policy: ReplacementPolicy) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.segments_per_line = 1  # sizes are ignored; any fill is "full"
+        self._cache = SetAssociativeCache(geometry, policy, name="llc")
+        self.stat_writeback_misses = 0
+
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        result = LLCAccessResult()
+        cache = self._cache
+
+        if kind == AccessKind.WRITEBACK:
+            if cache.probe(addr, is_write=True):
+                result.hit = True
+                result.data_writes = 1
+                result.fill_segments = 1
+            else:
+                # Writeback to a non-resident line bypasses to memory.
+                self.stat_writeback_misses += 1
+                result.memory_writes = 1
+            return result
+
+        is_write = kind == AccessKind.WRITE
+        if kind == AccessKind.PREFETCH:
+            if cache.contains(addr):
+                result.hit = True
+                return result
+            hit = False
+        else:
+            hit = cache.probe(addr, is_write)
+
+        if hit:
+            result.hit = True
+            result.data_reads = 1
+            return result
+
+        result.memory_reads = 1
+        result.data_writes = 1
+        result.fill_segments = 1
+        victim = cache.fill(addr, dirty=is_write)
+        if victim is not None:
+            result.invalidates.append((victim.addr, victim.dirty))
+            if victim.dirty:
+                result.memory_writes = 1
+        if kind != AccessKind.PREFETCH:
+            result.data_reads += 1  # deliver the filled line to the core
+        return result
+
+    def contains(self, addr: int) -> bool:
+        return self._cache.contains(addr)
+
+    def hint_downgrade(self, addr: int) -> None:
+        self._cache.hint_downgrade(addr)
+
+    def resident_logical_lines(self) -> int:
+        return self._cache.occupancy()
+
+    @property
+    def cache(self) -> SetAssociativeCache:
+        """Underlying cache, exposed for the shadow-equivalence tests."""
+        return self._cache

@@ -1,0 +1,168 @@
+"""Functional model of the Decoupled Variable-Segment Cache (VSC-2X).
+
+Alameldeen & Wood's VSC (ISCA 2004), as characterised by the Base-Victim
+paper: twice as many tags as physical lines per set, compressed lines
+compacted at segment granularity anywhere in the set's data space, LRU
+replacement that evicts "as many lines as needed" from the bottom of the
+stack to fit an incoming line (Section II), with recompaction assumed free.
+
+The paper simulates such policies *functionally only* ("when simulated on
+functional cache models, these policies come close to an 80% increase in
+cache capacity", Section V) because their data-array and pipeline costs
+make timing comparisons unfair.  This model therefore reports hit rates
+and effective capacity, and is used by the Section V / VI.B.4 capacity
+benches — it is deliberately not wired into the timing model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.config import CacheGeometry
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+
+class _VSCLine:
+    __slots__ = ("size", "dirty")
+
+    def __init__(self, size: int, dirty: bool) -> None:
+        self.size = size
+        self.dirty = dirty
+
+
+class VSCFunctionalLLC(LLCArchitecture):
+    """Functional (hit-rate only) VSC-2X model with LRU replacement."""
+
+    name = "vsc-2x"
+    extra_tag_cycles = 1
+    tags_per_way = 2
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        segment_geometry: SegmentGeometry | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.segment_geometry = segment_geometry or SegmentGeometry(
+            geometry.line_bytes
+        )
+        self.segments_per_line = self.segment_geometry.segments_per_line
+        #: Data capacity per set, in segments.
+        self.set_segments = geometry.associativity * self.segments_per_line
+        #: Tag capacity per set: twice the physical ways ("VSC-2X").
+        self.set_tags = geometry.associativity * 2
+        # Per set: addr -> _VSCLine in LRU order (front = LRU).
+        self._sets: list[OrderedDict[int, _VSCLine]] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._used: list[int] = [0] * geometry.num_sets
+        self._set_mask = geometry.num_sets - 1
+
+        self.stat_hits = 0
+        self.stat_misses = 0
+        self.stat_multi_evict_fills = 0
+        self.stat_writeback_misses = 0
+
+    def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        if not 0 <= size_segments <= self.segments_per_line:
+            raise ValueError(
+                f"size_segments {size_segments} out of range "
+                f"0..{self.segments_per_line}"
+            )
+        result = LLCAccessResult()
+        index = addr & self._set_mask
+        cset = self._sets[index]
+
+        line = cset.get(addr)
+        if line is not None:
+            result.hit = True
+            self.stat_hits += 1
+            if kind == AccessKind.PREFETCH:
+                return result
+            cset.move_to_end(addr)
+            result.data_reads = 1
+            result.compressed_hit = 0 < line.size < self.segments_per_line
+            if kind in (AccessKind.WRITE, AccessKind.WRITEBACK):
+                self._used[index] += size_segments - line.size
+                line.size = size_segments
+                line.dirty = True
+                self._shrink(index, exclude=addr, result=result)
+            return result
+
+        if kind == AccessKind.WRITEBACK:
+            self.stat_writeback_misses += 1
+            result.memory_writes = 1
+            return result
+
+        self.stat_misses += 1
+        result.memory_reads = 1
+        self._fill(index, addr, size_segments, kind == AccessKind.WRITE, result)
+        result.data_writes = 1
+        result.fill_segments = size_segments
+        if kind != AccessKind.PREFETCH:
+            result.data_reads += 1
+        return result
+
+    def _fill(
+        self,
+        index: int,
+        addr: int,
+        size_segments: int,
+        dirty: bool,
+        result: LLCAccessResult,
+    ) -> None:
+        cset = self._sets[index]
+        evicted = 0
+        while (
+            self._used[index] + size_segments > self.set_segments
+            or len(cset) >= self.set_tags
+        ):
+            old_addr, old_line = cset.popitem(last=False)
+            self._used[index] -= old_line.size
+            if old_line.dirty:
+                result.memory_writes += 1
+            result.invalidates.append((old_addr, old_line.dirty))
+            evicted += 1
+        if evicted > 1:
+            self.stat_multi_evict_fills += 1
+        cset[addr] = _VSCLine(size_segments, dirty)
+        self._used[index] += size_segments
+
+    def _shrink(self, index: int, exclude: int, result: LLCAccessResult) -> None:
+        """Evict LRU lines (never ``exclude``) until the set fits again."""
+        cset = self._sets[index]
+        while self._used[index] > self.set_segments:
+            for old_addr in cset:
+                if old_addr != exclude:
+                    break
+            else:
+                raise AssertionError("a single line cannot overflow a set")
+            old_line = cset.pop(old_addr)
+            self._used[index] -= old_line.size
+            if old_line.dirty:
+                result.memory_writes += 1
+            result.invalidates.append((old_addr, old_line.dirty))
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._sets[addr & self._set_mask]
+
+    def resident_logical_lines(self) -> int:
+        return sum(len(cset) for cset in self._sets)
+
+    def check_invariants(self) -> None:
+        """Validate segment accounting; used by property-based tests."""
+        for index, cset in enumerate(self._sets):
+            used = sum(line.size for line in cset.values())
+            if used != self._used[index]:
+                raise AssertionError(
+                    f"set {index}: tracked {self._used[index]} != actual {used}"
+                )
+            if used > self.set_segments:
+                raise AssertionError(
+                    f"set {index}: {used} segments exceed {self.set_segments}"
+                )
+            if len(cset) > self.set_tags:
+                raise AssertionError(
+                    f"set {index}: {len(cset)} tags exceed {self.set_tags}"
+                )

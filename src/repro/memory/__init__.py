@@ -1,0 +1,19 @@
+"""Main-memory substrate: DDR3 timing and energy models."""
+
+from repro.memory.dram import DRAMConfig, DRAMModel, DRAMTimings
+from repro.memory.power import (
+    DRAMEnergyBreakdown,
+    DRAMEnergyParams,
+    dram_energy,
+    dram_energy_from_counts,
+)
+
+__all__ = [
+    "DRAMConfig",
+    "DRAMEnergyBreakdown",
+    "DRAMEnergyParams",
+    "DRAMModel",
+    "DRAMTimings",
+    "dram_energy",
+    "dram_energy_from_counts",
+]

@@ -1,0 +1,180 @@
+"""DDR3 main-memory timing model.
+
+Models the paper's memory system (Section V): two channels of DDR3-1600
+with timing parameters tCL-tRCD-tRP-tRAS = 15-15-15-34 (DRAM clock cycles
+at 800 MHz; the CPU runs at 4 GHz, i.e. 5 CPU cycles per DRAM cycle).
+
+The model is event-free but stateful: each bank tracks its open row and
+the CPU-cycle time at which it next becomes available, and each channel
+tracks data-bus occupancy.  A read's latency therefore includes queueing
+behind earlier requests, so heavier read traffic yields longer average
+latency — which is exactly the coupling that makes the paper's "DRAM Read
+Ratio" curves track the IPC curves in Figures 6-8 and 12.
+
+Writes are posted (they occupy banks and the bus but add no core stall).
+Energy counters (activations, reads, writes) feed the Micron-style energy
+model in :mod:`repro.memory.power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DDR3 timing parameters, in DRAM clock cycles."""
+
+    tCL: int = 15
+    tRCD: int = 15
+    tRP: int = 15
+    tRAS: int = 34
+    #: Burst length 8 moves a 64B line in 4 DRAM clocks.
+    burst_cycles: int = 4
+
+    @property
+    def row_hit_cycles(self) -> int:
+        return self.tCL
+
+    @property
+    def row_empty_cycles(self) -> int:
+        return self.tRCD + self.tCL
+
+    @property
+    def row_conflict_cycles(self) -> int:
+        return self.tRP + self.tRCD + self.tCL
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Organisation of the memory system (paper defaults)."""
+
+    channels: int = 2
+    banks_per_channel: int = 8
+    #: 64B lines per row: 8KB rows.
+    lines_per_row: int = 128
+    timings: DRAMTimings = DRAMTimings()
+    #: CPU cycles per DRAM cycle (4 GHz core / 800 MHz DDR3-1600 clock).
+    cpu_per_dram_cycle: int = 5
+    #: Fixed controller/interconnect latency in CPU cycles each way.
+    controller_cycles: int = 30
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready_time", "activate_time")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.ready_time = 0.0
+        self.activate_time = -(10**9)
+
+
+class DRAMModel:
+    """Two-channel, multi-bank DDR3 with open-row policy and queueing."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        cfg = self.config
+        self._banks = [
+            [_Bank() for _ in range(cfg.banks_per_channel)]
+            for _ in range(cfg.channels)
+        ]
+        self._bus_free = [0.0] * cfg.channels
+        self.stat_reads = 0
+        self.stat_writes = 0
+        self.stat_row_hits = 0
+        self.stat_row_conflicts = 0
+        self.stat_activates = 0
+        self.stat_total_read_latency = 0.0
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+
+    def _map(self, line_addr: int) -> tuple[int, int, int]:
+        """line address -> (channel, bank, row).
+
+        Channels interleave at line granularity and banks right above, so
+        streaming accesses spread across the whole system.
+        """
+        cfg = self.config
+        channel = line_addr % cfg.channels
+        rest = line_addr // cfg.channels
+        bank = rest % cfg.banks_per_channel
+        rest //= cfg.banks_per_channel
+        row = rest // cfg.lines_per_row
+        return channel, bank, row
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def read(self, line_addr: int, now: float) -> float:
+        """Issue a read at CPU-cycle ``now``; return its latency in CPU cycles."""
+        latency = self._request(line_addr, now)
+        self.stat_reads += 1
+        self.stat_total_read_latency += latency
+        return latency
+
+    def write(self, line_addr: int, now: float) -> None:
+        """Issue a posted write; occupies the bank/bus but stalls nothing."""
+        self._request(line_addr, now)
+        self.stat_writes += 1
+
+    def _request(self, line_addr: int, now: float) -> float:
+        cfg = self.config
+        timings = cfg.timings
+        ratio = cfg.cpu_per_dram_cycle
+        channel, bank_index, row = self._map(line_addr)
+        bank = self._banks[channel][bank_index]
+
+        start = now + cfg.controller_cycles
+        if bank.ready_time > start:
+            start = bank.ready_time
+
+        if bank.open_row == row:
+            access_dram = timings.row_hit_cycles
+            self.stat_row_hits += 1
+        elif bank.open_row is None:
+            access_dram = timings.row_empty_cycles
+            self.stat_activates += 1
+        else:
+            # Conflict: respect tRAS since the previous activate before
+            # precharging the old row.
+            self.stat_row_conflicts += 1
+            self.stat_activates += 1
+            earliest_pre = bank.activate_time + timings.tRAS * ratio
+            if earliest_pre > start:
+                start = earliest_pre
+            access_dram = timings.row_conflict_cycles
+        bank.open_row = row
+        bank.activate_time = start
+
+        data_ready = start + access_dram * ratio
+        bus_free = self._bus_free[channel]
+        if bus_free > data_ready:
+            data_ready = bus_free
+        completion = data_ready + timings.burst_cycles * ratio
+        self._bus_free[channel] = completion
+        bank.ready_time = completion
+
+        return completion + cfg.controller_cycles - now
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def average_read_latency(self) -> float:
+        """Mean read latency in CPU cycles (0 when no reads were issued)."""
+        if self.stat_reads == 0:
+            return 0.0
+        return self.stat_total_read_latency / self.stat_reads
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit an open row."""
+        total = self.stat_reads + self.stat_writes
+        if total == 0:
+            return 0.0
+        return self.stat_row_hits / total

@@ -1,0 +1,84 @@
+"""Micron-style DRAM energy model.
+
+The paper estimates DRAM array energy with the Micron DDR3 power
+calculator (Section VI.D, [25]).  That spreadsheet reduces to a small set
+of per-event energies plus background power; this module implements that
+reduction with representative DDR3-1600 values derived from Micron
+datasheet currents (IDD0/IDD4R/IDD4W/IDD2N at 1.5 V), scaled to a
+two-channel system.
+
+Only energy *ratios* between cache configurations matter for reproducing
+Figure 14, so the absolute calibration is less important than the split
+between traffic-proportional energy (reads/writes/activates, which
+compression reduces) and background energy (which it does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.dram import DRAMModel
+
+
+@dataclass(frozen=True)
+class DRAMEnergyParams:
+    """Per-event DRAM energies (nJ) and background power (W)."""
+
+    #: Energy per activate/precharge pair (one row miss).
+    activate_nj: float = 2.5
+    #: Energy per 64B read burst (array + I/O).
+    read_nj: float = 5.0
+    #: Energy per 64B write burst.
+    write_nj: float = 5.2
+    #: Background (standby + refresh) power for the whole memory system.
+    background_watts: float = 0.9
+    #: CPU frequency used to convert cycles to seconds.
+    cpu_hz: float = 4.0e9
+
+
+@dataclass(frozen=True)
+class DRAMEnergyBreakdown:
+    """DRAM energy of one run, in joules."""
+
+    activate_j: float
+    read_j: float
+    write_j: float
+    background_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.activate_j + self.read_j + self.write_j + self.background_j
+
+
+def dram_energy(
+    model: DRAMModel,
+    cycles: float,
+    params: DRAMEnergyParams | None = None,
+) -> DRAMEnergyBreakdown:
+    """Energy consumed by the memory system over a run of ``cycles``."""
+    params = params or DRAMEnergyParams()
+    seconds = cycles / params.cpu_hz
+    return DRAMEnergyBreakdown(
+        activate_j=model.stat_activates * params.activate_nj * 1e-9,
+        read_j=model.stat_reads * params.read_nj * 1e-9,
+        write_j=model.stat_writes * params.write_nj * 1e-9,
+        background_j=params.background_watts * seconds,
+    )
+
+
+def dram_energy_from_counts(
+    reads: int,
+    writes: int,
+    activates: int,
+    cycles: float,
+    params: DRAMEnergyParams | None = None,
+) -> DRAMEnergyBreakdown:
+    """Same computation from raw counters (for the energy bench harness)."""
+    params = params or DRAMEnergyParams()
+    seconds = cycles / params.cpu_hz
+    return DRAMEnergyBreakdown(
+        activate_j=activates * params.activate_nj * 1e-9,
+        read_j=reads * params.read_nj * 1e-9,
+        write_j=writes * params.write_nj * 1e-9,
+        background_j=params.background_watts * seconds,
+    )

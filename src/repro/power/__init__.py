@@ -1,0 +1,24 @@
+"""SRAM energy/area models and system energy accounting."""
+
+from repro.power.area import (
+    ADDRESS_BITS,
+    AreaReport,
+    base_victim_area,
+    paper_headline_area,
+    tag_bits,
+)
+from repro.power.cacti import SRAMEnergyParams, SRAMModel
+from repro.power.energy import EnergyInputs, EnergyReport, system_energy
+
+__all__ = [
+    "ADDRESS_BITS",
+    "AreaReport",
+    "base_victim_area",
+    "EnergyInputs",
+    "EnergyReport",
+    "paper_headline_area",
+    "SRAMEnergyParams",
+    "SRAMModel",
+    "system_energy",
+    "tag_bits",
+]

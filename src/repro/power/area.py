@@ -1,0 +1,94 @@
+"""Area overhead accounting (paper Section IV.C).
+
+The opportunistic compressed cache keeps the data array untouched and adds
+per way: one extra address tag for the Victim Cache plus 9 bits of
+metadata (two 4-bit compressed-size fields, one valid bit).  For the
+paper's 2MB 16-way LLC with 48-bit addresses that is
+
+    40 bits / (39 bits + 512 bits) = 7.3%
+
+of the original tag+data array, and adding the 1.2% compression/
+decompression logic estimate from DCC gives the headline 8.5%.
+These functions reproduce the arithmetic for arbitrary geometries so the
+Section IV.C bench can print the paper's numbers and sensitivity around
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheGeometry
+
+#: Physical address width assumed by the paper.
+ADDRESS_BITS = 48
+
+#: Baseline per-line metadata: replacement + coherence + tracking bits.
+BASELINE_METADATA_BITS = 8
+
+#: Compressed-size field width: 4 bits address 16 sizes at 4B granularity.
+SIZE_FIELD_BITS = 4
+
+#: Victim Cache metadata: one valid bit (clean, random-replaced lines need
+#: no coherence or replacement state, Section IV.C).
+VICTIM_VALID_BITS = 1
+
+#: Compression + decompression logic, as a fraction of cache area (from
+#: DCC's estimate, which the paper adopts).
+COMPRESSION_LOGIC_FRACTION = 0.012
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-way bit accounting and resulting overhead fractions."""
+
+    tag_bits: int
+    baseline_way_bits: int
+    added_bits: int
+    tag_metadata_overhead: float
+    compression_logic_overhead: float
+
+    @property
+    def total_overhead(self) -> float:
+        return self.tag_metadata_overhead + self.compression_logic_overhead
+
+
+def tag_bits(geometry: CacheGeometry, address_bits: int = ADDRESS_BITS) -> int:
+    """Address-tag width for a cache geometry."""
+    return address_bits - geometry.index_bits - geometry.offset_bits
+
+
+def base_victim_area(
+    geometry: CacheGeometry, address_bits: int = ADDRESS_BITS
+) -> AreaReport:
+    """Area overhead of Base-Victim vs. the uncompressed cache.
+
+    ``geometry`` is the *baseline* (uncompressed) geometry; Base-Victim
+    doubles its tags.
+    """
+    tag = tag_bits(geometry, address_bits)
+    data_bits = geometry.line_bytes * 8
+    baseline_way = tag + BASELINE_METADATA_BITS + data_bits
+    # Added per way: a second address tag, two size fields, one valid bit.
+    added = tag + 2 * SIZE_FIELD_BITS + VICTIM_VALID_BITS
+    # The paper's 40b/(39b+512b) counts the original tag + metadata as
+    # 39 bits against a 31-bit tag; it compares the added bits to the
+    # original (tag + data) array.
+    original = tag + BASELINE_METADATA_BITS + data_bits
+    return AreaReport(
+        tag_bits=tag,
+        baseline_way_bits=baseline_way,
+        added_bits=added,
+        tag_metadata_overhead=added / original,
+        compression_logic_overhead=COMPRESSION_LOGIC_FRACTION,
+    )
+
+
+def paper_headline_area() -> AreaReport:
+    """The exact Section IV.C computation: 2MB 16-way, 48-bit addresses.
+
+    The paper quotes 40b/(39b+512b) = 7.3%: a 31-bit tag, 8 bits of
+    original metadata (counted in the denominator as 39b + 512b data) and
+    40 added bits (31-bit tag + 9 metadata bits).
+    """
+    return base_victim_area(CacheGeometry(2 * 2**20, 16))

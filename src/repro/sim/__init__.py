@@ -1,0 +1,67 @@
+"""Simulation drivers, presets, experiment runner and reporting."""
+
+from repro.sim.config import (
+    ARCH_BASE_VICTIM,
+    ARCH_TWO_TAG,
+    ARCH_TWO_TAG_MODIFIED,
+    ARCH_UNCOMPRESSED,
+    ARCH_VSC,
+    BASE_VICTIM_2MB,
+    BASELINE_2MB,
+    BENCH,
+    MachineConfig,
+    PAPER,
+    Preset,
+    PRESETS,
+    TEST,
+    TWO_TAG_2MB,
+    TWO_TAG_MODIFIED_2MB,
+    UNCOMPRESSED_3MB,
+)
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.figures import ascii_series_plot, write_rows_csv, write_series_csv
+from repro.sim.metrics import (
+    bandwidth_ratio,
+    count_losers,
+    dram_read_ratio,
+    dram_write_ratio,
+    geomean,
+    ipc_ratio,
+    weighted_speedup,
+)
+from repro.sim.multi_core import MixRunResult, simulate_mix
+from repro.sim.single_core import RunResult, simulate_trace
+
+__all__ = [
+    "ARCH_BASE_VICTIM",
+    "ARCH_TWO_TAG",
+    "ARCH_TWO_TAG_MODIFIED",
+    "ARCH_UNCOMPRESSED",
+    "ARCH_VSC",
+    "ascii_series_plot",
+    "bandwidth_ratio",
+    "BASE_VICTIM_2MB",
+    "BASELINE_2MB",
+    "BENCH",
+    "count_losers",
+    "dram_read_ratio",
+    "dram_write_ratio",
+    "ExperimentRunner",
+    "geomean",
+    "ipc_ratio",
+    "MachineConfig",
+    "MixRunResult",
+    "PAPER",
+    "Preset",
+    "PRESETS",
+    "RunResult",
+    "simulate_mix",
+    "simulate_trace",
+    "TEST",
+    "TWO_TAG_2MB",
+    "TWO_TAG_MODIFIED_2MB",
+    "UNCOMPRESSED_3MB",
+    "weighted_speedup",
+    "write_rows_csv",
+    "write_series_csv",
+]

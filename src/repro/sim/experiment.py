@@ -1,0 +1,138 @@
+"""Experiment runner with persistent result caching.
+
+Every figure in the paper is a sweep of (machine configuration x trace
+set); many machines recur across figures (the 2MB baseline appears in all
+of them).  The runner memoises each (preset, machine, trace) run both in
+memory and on disk (JSON-lines under ``.repro_cache/``), so the bench
+suite shares work across files and across invocations.
+
+Results are invalidated by bumping :data:`CACHE_VERSION` whenever the
+simulator's behaviour changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.sim.config import MachineConfig, Preset
+from repro.sim.multi_core import MixRunResult, simulate_mix
+from repro.sim.single_core import RunResult, simulate_trace
+from repro.workloads.mixes import MixSpec
+from repro.workloads.suite import SUITE_VERSION, TraceSuite
+
+#: Bump to invalidate previously cached results when simulator behaviour
+#: changes; the workload suite carries its own version
+#: (:data:`repro.workloads.suite.SUITE_VERSION`) folded into every key.
+CACHE_VERSION = 3
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache location: $REPRO_CACHE_DIR or .repro_cache under the CWD."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro_cache"
+
+
+class ExperimentRunner:
+    """Caches single-trace and mix runs for one preset."""
+
+    def __init__(
+        self,
+        preset: Preset,
+        cache_dir: Path | None = None,
+        use_disk_cache: bool = True,
+    ) -> None:
+        self.preset = preset
+        self.suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
+        self.use_disk_cache = use_disk_cache
+        self._memory: dict[str, dict] = {}
+        self._cache_path: Path | None = None
+        if use_disk_cache:
+            directory = cache_dir or default_cache_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            self._cache_path = directory / f"results-v{CACHE_VERSION}-{preset.name}.jsonl"
+            self._load_disk_cache()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _load_disk_cache(self) -> None:
+        if self._cache_path is None or not self._cache_path.exists():
+            return
+        with self._cache_path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from an interrupted run
+                self._memory[entry["key"]] = entry["result"]
+
+    def _store(self, key: str, result: dict) -> None:
+        self._memory[key] = result
+        if self._cache_path is not None:
+            with self._cache_path.open("a") as handle:
+                handle.write(json.dumps({"key": key, "result": result}) + "\n")
+
+    @staticmethod
+    def _single_key(machine: MachineConfig, trace_name: str, length: int) -> str:
+        return f"single|s{SUITE_VERSION}|{machine.label}|{trace_name}|{length}"
+
+    @staticmethod
+    def _mix_key(machine: MachineConfig, mix: MixSpec, length: int) -> str:
+        traces = ",".join(mix.trace_names)
+        return f"mix|s{SUITE_VERSION}|{machine.label}|{mix.name}:{traces}|{length}"
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def run_single(self, machine: MachineConfig, trace_name: str) -> RunResult:
+        """One (machine, trace) run, cached."""
+        key = self._single_key(machine, trace_name, self.preset.trace_length)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return RunResult.from_dict(cached)
+        trace = self.suite.trace(trace_name)
+        data = self.suite.data_model(trace_name)
+        result = simulate_trace(trace, data, machine, self.preset)
+        self._store(key, result.to_dict())
+        return result
+
+    def run_many(
+        self, machine: MachineConfig, trace_names: Iterable[str]
+    ) -> list[RunResult]:
+        """Run a machine across a list of traces."""
+        return [self.run_single(machine, name) for name in trace_names]
+
+    def run_mix(self, machine: MachineConfig, mix: MixSpec) -> MixRunResult:
+        """One multi-program mix run, cached."""
+        key = self._mix_key(machine, mix, self.preset.trace_length)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return MixRunResult.from_dict(cached)
+        result = simulate_mix(mix, machine, self.preset, self.suite)
+        self._store(key, result.to_dict())
+        return result
+
+    def run_pair(
+        self,
+        baseline: MachineConfig,
+        candidate: MachineConfig,
+        trace_names: Sequence[str],
+    ) -> list[tuple[RunResult, RunResult]]:
+        """(baseline, candidate) runs per trace, for ratio metrics."""
+        return [
+            (self.run_single(baseline, name), self.run_single(candidate, name))
+            for name in trace_names
+        ]

@@ -1,0 +1,95 @@
+"""Figure export: ASCII line plots and CSV series.
+
+The paper's single-thread figures are sorted per-trace ratio series.
+These helpers render them as dependency-free ASCII plots for terminals
+and as CSV files for external plotting tools, so every bench can leave a
+plottable artifact next to its printed summary.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Plot canvas dimensions (characters).
+DEFAULT_WIDTH = 72
+DEFAULT_HEIGHT = 16
+
+
+def ascii_series_plot(
+    series: Mapping[str, Mapping[str, float]],
+    title: str,
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+) -> str:
+    """Render sorted ratio series as an ASCII line plot.
+
+    ``series`` maps a label to {trace: ratio}; each series is sorted
+    ascending (the paper's presentation) and drawn with its own glyph.
+    A reference line marks ratio 1.0.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    glyphs = "*o+x#@"
+    sorted_series = {
+        label: sorted(values.values()) for label, values in series.items()
+    }
+    lo = min(min(v) for v in sorted_series.values())
+    hi = max(max(v) for v in sorted_series.values())
+    lo = min(lo, 1.0)
+    hi = max(hi, 1.0)
+    span = hi - lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    baseline_row = height - 1 - int(round((1.0 - lo) / span * (height - 1)))
+    for col in range(width):
+        canvas[baseline_row][col] = "-"
+
+    for (label, values), glyph in zip(sorted_series.items(), glyphs):
+        n = len(values)
+        for col in range(width):
+            value = values[min(n - 1, col * n // width)]
+            row = height - 1 - int(round((value - lo) / span * (height - 1)))
+            canvas[row][col] = glyph
+
+    lines = [title]
+    for row_index, row in enumerate(canvas):
+        value = hi - span * row_index / (height - 1)
+        lines.append(f"{value:7.3f} |" + "".join(row))
+    lines.append(" " * 9 + f"traces sorted by ratio ({next(iter(sorted_series))} ...)")
+    legend = "  ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(sorted_series.items(), glyphs)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def write_series_csv(
+    path: str | Path,
+    series: Mapping[str, Mapping[str, float]],
+) -> None:
+    """Write per-trace series as CSV: one row per trace, one column per label."""
+    if not series:
+        raise ValueError("no series to export")
+    labels = list(series)
+    traces = sorted({trace for values in series.values() for trace in values})
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["trace"] + labels)
+        for trace in traces:
+            writer.writerow(
+                [trace] + [f"{series[label].get(trace, '')}" for label in labels]
+            )
+
+
+def write_rows_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write a simple table (e.g. Figure 9's category means) as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)

@@ -1,0 +1,83 @@
+"""Metrics used by the paper's evaluation.
+
+The paper reports single-thread performance as IPC normalised to the
+uncompressed 2MB baseline, aggregated with the geometric mean (Section V),
+DRAM read traffic as a ratio to baseline, and multi-program performance as
+normalised weighted speedup (Section VI.C).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sim.single_core import RunResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def ipc_ratio(run: RunResult, baseline: RunResult) -> float:
+    """IPC of ``run`` normalised to the baseline run of the same trace."""
+    if run.trace != baseline.trace:
+        raise ValueError(
+            f"comparing different traces: {run.trace!r} vs {baseline.trace!r}"
+        )
+    if baseline.ipc <= 0:
+        raise ValueError(f"baseline IPC must be positive, got {baseline.ipc}")
+    return run.ipc / baseline.ipc
+
+
+def dram_read_ratio(run: RunResult, baseline: RunResult) -> float:
+    """DRAM reads of ``run`` normalised to baseline (the figures' red line)."""
+    if baseline.memory_reads == 0:
+        return 1.0 if run.memory_reads == 0 else float("inf")
+    return run.memory_reads / baseline.memory_reads
+
+
+def dram_write_ratio(run: RunResult, baseline: RunResult) -> float:
+    """DRAM writes normalised to baseline (Base-Victim does not reduce these)."""
+    if baseline.memory_writes == 0:
+        return 1.0 if run.memory_writes == 0 else float("inf")
+    return run.memory_writes / baseline.memory_writes
+
+
+def bandwidth_ratio(run: RunResult, baseline: RunResult) -> float:
+    """Total DRAM traffic (reads + writes) normalised to baseline."""
+    base = baseline.memory_reads + baseline.memory_writes
+    if base == 0:
+        return 1.0
+    return (run.memory_reads + run.memory_writes) / base
+
+
+def weighted_speedup(
+    shared: Sequence[RunResult], alone: Sequence[RunResult]
+) -> float:
+    """Sum over threads of IPC_shared / IPC_alone (Section VI.C)."""
+    if len(shared) != len(alone):
+        raise ValueError(
+            f"thread count mismatch: {len(shared)} shared vs {len(alone)} alone"
+        )
+    total = 0.0
+    for s, a in zip(shared, alone):
+        if s.trace != a.trace:
+            raise ValueError(f"thread order mismatch: {s.trace!r} vs {a.trace!r}")
+        if a.ipc <= 0:
+            raise ValueError(f"alone IPC must be positive for {a.trace!r}")
+        total += s.ipc / a.ipc
+    return total
+
+
+def count_losers(ratios: Iterable[float], threshold: float = 1.0) -> int:
+    """How many normalised values fall below the threshold."""
+    return sum(1 for ratio in ratios if ratio < threshold)

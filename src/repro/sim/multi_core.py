@@ -1,0 +1,187 @@
+"""Multi-program (shared LLC) simulation driver.
+
+Section V: four single-threaded traces share one LLC; each thread runs its
+performance-measurement phase once, and threads that finish early *keep
+executing* (wrapping around their trace) so shared-LLC contention stays
+realistic until the slowest thread completes.  Performance is reported as
+weighted speedup against single-program runs on the same machine.
+
+Threads are interleaved by their simulated clocks: at every step the
+thread with the smallest accumulated cycle count issues its next access,
+so faster threads naturally issue more requests per unit time.  Each
+thread gets private L1/L2 caches and a private address-space offset (two
+instances of the same trace in one mix must not share lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import L1, CacheHierarchy
+from repro.memory.dram import DRAMModel
+from repro.sim.config import MachineConfig, Preset
+from repro.sim.single_core import RunResult, core_params_for
+from repro.timing.core_model import CoreTimingModel
+from repro.workloads.datagen import LineDataModel
+from repro.workloads.mixes import MixSpec
+from repro.workloads.suite import TraceSuite
+from repro.workloads.trace import Trace
+
+#: Per-thread address-space offset (lines); far above any trace footprint.
+_THREAD_STRIDE = 1 << 44
+
+
+@dataclass
+class MixRunResult:
+    """Outcome of one mix on one machine: per-thread results + LLC stats."""
+
+    mix: str
+    machine: str
+    threads: list[dict] = field(default_factory=list)
+    llc_hits: int = 0
+    llc_misses: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    @property
+    def thread_results(self) -> list[RunResult]:
+        return [RunResult.from_dict(t) for t in self.threads]
+
+    @property
+    def llc_hit_rate(self) -> float:
+        lookups = self.llc_hits + self.llc_misses
+        if lookups == 0:
+            return 0.0
+        return self.llc_hits / lookups
+
+    def to_dict(self) -> dict:
+        return {
+            "mix": self.mix,
+            "machine": self.machine,
+            "threads": self.threads,
+            "llc_hits": self.llc_hits,
+            "llc_misses": self.llc_misses,
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MixRunResult":
+        return cls(**data)
+
+
+class _Thread:
+    """One hardware thread's private state."""
+
+    __slots__ = (
+        "name",
+        "trace",
+        "data",
+        "hierarchy",
+        "core",
+        "index",
+        "finished_once",
+        "offset",
+        "measured_instr",
+        "measured_cycles",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace: Trace,
+        data: LineDataModel,
+        hierarchy: CacheHierarchy,
+        core: CoreTimingModel,
+        offset: int,
+    ) -> None:
+        self.name = name
+        self.trace = trace
+        self.data = data
+        self.hierarchy = hierarchy
+        self.core = core
+        self.index = 0
+        self.finished_once = False
+        self.offset = offset
+        self.measured_instr = 0
+        self.measured_cycles = 0.0
+
+
+def simulate_mix(
+    mix: MixSpec,
+    machine: MachineConfig,
+    preset: Preset,
+    suite: TraceSuite,
+) -> MixRunResult:
+    """Run one four-way mix on one machine configuration."""
+    llc = machine.build_llc(preset)
+    dram = DRAMModel()
+    hierarchy_config = preset.hierarchy_config(machine.prefetch_degree)
+
+    threads: list[_Thread] = []
+    for tid, trace_name in enumerate(mix.trace_names):
+        trace = suite.trace(trace_name)
+        data = suite.data_model(trace_name)
+        offset = (tid + 1) * _THREAD_STRIDE
+
+        def size_fn(addr: int, _data=data, _offset=offset) -> int:
+            return _data.size_of(addr - _offset)
+
+        hierarchy = CacheHierarchy(llc, size_fn, hierarchy_config, memory=dram)
+        core = CoreTimingModel(core_params_for(trace, machine))
+        threads.append(_Thread(trace_name, trace, data, hierarchy, core, offset))
+
+    unfinished = len(threads)
+    while unfinished > 0:
+        # The thread with the smallest clock issues next.
+        thread = min(threads, key=_thread_clock)
+        trace = thread.trace
+        i = thread.index
+        base_addr = trace.addrs[i]
+        is_write = trace.kinds[i] == 1
+        if is_write:
+            thread.data.on_write(base_addr)
+        thread.core.advance(trace.deltas[i])
+        thread.hierarchy.now = thread.core.cycles
+        outcome = thread.hierarchy.access(base_addr + thread.offset, is_write)
+        if outcome.level != L1:
+            thread.core.account_access(outcome, outcome.dram_latency)
+
+        thread.index += 1
+        if thread.index >= len(trace):
+            thread.index = 0  # wrap: keep generating contention
+            if not thread.finished_once:
+                thread.finished_once = True
+                thread.measured_instr = thread.core.instructions
+                thread.measured_cycles = thread.core.cycles
+                unfinished -= 1
+
+    result = MixRunResult(mix=mix.name, machine=machine.label)
+    for thread in threads:
+        stats = thread.hierarchy.stats
+        cycles = thread.measured_cycles
+        run = RunResult(
+            trace=thread.name,
+            machine=machine.label,
+            instructions=thread.measured_instr,
+            cycles=cycles,
+            ipc=thread.measured_instr / cycles if cycles else 0.0,
+            accesses=stats.accesses,
+            l1_hits=stats.l1_hits,
+            l2_hits=stats.l2_hits,
+            llc_hits=stats.llc_hits,
+            llc_victim_hits=stats.llc_victim_hits,
+            llc_misses=stats.llc_misses,
+            memory_reads=stats.memory_reads,
+            memory_writes=stats.memory_writes,
+        )
+        result.threads.append(run.to_dict())
+        result.llc_hits += stats.llc_hits
+        result.llc_misses += stats.llc_misses
+        result.memory_reads += stats.memory_reads
+        result.memory_writes += stats.memory_writes
+    return result
+
+
+def _thread_clock(thread: _Thread) -> float:
+    return thread.core.cycles

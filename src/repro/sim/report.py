@@ -1,0 +1,115 @@
+"""Report formatting for experiments.
+
+Turns run results into the paper's presentation units: sorted per-trace
+ratio series (the line graphs of Figures 6-8 and 12), per-category
+averages (Figures 9-11), and summary rows with loser counts and extreme
+outliers.  Everything returns plain strings so benches can ``print`` and
+tests can assert on structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.sim.metrics import count_losers, geomean
+from repro.sim.single_core import RunResult
+from repro.workloads.suite import CATEGORIES, all_specs
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ratio_series_summary(
+    title: str,
+    ipc_ratios: Mapping[str, float],
+    read_ratios: Mapping[str, float] | None = None,
+) -> str:
+    """Summary of a sorted per-trace ratio series (one paper line graph)."""
+    ratios = sorted(ipc_ratios.values())
+    lines = [title]
+    lines.append(
+        f"  traces={len(ratios)}  geomean={geomean(ratios):.4f}  "
+        f"min={ratios[0]:.4f}  max={ratios[-1]:.4f}  "
+        f"losers(<1.0)={count_losers(ratios)}"
+    )
+    if read_ratios is not None:
+        reads = sorted(read_ratios.values())
+        lines.append(
+            f"  DRAM read ratio: geomean={geomean(reads):.4f}  "
+            f"min={reads[0]:.4f}  max={reads[-1]:.4f}"
+        )
+    # A compact textual rendering of the sorted series.
+    step = max(1, len(ratios) // 12)
+    sampled = ", ".join(f"{r:.3f}" for r in ratios[::step])
+    lines.append(f"  sorted IPC ratios (sampled): {sampled}")
+    return "\n".join(lines)
+
+
+def category_of(trace_name: str) -> str:
+    """Workload category for a trace name."""
+    for spec in all_specs():
+        if spec.name == trace_name:
+            return spec.category
+    raise KeyError(f"unknown trace {trace_name!r}")
+
+
+def per_category_geomeans(ipc_ratios: Mapping[str, float]) -> dict[str, float]:
+    """Geomean IPC ratio per workload category plus 'average' overall."""
+    groups: dict[str, list[float]] = {cat: [] for cat in CATEGORIES}
+    for name, ratio in ipc_ratios.items():
+        groups[category_of(name)].append(ratio)
+    out = {
+        cat: geomean(values) for cat, values in groups.items() if values
+    }
+    out["average"] = geomean(ipc_ratios.values())
+    return out
+
+
+def category_table(
+    series: Mapping[str, Mapping[str, float]], title: str
+) -> str:
+    """Figure-9-style table: one row per configuration, one column per category."""
+    columns = list(CATEGORIES) + ["average"]
+    rows = []
+    for label, ipc_ratios in series.items():
+        means = per_category_geomeans(ipc_ratios)
+        rows.append([label] + [f"{means.get(col, float('nan')):.3f}" for col in columns])
+    return title + "\n" + format_table(["config"] + columns, rows)
+
+
+def traffic_summary(runs: Sequence[RunResult], baselines: Sequence[RunResult]) -> str:
+    """Section VI.D traffic rows: reads, writes, bandwidth, LLC accesses."""
+    reads = sum(r.memory_reads for r in runs) / max(
+        1, sum(b.memory_reads for b in baselines)
+    )
+    writes = sum(r.memory_writes for r in runs) / max(
+        1, sum(b.memory_writes for b in baselines)
+    )
+    total = sum(r.memory_reads + r.memory_writes for r in runs) / max(
+        1, sum(b.memory_reads + b.memory_writes for b in baselines)
+    )
+    # The paper's "+31% additional accesses to LLC" counts data-array
+    # operations including base<->victim migrations, which our results
+    # expose as data_reads/data_writes.
+    llc = sum(r.llc_data_reads + r.llc_data_writes for r in runs) / max(
+        1, sum(b.llc_data_reads + b.llc_data_writes for b in baselines)
+    )
+    return (
+        f"  DRAM reads ratio:        {reads:.3f}\n"
+        f"  DRAM writes ratio:       {writes:.3f}\n"
+        f"  DRAM bandwidth ratio:    {total:.3f}\n"
+        f"  LLC data-array op ratio: {llc:.3f}"
+    )

@@ -1,0 +1,148 @@
+"""Single-threaded trace simulation driver.
+
+Glues together one trace, its data model, a machine configuration, the
+cache hierarchy, the DRAM model and the analytic core timing model, and
+produces a serialisable :class:`RunResult` with every counter the paper's
+figures need (IPC, DRAM reads/writes, LLC behaviour, energy inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.cache.hierarchy import L1, CacheHierarchy
+from repro.memory.dram import DRAMModel
+from repro.sim.config import MachineConfig, Preset
+from repro.timing.core_model import CoreParams, CoreTimingModel
+from repro.timing.latency import LatencyParams
+from repro.workloads.datagen import LineDataModel
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class RunResult:
+    """All measurements of one (trace, machine) run."""
+
+    trace: str
+    machine: str
+    instructions: int = 0
+    cycles: float = 0.0
+    ipc: float = 0.0
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    llc_victim_hits: int = 0
+    llc_misses: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    dram_activates: int = 0
+    dram_avg_read_latency: float = 0.0
+    compressed_hits: int = 0
+    back_invalidations: int = 0
+    silent_evictions: int = 0
+    llc_accesses: int = 0
+    llc_data_reads: int = 0
+    llc_data_writes: int = 0
+    llc_fill_segments: int = 0
+    writebacks_to_llc: int = 0
+    prefetch_fills: int = 0
+    avg_compressed_fraction: float = 1.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def llc_hit_rate(self) -> float:
+        """LLC hits over LLC lookups (demand accesses reaching the LLC)."""
+        lookups = self.llc_hits + self.llc_misses
+        if lookups == 0:
+            return 0.0
+        return self.llc_hits / lookups
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON caching."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(**data)
+
+
+def core_params_for(trace: Trace, machine: MachineConfig) -> CoreParams:
+    """Core timing parameters: trace MLP plus machine latency adders."""
+    meta = trace.meta
+    latencies = LatencyParams(
+        llc_cycles=LatencyParams().llc_cycles + machine.extra_llc_latency
+    )
+    return CoreParams(
+        mlp_l2=meta.mlp_l2,
+        mlp_llc=meta.mlp_llc,
+        mlp_memory=meta.mlp_memory,
+        latencies=latencies,
+    )
+
+
+def simulate_trace(
+    trace: Trace,
+    data: LineDataModel,
+    machine: MachineConfig,
+    preset: Preset,
+) -> RunResult:
+    """Run one trace through one machine configuration."""
+    llc = machine.build_llc(preset)
+    dram = DRAMModel()
+    hierarchy = CacheHierarchy(
+        llc,
+        size_fn=data.size_of,
+        config=preset.hierarchy_config(machine.prefetch_degree),
+        memory=dram,
+    )
+    core = CoreTimingModel(core_params_for(trace, machine))
+
+    kinds = trace.kinds
+    addrs = trace.addrs
+    deltas = trace.deltas
+    on_write = data.on_write
+    access = hierarchy.access
+    advance = core.advance
+    account = core.account_access
+
+    for i in range(len(addrs)):
+        advance(deltas[i])
+        hierarchy.now = core.cycles
+        addr = addrs[i]
+        is_write = kinds[i] == 1
+        if is_write:
+            on_write(addr)
+        outcome = access(addr, is_write)
+        if outcome.level != L1:
+            account(outcome, outcome.dram_latency)
+
+    stats = hierarchy.stats
+    result = RunResult(
+        trace=trace.meta.name,
+        machine=machine.label,
+        instructions=core.instructions,
+        cycles=core.cycles,
+        ipc=core.ipc,
+        accesses=stats.accesses,
+        l1_hits=stats.l1_hits,
+        l2_hits=stats.l2_hits,
+        llc_hits=stats.llc_hits,
+        llc_victim_hits=stats.llc_victim_hits,
+        llc_misses=stats.llc_misses,
+        memory_reads=stats.memory_reads,
+        memory_writes=stats.memory_writes,
+        dram_activates=dram.stat_activates,
+        dram_avg_read_latency=dram.average_read_latency,
+        compressed_hits=stats.compressed_hits,
+        back_invalidations=stats.back_invalidations,
+        silent_evictions=stats.silent_evictions,
+        llc_accesses=stats.llc_accesses,
+        llc_data_reads=stats.llc_data_reads,
+        llc_data_writes=stats.llc_data_writes,
+        llc_fill_segments=stats.llc_fill_segments,
+        writebacks_to_llc=stats.writebacks_to_llc,
+        prefetch_fills=stats.prefetch_fills,
+        avg_compressed_fraction=data.average_size_fraction(),
+    )
+    return result

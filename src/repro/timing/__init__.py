@@ -1,0 +1,6 @@
+"""Analytic core timing model and latency parameters."""
+
+from repro.timing.core_model import CoreParams, CoreTimingModel
+from repro.timing.latency import LatencyParams
+
+__all__ = ["CoreParams", "CoreTimingModel", "LatencyParams"]

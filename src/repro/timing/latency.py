@@ -1,0 +1,24 @@
+"""Load-to-use latency parameters (paper Section V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Cycle latencies of the cache hierarchy at 4 GHz."""
+
+    l1_cycles: int = 3
+    l2_cycles: int = 10
+    llc_cycles: int = 24
+
+    @property
+    def l2_exposed(self) -> int:
+        """Extra cycles an L2 hit adds beyond the pipelined L1 latency."""
+        return self.l2_cycles - self.l1_cycles
+
+    @property
+    def llc_exposed(self) -> int:
+        """Extra cycles an LLC hit adds beyond the pipelined L1 latency."""
+        return self.llc_cycles - self.l1_cycles

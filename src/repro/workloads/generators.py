@@ -1,0 +1,231 @@
+"""Synthetic access-pattern generators.
+
+Each generator produces the *address/instruction* stream of one trace;
+data values (and therefore compressed sizes) are layered on by
+:mod:`repro.workloads.datagen`.  The patterns are the classic building
+blocks of the paper's four workload categories (Table I):
+
+``stream``
+    Multiple concurrent sequential streams over large arrays with a small
+    hot set — SPECfp-style stencils/fields (lbm, milc, bwaves).  Cyclic
+    re-walks give sharp capacity cliffs: a working set slightly above the
+    LLC thrashes the baseline but fits a compressed cache.
+``zipf``
+    Zipf-popularity references over a large footprint — SPECint-style
+    irregular heaps (mcf, omnetpp, xalancbmk).  Broad reuse-distance
+    spectrum, so hit rate grows smoothly with effective capacity.
+``regions``
+    Many small documents/buffers with popularity skew — productivity
+    suites (office, compression tools).
+``frames``
+    Repeated walks over a frame-sized buffer plus a hot surface cache —
+    client/media workloads (browser, 3DMark, Cinebench).
+``l2fit``
+    Small working set served by the L2; LLC-insensitive filler.
+``scan``
+    A touch-once scan far larger than any LLC; also insensitive.
+
+All randomness is a :class:`DeterministicRandom` stream seeded by the
+trace spec, so every trace is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache.replacement.base import DeterministicRandom
+from repro.workloads.trace import LOAD, STORE, Trace, TraceMeta
+
+_HASH_MULT = 0x9E3779B97F4A7C15
+_HASH_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix(value: int) -> int:
+    value = (value * _HASH_MULT) & _HASH_MASK
+    value ^= value >> 29
+    return value
+
+
+@dataclass(frozen=True)
+class PatternParams:
+    """Knobs shared by all pattern generators."""
+
+    kind: str
+    #: Total distinct lines the pattern may touch.
+    footprint_lines: int
+    #: Lines in the hot (high-reuse) subset.
+    hot_lines: int = 64
+    #: Probability of an access going to the hot subset.
+    hot_fraction: float = 0.1
+    #: Probability of a store.
+    write_fraction: float = 0.15
+    #: Mean instructions between accesses.
+    instrs_per_access: float = 4.0
+    #: Concurrent streams for the ``stream``/``frames`` kinds.
+    num_streams: int = 4
+
+
+class PatternGenerator:
+    """Generates the address stream for one pattern specification."""
+
+    def __init__(self, params: PatternParams, seed: int) -> None:
+        if params.footprint_lines <= 0:
+            raise ValueError(
+                f"footprint_lines must be positive, got {params.footprint_lines}"
+            )
+        self.params = params
+        self.rng = DeterministicRandom(seed * 2654435761 + 12345)
+        self._seed = seed
+        builders = {
+            "stream": self._next_stream,
+            "zipf": self._next_zipf,
+            "regions": self._next_regions,
+            "frames": self._next_frames,
+            "l2fit": self._next_l2fit,
+            "scan": self._next_scan,
+        }
+        try:
+            self._next = builders[params.kind]
+        except KeyError:
+            known = ", ".join(sorted(builders))
+            raise ValueError(
+                f"unknown pattern kind {params.kind!r}; known: {known}"
+            ) from None
+        self._init_state()
+
+    def _init_state(self) -> None:
+        params = self.params
+        n = max(1, params.num_streams)
+        footprint = params.footprint_lines
+        # Streams start spread evenly over the footprint.
+        self._cursors = [footprint * i // n for i in range(n)]
+        self._scan_pos = 0
+        self._log_footprint = math.log(max(2, footprint))
+        # Region layout for the "regions" kind: up to 32 regions.  Small
+        # footprints get fewer regions rather than degenerate (or
+        # negative) sizes.
+        region_count = max(1, min(32, footprint // 16))
+        sizes = []
+        remaining = footprint
+        for index in range(region_count):
+            if index == region_count - 1:
+                share = remaining
+            else:
+                share = max(1, remaining // (region_count - index))
+            share = min(share, remaining - (region_count - 1 - index))
+            share = max(1, share)
+            sizes.append(share)
+            remaining -= share
+        starts = []
+        offset = 0
+        for size in sizes:
+            starts.append(offset)
+            offset += size
+        self._regions = list(zip(starts, sizes))
+        self._region_cursors = [0] * region_count
+
+    # ------------------------------------------------------------------
+    # Pattern steppers: each returns the next line address.
+    # ------------------------------------------------------------------
+
+    def _hot_line(self) -> int:
+        """A line from the hot subset, mildly skewed toward its head."""
+        params = self.params
+        rank = min(
+            self.rng.below(params.hot_lines),
+            self.rng.below(params.hot_lines),
+        )
+        return self._map(params.footprint_lines + rank)
+
+    def _next_stream(self) -> int:
+        params = self.params
+        rng = self.rng
+        if rng.below(1000) < params.hot_fraction * 1000:
+            return self._hot_line()
+        stream = rng.below(len(self._cursors))
+        pos = self._cursors[stream]
+        self._cursors[stream] = (pos + 1) % params.footprint_lines
+        return self._map(pos)
+
+    def _next_zipf(self) -> int:
+        params = self.params
+        rng = self.rng
+        if rng.below(1000) < params.hot_fraction * 1000:
+            return self._hot_line()
+        # Log-uniform rank: P(rank) ~ 1/rank, i.e. Zipf with alpha = 1.
+        u = rng.next() / float(1 << 64)
+        rank = int(math.exp(u * self._log_footprint))
+        if rank >= params.footprint_lines:
+            rank = params.footprint_lines - 1
+        return self._map(rank)
+
+    def _next_regions(self) -> int:
+        params = self.params
+        rng = self.rng
+        if rng.below(1000) < params.hot_fraction * 1000:
+            return self._hot_line()
+        # Skewed region choice: min of two uniforms favours early regions.
+        index = min(rng.below(len(self._regions)), rng.below(len(self._regions)))
+        start, size = self._regions[index]
+        cursor = self._region_cursors[index]
+        if rng.below(8) == 0:
+            cursor = rng.below(size)  # random jump within the document
+        self._region_cursors[index] = (cursor + 1) % size
+        return self._map(start + cursor)
+
+    def _next_frames(self) -> int:
+        params = self.params
+        rng = self.rng
+        roll = rng.below(1000)
+        if roll < params.hot_fraction * 1000:
+            return self._hot_line()
+        if roll < (params.hot_fraction + 0.15) * 1000:
+            # Secondary random touch (textures, metadata).
+            return self._map(rng.below(params.footprint_lines))
+        stream = rng.below(len(self._cursors))
+        pos = self._cursors[stream]
+        self._cursors[stream] = (pos + 1) % params.footprint_lines
+        return self._map(pos)
+
+    def _next_l2fit(self) -> int:
+        return self._map(self.rng.below(self.params.footprint_lines))
+
+    def _next_scan(self) -> int:
+        pos = self._scan_pos
+        self._scan_pos += 1
+        return self._map(pos)
+
+    def _map(self, line: int) -> int:
+        """Place the pattern's line space at a per-trace base address.
+
+        Keeps page structure (line // 64) intact so the stream prefetcher
+        sees real sequential pages, while different traces land in
+        different address ranges.
+        """
+        return (self._seed & 0xFFFF) * (1 << 24) + line
+
+    # ------------------------------------------------------------------
+    # Trace assembly
+    # ------------------------------------------------------------------
+
+    def generate(self, meta: TraceMeta, length: int) -> Trace:
+        """Produce a trace of ``length`` accesses."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        trace = Trace(meta)
+        rng = self.rng
+        write_permille = int(self.params.write_fraction * 1000)
+        # Uniform deltas in [1, 2*mean-1] have the requested mean and are
+        # much cheaper to sample than geometric deltas.
+        delta_span = max(1, int(2 * self.params.instrs_per_access - 1))
+        kinds = trace.kinds
+        addrs = trace.addrs
+        deltas = trace.deltas
+        next_addr = self._next
+        for _ in range(length):
+            kind = STORE if rng.below(1000) < write_permille else LOAD
+            kinds.append(kind)
+            addrs.append(next_addr())
+            deltas.append(1 + rng.below(delta_span))
+        return trace

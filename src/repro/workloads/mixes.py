@@ -1,0 +1,61 @@
+"""Multi-program workload mixes (paper Section V).
+
+The paper evaluates 20 four-way multi-programmed mixes "prepared by mixing
+four representative single-threaded traces from the workload categories".
+We build the same structure deterministically: each mix draws four traces
+from the 60 cache-sensitive specs, sampling across categories so mixes
+combine streaming, irregular and client behaviour (which is what creates
+shared-LLC contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.replacement.base import DeterministicRandom
+from repro.workloads.suite import CATEGORIES, TraceSpec, sensitive_specs
+
+#: Number of mixes in the paper's evaluation.
+NUM_MIXES = 20
+
+#: Threads per mix.
+THREADS_PER_MIX = 4
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One multi-program mix: a name and four trace names."""
+
+    name: str
+    trace_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.trace_names) != THREADS_PER_MIX:
+            raise ValueError(
+                f"a mix needs {THREADS_PER_MIX} traces, got {len(self.trace_names)}"
+            )
+
+
+def build_mixes(count: int = NUM_MIXES, seed: int = 0x4D495845) -> list[MixSpec]:
+    """Deterministically assemble ``count`` four-way mixes."""
+    rng = DeterministicRandom(seed)
+    by_category: dict[str, list[TraceSpec]] = {cat: [] for cat in CATEGORIES}
+    for spec in sensitive_specs():
+        by_category[spec.category].append(spec)
+
+    mixes: list[MixSpec] = []
+    for index in range(count):
+        # Rotate a category emphasis so mixes differ in composition:
+        # two traces from the emphasised category, two from others.
+        emphasis = CATEGORIES[index % len(CATEGORIES)]
+        names: list[str] = []
+        pool = by_category[emphasis]
+        names.append(pool[rng.below(len(pool))].name)
+        names.append(pool[rng.below(len(pool))].name)
+        others = [cat for cat in CATEGORIES if cat != emphasis]
+        for _ in range(THREADS_PER_MIX - 2):
+            cat = others[rng.below(len(others))]
+            pool = by_category[cat]
+            names.append(pool[rng.below(len(pool))].name)
+        mixes.append(MixSpec(name=f"mix{index + 1:02d}", trace_names=tuple(names)))
+    return mixes

@@ -1,0 +1,87 @@
+"""Trace containers.
+
+A trace is the unit of workload in the paper (Section V): a fixed-length
+sequence of memory accesses representing one execution phase of a
+benchmark.  Records are stored as parallel arrays for speed:
+
+* ``kinds[i]``  — 0 for a load, 1 for a store,
+* ``addrs[i]``  — line-granular address (byte address >> 6),
+* ``deltas[i]`` — instructions retired since the previous access
+  (captures the trace's memory intensity; drives the timing model).
+
+Traces also carry the metadata the simulator needs: the workload category
+(Table I), memory-level-parallelism factors for the analytic core model,
+and the :class:`~repro.workloads.datagen.LineDataModel` parameters that
+map each line address to compressed sizes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+
+#: Record kinds.
+LOAD, STORE = 0, 1
+
+
+@dataclass
+class TraceMeta:
+    """Descriptive metadata of one trace."""
+
+    name: str
+    category: str
+    seed: int
+    #: Working-set size in lines (footprint actually touched).
+    footprint_lines: int
+    #: Compressibility class: "friendly", "poor" or "mixed".
+    comp_class: str
+    #: Declared LLC sensitivity (verified empirically by the test suite).
+    cache_sensitive: bool
+    #: Memory-level parallelism factors for the analytic core model.
+    mlp_l2: float = 1.5
+    mlp_llc: float = 1.8
+    mlp_memory: float = 2.0
+    #: Mean instructions between memory accesses.
+    instrs_per_access: float = 4.0
+
+
+@dataclass
+class Trace:
+    """One workload trace: metadata plus packed access records."""
+
+    meta: TraceMeta
+    kinds: array = field(default_factory=lambda: array("b"))
+    addrs: array = field(default_factory=lambda: array("q"))
+    deltas: array = field(default_factory=lambda: array("i"))
+
+    def __post_init__(self) -> None:
+        if not (len(self.kinds) == len(self.addrs) == len(self.deltas)):
+            raise ValueError(
+                "kinds, addrs and deltas must have equal lengths, got "
+                f"{len(self.kinds)}/{len(self.addrs)}/{len(self.deltas)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented by the trace."""
+        return int(sum(self.deltas))
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses that are stores."""
+        if not self.kinds:
+            return 0.0
+        return sum(self.kinds) / len(self.kinds)
+
+    def unique_lines(self) -> int:
+        """Number of distinct line addresses touched."""
+        return len(set(self.addrs))
+
+    def append(self, kind: int, addr: int, delta: int) -> None:
+        """Append one record (used by generators)."""
+        self.kinds.append(kind)
+        self.addrs.append(addr)
+        self.deltas.append(delta)

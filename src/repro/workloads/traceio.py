@@ -1,0 +1,98 @@
+"""Binary trace file format.
+
+Lets users persist generated traces or bring their own (e.g. converted
+from a Pin/DynamoRIO capture).  The format is deliberately simple:
+
+* magic ``b"RPTR"`` + format version (u16),
+* a JSON metadata block (length-prefixed) holding the
+  :class:`~repro.workloads.trace.TraceMeta` fields,
+* the record count (u64),
+* three packed arrays written back to back: kinds (``b``), line
+  addresses (``q``), instruction deltas (``i``).
+
+Arrays are stored in machine byte order with an explicit little-endian
+marker; readers byteswap when needed, so files travel across hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from pathlib import Path
+
+from repro.workloads.trace import Trace, TraceMeta
+
+_MAGIC = b"RPTR"
+_VERSION = 1
+_LITTLE = sys.byteorder == "little"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or unsupported."""
+
+
+def write_trace(trace: Trace, path: str | Path) -> None:
+    """Serialise a trace to ``path``."""
+    meta_json = json.dumps(trace.meta.__dict__).encode("utf-8")
+    kinds = trace.kinds if _LITTLE else _byteswapped(trace.kinds)
+    addrs = trace.addrs if _LITTLE else _byteswapped(trace.addrs)
+    deltas = trace.deltas if _LITTLE else _byteswapped(trace.deltas)
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HI", _VERSION, len(meta_json)))
+        handle.write(meta_json)
+        handle.write(struct.pack("<Q", len(trace)))
+        kinds.tofile(handle)
+        addrs.tofile(handle)
+        deltas.tofile(handle)
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a trace written by :func:`write_trace`."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: not a trace file (magic {magic!r})")
+        header = handle.read(6)
+        if len(header) != 6:
+            raise TraceFormatError(f"{path}: truncated header")
+        version, meta_len = struct.unpack("<HI", header)
+        if version != _VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported version {version} (expected {_VERSION})"
+            )
+        meta_json = handle.read(meta_len)
+        if len(meta_json) != meta_len:
+            raise TraceFormatError(f"{path}: truncated metadata")
+        try:
+            meta = TraceMeta(**json.loads(meta_json))
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(f"{path}: bad metadata: {exc}") from exc
+        count_raw = handle.read(8)
+        if len(count_raw) != 8:
+            raise TraceFormatError(f"{path}: truncated record count")
+        (count,) = struct.unpack("<Q", count_raw)
+
+        kinds = array("b")
+        addrs = array("q")
+        deltas = array("i")
+        try:
+            kinds.fromfile(handle, count)
+            addrs.fromfile(handle, count)
+            deltas.fromfile(handle, count)
+        except (EOFError, ValueError) as exc:
+            # EOFError: clean truncation; ValueError: torn final item.
+            raise TraceFormatError(f"{path}: truncated records") from exc
+        if not _LITTLE:
+            kinds = _byteswapped(kinds)
+            addrs = _byteswapped(addrs)
+            deltas = _byteswapped(deltas)
+    return Trace(meta, kinds=kinds, addrs=addrs, deltas=deltas)
+
+
+def _byteswapped(data: array) -> array:
+    swapped = array(data.typecode, data)
+    swapped.byteswap()
+    return swapped

@@ -1,0 +1,52 @@
+"""Integration: CHAR downgrade hints flow from L2 evictions to the LLC."""
+
+from repro.cache.config import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.replacement import CharPolicy
+from repro.core.uncompressed import UncompressedLLC
+
+
+def make(hints: bool):
+    policy = CharPolicy()
+    llc = UncompressedLLC(CacheGeometry(16 * 8 * 64, 8), policy)
+    config = HierarchyConfig(
+        l1_geometry=CacheGeometry(2 * 2 * 64, 2),
+        l2_geometry=CacheGeometry(4 * 4 * 64, 4),
+        prefetch_degree=0,
+        l2_eviction_hints=hints,
+    )
+    return llc, policy, CacheHierarchy(llc, size_fn=lambda a: 8, config=config)
+
+
+class TestHintDelivery:
+    def test_clean_l2_eviction_downgrades_llc_line(self):
+        llc, policy, h = make(hints=True)
+        h.access(0, False)
+        # Push line 0 out of the small L2 with clean conflicting lines.
+        for addr in range(4, 4 + 16 * 4, 4):
+            h.access(addr, False)
+        # Line 0 must still be in the LLC, but its referenced bit cleared
+        # by the downgrade hint.
+        if llc.contains(0):
+            cset = llc.cache._sets[0]
+            way = cset.lookup[0]
+            assert not cset.policy_state.referenced[way]
+
+    def test_hints_can_be_disabled(self):
+        llc, policy, h = make(hints=False)
+        h.access(0, False)
+        for addr in range(4, 4 + 16 * 4, 4):
+            h.access(addr, False)
+        if llc.contains(0):
+            cset = llc.cache._sets[0]
+            way = cset.lookup[0]
+            assert cset.policy_state.referenced[way]
+
+    def test_dirty_l2_evictions_write_back_not_hint(self):
+        llc, policy, h = make(hints=True)
+        h.access(0, True)  # dirty
+        for addr in range(4, 4 + 16 * 4, 4):
+            h.access(addr, False)
+        # The dirty line was written back to the LLC (a WRITEBACK access
+        # touches the line and re-references it).
+        assert h.stats.writebacks_to_llc >= 1

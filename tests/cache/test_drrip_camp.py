@@ -1,0 +1,136 @@
+"""Tests for the DRRIP and CAMP extension policies."""
+
+import pytest
+
+from repro.cache.replacement.camp import CAMPPolicy, SMALL_THRESHOLD_SEGMENTS
+from repro.cache.replacement.drrip import DRRIPPolicy
+
+
+class TestDRRIP:
+    def test_leader_set_assignment(self):
+        policy = DRRIPPolicy()
+        assert policy.make_set_state(4, 0).leader == 1
+        assert policy.make_set_state(4, 1).leader == -1
+        assert policy.make_set_state(4, 5).leader == 0
+
+    def test_srrip_leader_inserts_long(self):
+        policy = DRRIPPolicy()
+        state = policy.make_set_state(4, 0)
+        policy.on_fill(state, 0)
+        assert state.rrpv[0] == 2
+
+    def test_brrip_leader_mostly_inserts_distant(self):
+        policy = DRRIPPolicy(seed=1)
+        state = policy.make_set_state(4, 1)
+        inserts = []
+        for _ in range(128):
+            policy.on_fill(state, 0)
+            inserts.append(state.rrpv[0])
+        assert inserts.count(3) > inserts.count(2)
+        assert 2 in inserts  # the epsilon long-insertions happen
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DRRIPPolicy()
+        srrip_leader = policy.make_set_state(4, 0)
+        start = policy.psel
+        policy.on_fill(srrip_leader, 0)
+        assert policy.psel == start + 1
+
+    def test_followers_track_psel(self):
+        policy = DRRIPPolicy()
+        brrip_leader = policy.make_set_state(4, 1)
+        for _ in range(600):
+            policy.on_fill(brrip_leader, 0)  # drive PSEL low: SRRIP wins
+        follower = policy.make_set_state(4, 2)
+        policy.on_fill(follower, 0)
+        assert follower.rrpv[0] == 2
+
+    def test_victim_has_max_rrpv(self):
+        policy = DRRIPPolicy()
+        state = policy.make_set_state(4, 0)
+        for way in range(4):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 1)
+        victim = policy.choose_victim(state)
+        assert victim != 1
+
+    def test_hint_and_invalidate(self):
+        policy = DRRIPPolicy()
+        state = policy.make_set_state(2, 0)
+        policy.on_fill(state, 0)
+        policy.on_hint(state, 0)
+        assert state.rrpv[0] == 3
+        policy.on_invalidate(state, 0)
+        assert state.rrpv[0] == 3
+
+
+class TestCAMP:
+    def test_size_aware_leader_penalises_large_lines(self):
+        policy = CAMPPolicy()
+        state = policy.make_set_state(4, 1)  # size-aware leader
+        policy.on_fill_sized(state, 0, SMALL_THRESHOLD_SEGMENTS)
+        policy.on_fill_sized(state, 1, SMALL_THRESHOLD_SEGMENTS + 1)
+        assert state.rrpv[0] == 2
+        assert state.rrpv[1] == 3
+
+    def test_srrip_leader_ignores_size(self):
+        policy = CAMPPolicy()
+        state = policy.make_set_state(4, 0)
+        policy.on_fill_sized(state, 0, 16)
+        assert state.rrpv[0] == 2
+
+    def test_plain_on_fill_treats_size_unknown(self):
+        policy = CAMPPolicy()
+        state = policy.make_set_state(4, 1)
+        policy.on_fill(state, 0)
+        assert state.rrpv[0] == 2  # unknown size: not penalised
+
+    def test_followers_choose_by_psel(self):
+        policy = CAMPPolicy()
+        size_leader = policy.make_set_state(4, 1)
+        for _ in range(600):
+            policy.on_fill_sized(size_leader, 0, 4)  # drive PSEL low
+        follower = policy.make_set_state(4, 2)
+        policy.on_fill_sized(follower, 0, 16)
+        assert follower.rrpv[0] == 2  # SRRIP side won
+
+    def test_hit_promotes(self):
+        policy = CAMPPolicy()
+        state = policy.make_set_state(4, 1)
+        policy.on_fill_sized(state, 0, 16)
+        policy.on_hit(state, 0)
+        assert state.rrpv[0] == 0
+
+    def test_large_lines_evicted_first_in_size_leader(self):
+        policy = CAMPPolicy()
+        state = policy.make_set_state(2, 1)
+        policy.on_fill_sized(state, 0, 4)  # small
+        policy.on_fill_sized(state, 1, 16)  # large: rrpv 3
+        assert policy.choose_victim(state) == 1
+
+
+class TestSimulationIntegration:
+    def test_camp_runs_under_base_victim(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.sim.config import BASE_VICTIM_2MB, TEST
+        from repro.sim.experiment import ExperimentRunner
+
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        machine = replace(BASE_VICTIM_2MB, policy="camp")
+        result = runner.run_single(machine, "mcf.1")
+        assert result.ipc > 0
+
+    def test_drrip_runs_under_base_victim(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB, TEST
+        from repro.sim.experiment import ExperimentRunner
+
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        machine = replace(BASE_VICTIM_2MB, policy="drrip")
+        base = replace(BASELINE_2MB, policy="drrip")
+        bv = runner.run_single(machine, "mcf.1")
+        un = runner.run_single(base, "mcf.1")
+        # The guarantee composes with DRRIP too.
+        assert bv.llc_misses <= un.llc_misses

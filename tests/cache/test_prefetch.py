@@ -1,0 +1,89 @@
+"""Tests for the multi-stream prefetcher."""
+
+import pytest
+
+from repro.cache.prefetch import StreamPrefetcher
+
+
+class TestTraining:
+    def test_untrained_stream_issues_nothing(self):
+        pf = StreamPrefetcher(degree=2)
+        assert pf.observe(100) == []
+
+    def test_two_consistent_strides_train(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.observe(100)
+        pf.observe(101)  # stride 1 recorded
+        out = pf.observe(102)  # stride confirmed: trained
+        assert out == [103, 104]
+
+    def test_trained_stream_keeps_prefetching(self):
+        pf = StreamPrefetcher(degree=1)
+        for addr in (100, 101, 102):
+            pf.observe(addr)
+        assert pf.observe(103) == [104]
+
+    def test_negative_stride(self):
+        pf = StreamPrefetcher(degree=2)
+        for addr in (110, 108, 106):
+            pf.observe(addr)
+        assert pf.observe(104) == [102, 100]
+
+    def test_stride_change_retrains(self):
+        pf = StreamPrefetcher(degree=2)
+        for addr in (100, 101, 102):
+            pf.observe(addr)
+        assert pf.observe(110) == []  # broken stride: retrain
+
+    def test_same_line_repeat_does_not_untrain(self):
+        pf = StreamPrefetcher(degree=1)
+        for addr in (100, 101, 102):
+            pf.observe(addr)
+        pf.observe(102)
+        assert pf.observe(103) == [104]
+
+
+class TestPageBoundaries:
+    def test_prefetch_stays_within_page(self):
+        pf = StreamPrefetcher(degree=4)
+        # Lines 60..63 are at the end of page 0 (64 lines per page).
+        for addr in (60, 61, 62):
+            pf.observe(addr)
+        out = pf.observe(63)
+        assert out == []  # nothing beyond line 63 within the page
+
+    def test_streams_in_different_pages_are_independent(self):
+        pf = StreamPrefetcher(degree=1)
+        for addr in (0, 1, 2):
+            pf.observe(addr)
+        # A different page does not disturb page 0's stream.
+        pf.observe(1000)
+        assert pf.observe(3) == [4]
+
+
+class TestTableManagement:
+    def test_table_is_bounded(self):
+        pf = StreamPrefetcher(degree=1, table_size=4)
+        for page in range(10):
+            pf.observe(page * 64)
+        assert len(pf._table) <= 4
+
+    def test_degree_zero_disables(self):
+        pf = StreamPrefetcher(degree=0)
+        for addr in (100, 101, 102, 103):
+            assert pf.observe(addr) == []
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=-1)
+
+    def test_invalid_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(table_size=0)
+
+    def test_stats_count_issues(self):
+        pf = StreamPrefetcher(degree=2)
+        for addr in (100, 101, 102, 103):
+            pf.observe(addr)
+        assert pf.stat_trainings == 1
+        assert pf.stat_issued >= 2

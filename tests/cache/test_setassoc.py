@@ -1,0 +1,162 @@
+"""Tests for the uncompressed set-associative cache substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheConfigError, CacheGeometry
+from repro.cache.replacement import LRUPolicy, NRUPolicy
+from repro.cache.setassoc import SetAssociativeCache
+
+
+def small_cache(ways=4, sets=8, policy=None):
+    geometry = CacheGeometry(sets * ways * 64, ways)
+    return SetAssociativeCache(geometry, policy or LRUPolicy())
+
+
+class TestGeometry:
+    def test_paper_llc_geometry(self):
+        geometry = CacheGeometry(2 * 2**20, 16)
+        assert geometry.num_sets == 2048
+        assert geometry.index_bits == 11
+        assert geometry.offset_bits == 6
+
+    def test_rejects_non_dividing_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(1000, 3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(CacheConfigError):
+            CacheGeometry(3 * 16 * 64, 16)  # 3 sets
+
+    def test_24_way_3mb_is_valid(self):
+        # The paper's 3MB = 2MB + 8 ways per set (Section VI.A).
+        geometry = CacheGeometry(3 * 2**20, 24)
+        assert geometry.num_sets == 2048
+
+    def test_scaled_preserves_associativity(self):
+        geometry = CacheGeometry(2 * 2**20, 16).scaled(1 / 8)
+        assert geometry.associativity == 16
+        assert geometry.size_bytes == 256 * 1024
+
+    def test_str(self):
+        assert str(CacheGeometry(2 * 2**20, 16)) == "2MB/16w"
+        assert str(CacheGeometry(32 * 1024, 8)) == "32KB/8w"
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.probe(0x100)
+        cache.fill(0x100)
+        assert cache.probe(0x100)
+
+    def test_fill_of_present_line_rejected(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        with pytest.raises(ValueError):
+            cache.fill(0x100)
+
+    def test_write_sets_dirty(self):
+        cache = small_cache()
+        cache.fill(0x100)
+        cache.probe(0x100, is_write=True)
+        assert cache.is_dirty(0x100)
+
+    def test_eviction_returns_victim_with_dirty_state(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0, dirty=True)
+        cache.fill(1)
+        victim = cache.fill(2)
+        assert victim is not None
+        assert victim.addr == 0
+        assert victim.dirty
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.probe(0)  # 1 becomes LRU
+        victim = cache.fill(2)
+        assert victim.addr == 1
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(0x100, dirty=True)
+        present, dirty = cache.invalidate(0x100)
+        assert present and dirty
+        assert not cache.contains(0x100)
+        # Second invalidation is a no-op.
+        assert cache.invalidate(0x100) == (False, False)
+
+    def test_invalidated_way_is_refilled_first(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.invalidate(0)
+        victim = cache.fill(2)
+        assert victim is None  # reused the freed way
+
+    def test_access_convenience(self):
+        cache = small_cache()
+        hit, victim = cache.access(0x42)
+        assert not hit and victim is None
+        hit, victim = cache.access(0x42)
+        assert hit
+
+
+class TestStatsAndIntrospection:
+    def test_hit_miss_counters(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stat_hits == 1
+        assert cache.stat_misses == 2
+
+    def test_occupancy_and_residents(self):
+        cache = small_cache()
+        for addr in (1, 2, 3):
+            cache.fill(addr)
+        assert cache.occupancy() == 3
+        assert set(cache.resident_lines()) == {1, 2, 3}
+
+    def test_set_contents(self):
+        cache = small_cache(ways=2, sets=8)
+        cache.fill(8)  # set 0
+        cache.fill(16)  # set 0
+        assert sorted(cache.set_contents(0)) == [8, 16]
+
+    def test_hint_downgrade_is_safe_for_missing_lines(self):
+        cache = small_cache(policy=NRUPolicy())
+        cache.hint_downgrade(0x999)  # must not raise
+
+
+class TestCapacityInvariant:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.booleans()),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    @settings(max_examples=60)
+    def test_occupancy_never_exceeds_capacity(self, operations):
+        cache = small_cache(ways=4, sets=4)
+        for addr, is_write in operations:
+            cache.access(addr, is_write)
+        assert cache.occupancy() <= 16
+        # lookup tables agree with the arrays
+        for index in range(4):
+            contents = cache.set_contents(index)
+            assert len(contents) == len(set(contents))
+            for addr in contents:
+                assert cache.contains(addr)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    @settings(max_examples=60)
+    def test_most_recent_line_always_resident(self, addrs):
+        cache = small_cache(ways=4, sets=4)
+        for addr in addrs:
+            cache.access(addr)
+            assert cache.contains(addr)

@@ -1,0 +1,135 @@
+"""Tests for Victim Cache insertion policies (Section IV.B.1 / VI.B.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.replacement.victim import (
+    ECMStrictVictimPolicy,
+    ECMVictimPolicy,
+    LRUVictimPolicy,
+    make_victim_policy,
+    MixVictimPolicy,
+    RandomVictimPolicy,
+    VICTIM_POLICIES,
+    VictimCandidate,
+)
+
+
+def cand(way, base_size, occupied=False, victim_size=0, stamp=0):
+    return VictimCandidate(way, base_size, occupied, victim_size, stamp)
+
+
+class TestECM:
+    def test_prefers_free_slot(self):
+        policy = ECMVictimPolicy()
+        chosen = policy.choose(
+            [cand(0, 12, occupied=True, victim_size=4), cand(1, 4, occupied=False)]
+        )
+        assert chosen == 1
+
+    def test_largest_base_partner_among_free(self):
+        policy = ECMVictimPolicy()
+        chosen = policy.choose([cand(0, 4), cand(1, 10), cand(2, 7)])
+        assert chosen == 1
+
+    def test_largest_base_partner_among_occupied(self):
+        policy = ECMVictimPolicy()
+        chosen = policy.choose(
+            [
+                cand(0, 4, occupied=True, victim_size=2),
+                cand(1, 10, occupied=True, victim_size=2),
+            ]
+        )
+        assert chosen == 1
+
+    def test_tie_breaks_to_lowest_way(self):
+        policy = ECMVictimPolicy()
+        assert policy.choose([cand(2, 5), cand(1, 5)]) == 1
+
+
+class TestECMStrict:
+    def test_ignores_occupancy(self):
+        policy = ECMStrictVictimPolicy()
+        chosen = policy.choose(
+            [cand(0, 3, occupied=False), cand(1, 12, occupied=True, victim_size=2)]
+        )
+        assert chosen == 1  # largest base partner even though occupied
+
+    def test_paper_figure4_step5(self):
+        """Figure 4: B (3 segs) fits with F's base (A, 2) or E's base (C, 3);
+        the ECM rule picks the larger base partner, C's way."""
+        policy = ECMStrictVictimPolicy()
+        chosen = policy.choose(
+            [
+                cand(0, 2, occupied=True, victim_size=5),  # A's way, victim F
+                cand(1, 3, occupied=True, victim_size=4),  # C's way, victim E
+            ]
+        )
+        assert chosen == 1
+
+
+class TestLRUAndMix:
+    def test_lru_prefers_free_then_stalest(self):
+        policy = LRUVictimPolicy()
+        assert policy.choose([cand(0, 5, True, 2, stamp=9), cand(1, 5)]) == 1
+        chosen = policy.choose(
+            [cand(0, 5, True, 2, stamp=9), cand(1, 5, True, 2, stamp=3)]
+        )
+        assert chosen == 1
+
+    def test_mix_prefers_free_largest_base(self):
+        policy = MixVictimPolicy()
+        assert policy.choose([cand(0, 3), cand(1, 9)]) == 1
+
+    def test_mix_evicts_stalest_when_all_occupied(self):
+        policy = MixVictimPolicy()
+        chosen = policy.choose(
+            [cand(0, 5, True, 2, stamp=5), cand(1, 5, True, 2, stamp=2)]
+        )
+        assert chosen == 1
+
+
+class TestRandomAndRegistry:
+    def test_random_is_deterministic_per_seed(self):
+        a = RandomVictimPolicy(seed=3)
+        b = RandomVictimPolicy(seed=3)
+        candidates = [cand(i, 4) for i in range(8)]
+        assert [a.choose(candidates) for _ in range(20)] == [
+            b.choose(candidates) for _ in range(20)
+        ]
+
+    def test_random_covers_candidates(self):
+        policy = RandomVictimPolicy(seed=5)
+        candidates = [cand(i, 4) for i in range(4)]
+        assert {policy.choose(candidates) for _ in range(200)} == {0, 1, 2, 3}
+
+    def test_registry(self):
+        for name in VICTIM_POLICIES:
+            assert make_victim_policy(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_victim_policy("belady")
+
+
+@given(
+    policy_name=st.sampled_from(sorted(VICTIM_POLICIES)),
+    candidates=st.lists(
+        st.builds(
+            VictimCandidate,
+            way=st.integers(0, 15),
+            base_size=st.integers(0, 16),
+            occupied=st.booleans(),
+            victim_size=st.integers(0, 16),
+            victim_stamp=st.integers(0, 1000),
+        ),
+        min_size=1,
+        max_size=16,
+    ),
+)
+@settings(max_examples=200)
+def test_choice_is_always_a_candidate(policy_name, candidates):
+    policy = make_victim_policy(policy_name)
+    chosen = policy.choose(candidates)
+    assert chosen in {c.way for c in candidates}

@@ -1,0 +1,163 @@
+"""Tests for Base-Delta-Immediate compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import CompressionError
+from repro.compression.bdi import BDICompressor
+
+bdi = BDICompressor()
+
+lines = st.binary(min_size=64, max_size=64)
+
+
+def pack64(*values):
+    return struct.pack("<8Q", *[v & (1 << 64) - 1 for v in values])
+
+
+def pack32(*values):
+    return struct.pack("<16I", *[v & 0xFFFFFFFF for v in values])
+
+
+class TestSpecialCases:
+    def test_zero_line(self):
+        block = bdi.compress(b"\x00" * 64)
+        assert block.encoding == "zeros"
+        assert block.size_bytes == 1
+        assert block.is_zero
+
+    def test_repeated_value(self):
+        data = (0xDEADBEEFCAFEF00D).to_bytes(8, "little") * 8
+        block = bdi.compress(data)
+        assert block.encoding == "repeated"
+        assert block.size_bytes == 8
+
+    def test_repeated_zero_is_classified_as_zeros(self):
+        # All-zero wins over repeated (it is checked first and is smaller).
+        assert bdi.compress(b"\x00" * 64).encoding == "zeros"
+
+
+class TestDeltaEncodings:
+    def test_base8_delta1(self):
+        base = 0x1234_5678_9ABC_0000
+        data = pack64(*(base + i for i in range(8)))
+        block = bdi.compress(data)
+        assert block.encoding == "base8-delta1"
+        # 8 base + 8 deltas + 1 mask byte.
+        assert block.size_bytes == 17
+
+    def test_base8_delta2(self):
+        base = 0x1234_5678_9ABC_0000
+        data = pack64(*(base + i * 300 for i in range(8)))
+        block = bdi.compress(data)
+        assert block.encoding == "base8-delta2"
+        assert block.size_bytes == 8 + 16 + 1
+
+    def test_base8_delta4(self):
+        base = 0x1234_5678_0000_0000
+        data = pack64(*(base + i * 100_000 for i in range(8)))
+        block = bdi.compress(data)
+        assert block.encoding == "base8-delta4"
+        assert block.size_bytes == 8 + 32 + 1
+
+    def test_base4_delta1(self):
+        base = 0x1234_5600
+        data = pack32(*(base + i for i in range(16)))
+        block = bdi.compress(data)
+        assert block.encoding == "base4-delta1"
+        # 4 base + 16 deltas + 2 mask bytes.
+        assert block.size_bytes == 22
+
+    def test_small_integers_use_immediate_zero_base(self):
+        # Values near zero need no explicit base word at all.
+        data = pack32(*(i - 8 for i in range(16)))
+        block = bdi.compress(data)
+        assert block.encoding == "base4-delta1"
+        assert bdi.decompress(block) == data
+
+    def test_mixed_base_and_immediate(self):
+        # Half the words near zero, half near a large base: the original
+        # BDI immediate case.
+        values = []
+        base = 0x0BAD_F00D_0000_0000
+        for i in range(8):
+            values.append(i if i % 2 == 0 else base + i)
+        data = pack64(*values)
+        block = bdi.compress(data)
+        assert block.is_compressed
+        assert bdi.decompress(block) == data
+
+    def test_incompressible_random_data(self):
+        data = bytes((i * 37 + 11) % 256 for i in range(64))
+        block = bdi.compress(data)
+        assert block.encoding == "uncompressed"
+        assert block.size_bytes == 64
+        assert not block.is_compressed
+
+    def test_delta_wraparound(self):
+        # 0xFFFF...FF is delta -1 from zero: must compress, not overflow.
+        data = pack64(*([0] * 7 + [(1 << 64) - 1]))
+        block = bdi.compress(data)
+        assert block.is_compressed
+        assert bdi.decompress(block) == data
+
+
+class TestDecompression:
+    def test_rejects_foreign_block(self):
+        from repro.compression.zero import ZeroContentCompressor
+
+        foreign = ZeroContentCompressor().compress(b"\x00" * 64)
+        with pytest.raises(CompressionError):
+            bdi.decompress(foreign)
+
+    def test_zero_roundtrip(self):
+        assert bdi.decompress(bdi.compress(b"\x00" * 64)) == b"\x00" * 64
+
+    @given(lines)
+    @settings(max_examples=300)
+    def test_roundtrip_lossless(self, data):
+        assert bdi.decompress(bdi.compress(data)) == data
+
+    @given(lines)
+    @settings(max_examples=200)
+    def test_size_never_exceeds_line(self, data):
+        block = bdi.compress(data)
+        assert 0 < block.size_bytes <= 64
+
+    @given(st.integers(min_value=0, max_value=(1 << 61) - 1), st.integers(0, 255))
+    def test_compressible_family_roundtrip(self, base, spread):
+        data = pack64(*(base + (i * spread) % 256 for i in range(8)))
+        block = bdi.compress(data)
+        assert bdi.decompress(block) == data
+        assert block.size_bytes <= 64
+
+
+class TestInputValidation:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(CompressionError):
+            bdi.compress(b"\x00" * 63)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(CompressionError):
+            bdi.compress("not bytes")  # type: ignore[arg-type]
+
+    def test_custom_line_size(self):
+        small = BDICompressor(line_size=32)
+        data = b"\x00" * 32
+        assert small.decompress(small.compress(data)) == data
+
+    def test_invalid_line_size(self):
+        with pytest.raises(CompressionError):
+            BDICompressor(line_size=33)
+
+
+class TestCompressionRatio:
+    def test_ratio_at_least_one(self):
+        data = bytes((i * 37 + 11) % 256 for i in range(64))
+        assert bdi.compression_ratio(data) == 1.0
+
+    def test_zero_line_ratio_is_large(self):
+        assert bdi.compression_ratio(b"\x00" * 64) == 64.0

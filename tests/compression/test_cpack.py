@@ -1,0 +1,91 @@
+"""Tests for C-Pack compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import CompressionError
+from repro.compression.cpack import CPackCompressor
+
+cpack = CPackCompressor()
+
+lines = st.binary(min_size=64, max_size=64)
+
+
+def words_be(*values):
+    return struct.pack(">16I", *[v & 0xFFFFFFFF for v in values])
+
+
+class TestPatterns:
+    def test_zero_line(self):
+        block = cpack.compress(b"\x00" * 64)
+        assert block.encoding == "zeros"
+        # 16 words * 2 bits = 32 bits = 4 bytes.
+        assert block.size_bytes == 4
+
+    def test_full_dictionary_matches(self):
+        # One distinct word, then 15 full matches.
+        data = words_be(*([0xAABBCCDD] * 16))
+        block = cpack.compress(data)
+        assert block.is_compressed
+        # 1 verbatim (34b) + 15 matches (6b) = 124 bits = 16 bytes.
+        assert block.size_bytes == 16
+        assert cpack.decompress(block) == data
+
+    def test_partial_match_high_bytes(self):
+        base = 0x11223300
+        data = words_be(*(base + i for i in range(16)))
+        block = cpack.compress(data)
+        assert block.is_compressed
+        assert cpack.decompress(block) == data
+
+    def test_zero_extended_byte(self):
+        data = words_be(*(range(16)))
+        block = cpack.compress(data)
+        assert block.is_compressed
+        assert cpack.decompress(block) == data
+
+    def test_incompressible(self):
+        data = bytes((i * 151 + 13) % 256 for i in range(64))
+        block = cpack.compress(data)
+        assert block.size_bytes == 64
+
+
+class TestDictionaryBehaviour:
+    def test_dictionary_is_fifo_bounded(self):
+        # More than 16 distinct words: the dictionary must evict FIFO and
+        # decompression must replay identically.
+        data = words_be(*((0x0100_0000 + i * 0x0001_0001) for i in range(16)))
+        extra = words_be(*((0x2200_0000 + i * 0x0101_0000) for i in range(16)))
+        for payload in (data, extra):
+            assert cpack.decompress(cpack.compress(payload)) == payload
+
+    def test_zero_words_do_not_enter_dictionary(self):
+        # Alternating zero/value: values should still full-match.
+        values = []
+        for i in range(8):
+            values.extend([0, 0xCAFE0000])
+        data = words_be(*values)
+        block = cpack.compress(data)
+        assert block.is_compressed
+        assert cpack.decompress(block) == data
+
+
+class TestRoundTrip:
+    @given(lines)
+    @settings(max_examples=300)
+    def test_roundtrip_lossless(self, data):
+        assert cpack.decompress(cpack.compress(data)) == data
+
+    @given(st.lists(st.sampled_from([0, 1, 0xFF, 0xAB00, 0xDEAD0000]), min_size=16, max_size=16))
+    def test_structured_lines_roundtrip(self, values):
+        data = words_be(*values)
+        assert cpack.decompress(cpack.compress(data)) == data
+
+    def test_rejects_foreign_block(self):
+        from repro.compression.bdi import BDICompressor
+
+        with pytest.raises(CompressionError):
+            cpack.decompress(BDICompressor().compress(b"\x00" * 64))

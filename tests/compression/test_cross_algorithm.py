@@ -1,0 +1,51 @@
+"""Cross-algorithm consistency properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import ALGORITHMS, EVAL_GEOMETRY, make_compressor
+
+lines = st.binary(min_size=64, max_size=64)
+
+
+@given(lines, st.sampled_from(sorted(ALGORITHMS)))
+@settings(max_examples=150)
+def test_size_bounds_hold_for_every_algorithm(data, name):
+    algorithm = make_compressor(name)
+    block = algorithm.compress(data)
+    assert 0 < block.size_bytes <= 64
+    assert 0 < block.size_in_segments(EVAL_GEOMETRY) <= 16
+
+
+@given(lines, st.sampled_from(sorted(ALGORITHMS)))
+@settings(max_examples=150)
+def test_every_algorithm_is_lossless(data, name):
+    algorithm = make_compressor(name)
+    assert algorithm.decompress(algorithm.compress(data)) == data
+
+
+@given(st.sampled_from(sorted(ALGORITHMS)))
+def test_zero_line_compresses_everywhere(name):
+    algorithm = make_compressor(name)
+    block = algorithm.compress(b"\x00" * 64)
+    assert block.is_compressed
+    # Zero blocks are the cheapest representable content for all codecs.
+    assert block.size_bytes <= 8
+
+
+@given(lines)
+@settings(max_examples=100)
+def test_compression_is_deterministic(data):
+    for name in ALGORITHMS:
+        a = make_compressor(name).compress(data)
+        b = make_compressor(name).compress(data)
+        assert a.size_bytes == b.size_bytes
+        assert a.encoding == b.encoding
+
+
+def test_decompression_latencies_are_declared():
+    for name in ALGORITHMS:
+        algorithm = make_compressor(name)
+        assert algorithm.decompression_cycles >= 0
+    # BDI's 2-cycle latency is why the paper picked it (Section V).
+    assert make_compressor("bdi").decompression_cycles == 2

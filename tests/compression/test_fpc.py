@@ -1,0 +1,94 @@
+"""Tests for Frequent Pattern Compression."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import CompressionError
+from repro.compression.fpc import FPCCompressor
+
+fpc = FPCCompressor()
+
+lines = st.binary(min_size=64, max_size=64)
+
+
+def words(*values):
+    return struct.pack("<16I", *[v & 0xFFFFFFFF for v in values])
+
+
+class TestPatterns:
+    def test_zero_line_compresses_hard(self):
+        block = fpc.compress(b"\x00" * 64)
+        assert block.encoding == "zeros"
+        # Two zero runs of 8 words: 2 * (3 + 3) bits = 12 bits = 2 bytes.
+        assert block.size_bytes == 2
+
+    def test_small_positive_integers(self):
+        data = words(*([3] * 16))
+        block = fpc.compress(data)
+        assert block.is_compressed
+        # 16 * (3 + 4) bits = 112 bits = 14 bytes.
+        assert block.size_bytes == 14
+
+    def test_small_negative_integers(self):
+        data = words(*([-2] * 16))
+        block = fpc.compress(data)
+        assert block.is_compressed
+        assert fpc.decompress(block) == data
+
+    def test_sign_extended_byte(self):
+        data = words(*([0x7F] * 16))
+        assert fpc.compress(data).size_bytes == -(-16 * (3 + 8) // 8)
+
+    def test_halfword_padded_with_zeros(self):
+        data = words(*([0xABCD0000] * 16))
+        block = fpc.compress(data)
+        assert block.is_compressed
+        assert fpc.decompress(block) == data
+
+    def test_repeated_bytes_word(self):
+        data = words(*([0x55555555] * 16))
+        block = fpc.compress(data)
+        assert block.is_compressed
+        assert fpc.decompress(block) == data
+
+    def test_two_sign_extended_halfwords(self):
+        value = (0x0012 << 16) | 0xFFF3  # both halves 8-bit sign-extendable
+        data = words(*([value] * 16))
+        block = fpc.compress(data)
+        assert block.is_compressed
+        assert fpc.decompress(block) == data
+
+    def test_incompressible_falls_back(self):
+        data = bytes((i * 89 + 7) % 256 for i in range(64))
+        block = fpc.compress(data)
+        assert block.encoding == "uncompressed"
+        assert block.size_bytes == 64
+
+    def test_zero_run_capped_at_8(self):
+        # 9 zero words followed by non-zero: two runs are needed.
+        data = words(*([0] * 9 + [0x12345678] * 7))
+        block = fpc.compress(data)
+        assert fpc.decompress(block) == data
+
+
+class TestRoundTrip:
+    @given(lines)
+    @settings(max_examples=300)
+    def test_roundtrip_lossless(self, data):
+        assert fpc.decompress(fpc.compress(data)) == data
+
+    @given(st.lists(st.integers(-128, 127), min_size=16, max_size=16))
+    def test_small_word_lines_compress(self, values):
+        data = words(*values)
+        block = fpc.compress(data)
+        assert block.is_compressed
+        assert fpc.decompress(block) == data
+
+    def test_rejects_foreign_block(self):
+        from repro.compression.bdi import BDICompressor
+
+        with pytest.raises(CompressionError):
+            fpc.decompress(BDICompressor().compress(b"\x00" * 64))

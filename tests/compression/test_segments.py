@@ -1,0 +1,110 @@
+"""Tests for segment arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.segments import (
+    EVAL_GEOMETRY,
+    EXAMPLE_GEOMETRY,
+    SegmentError,
+    SegmentGeometry,
+)
+
+
+class TestGeometryConstruction:
+    def test_eval_geometry_has_16_segments(self):
+        assert EVAL_GEOMETRY.segments_per_line == 16
+
+    def test_example_geometry_has_8_segments(self):
+        assert EXAMPLE_GEOMETRY.segments_per_line == 8
+
+    def test_rejects_zero_line_bytes(self):
+        with pytest.raises(SegmentError):
+            SegmentGeometry(0, 4)
+
+    def test_rejects_zero_segment_bytes(self):
+        with pytest.raises(SegmentError):
+            SegmentGeometry(64, 0)
+
+    def test_rejects_non_divisible_segments(self):
+        with pytest.raises(SegmentError):
+            SegmentGeometry(64, 7)
+
+
+class TestSizeRounding:
+    def test_zero_bytes_rounds_to_zero_segments(self):
+        assert EVAL_GEOMETRY.size_in_segments(0) == 0
+
+    def test_one_byte_rounds_to_one_segment(self):
+        assert EVAL_GEOMETRY.size_in_segments(1) == 1
+
+    def test_exact_boundary(self):
+        assert EVAL_GEOMETRY.size_in_segments(8) == 2
+
+    def test_full_line(self):
+        assert EVAL_GEOMETRY.size_in_segments(64) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(SegmentError):
+            EVAL_GEOMETRY.size_in_segments(-1)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(SegmentError):
+            EVAL_GEOMETRY.size_in_segments(65)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_rounding_never_loses_bytes(self, size):
+        segments = EVAL_GEOMETRY.size_in_segments(size)
+        assert segments * EVAL_GEOMETRY.segment_bytes >= size
+        # And never over-rounds by a full segment.
+        assert (segments - 1) * EVAL_GEOMETRY.segment_bytes < size or segments == 0
+
+
+class TestFitPredicates:
+    def test_two_halves_fit(self):
+        assert EVAL_GEOMETRY.fits_together(8, 8)
+
+    def test_overflow_detected(self):
+        assert not EVAL_GEOMETRY.fits_together(8, 9)
+
+    def test_zero_size_always_fits(self):
+        assert EVAL_GEOMETRY.fits_together(16, 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SegmentError):
+            EVAL_GEOMETRY.fits_together(17)
+
+    def test_free_segments(self):
+        assert EVAL_GEOMETRY.free_segments(6, 2) == 8
+
+    def test_free_segments_overflow_raises(self):
+        with pytest.raises(SegmentError):
+            EVAL_GEOMETRY.free_segments(10, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_fit_iff_free_nonnegative(self, a, b):
+        fits = EVAL_GEOMETRY.fits_together(a, b)
+        assert fits == (a + b <= 16)
+
+
+class TestPaperExamples:
+    """Examples from Sections III and IV.B (8-byte segments)."""
+
+    def test_mru_6_and_lru_2_share_a_way(self):
+        # Figure 2: MRU line of 6 segments + LRU line of 2 segments.
+        assert EXAMPLE_GEOMETRY.fits_together(6, 2)
+
+    def test_incoming_6_cannot_join_6(self):
+        # The incoming 6-segment fill cannot pair with the 6-segment MRU.
+        assert not EXAMPLE_GEOMETRY.fits_together(6, 6)
+
+    def test_figure4_b_needs_3_segments(self):
+        # B (3 segments) cannot replace X's 2-segment slot next to a
+        # 6-segment base (Figure 4 step 5).
+        assert not EXAMPLE_GEOMETRY.fits_together(6, 3)
+        # but fits next to a 5-segment base (way 1, E's slot).
+        assert EXAMPLE_GEOMETRY.fits_together(5, 3)

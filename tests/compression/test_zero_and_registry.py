@@ -1,0 +1,57 @@
+"""Tests for zero-content detection and the algorithm registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ALGORITHMS,
+    CompressionError,
+    make_compressor,
+    ZeroContentCompressor,
+)
+from repro.compression.segments import EVAL_GEOMETRY
+
+zero = ZeroContentCompressor()
+
+
+class TestZeroContent:
+    def test_zero_line_detected(self):
+        block = zero.compress(b"\x00" * 64)
+        assert block.encoding == "zeros"
+        assert block.size_bytes == 1
+
+    def test_nonzero_stored_verbatim(self):
+        data = b"\x01" + b"\x00" * 63
+        block = zero.compress(data)
+        assert block.encoding == "uncompressed"
+        assert block.size_bytes == 64
+
+    @given(st.binary(min_size=64, max_size=64))
+    def test_roundtrip(self, data):
+        assert zero.decompress(zero.compress(data)) == data
+
+    def test_zero_block_segment_size(self):
+        block = zero.compress(b"\x00" * 64)
+        assert block.size_in_segments(EVAL_GEOMETRY) == 1
+
+
+class TestRegistry:
+    def test_all_registered_algorithms_roundtrip(self):
+        cases = [b"\x00" * 64, bytes(range(64)), b"\xff" * 64]
+        for name in ALGORITHMS:
+            algorithm = make_compressor(name)
+            for data in cases:
+                block = algorithm.compress(data)
+                assert algorithm.decompress(block) == data, (name, data[:8])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(CompressionError):
+            make_compressor("lzma")
+
+    def test_registry_names_match_instances(self):
+        for name, cls in ALGORITHMS.items():
+            assert cls.name == name
+
+    def test_bdi_is_registered(self):
+        assert "bdi" in ALGORITHMS

@@ -1,0 +1,326 @@
+"""Tests for the Base-Victim architecture (paper Section IV)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement import (
+    LRUPolicy,
+    NRUPolicy,
+    make_victim_policy,
+)
+from repro.compression.segments import SegmentGeometry
+from repro.core.basevictim import BaseVictimLLC
+from repro.core.interfaces import AccessKind
+from repro.core.uncompressed import UncompressedLLC
+
+#: 8-byte segments, as in the paper's worked examples (8 segments/line).
+EXAMPLE_SEGMENTS = SegmentGeometry(64, 8)
+
+
+def make_bv(ways=4, sets=1, policy=None, victim_policy="ecm", segments=EXAMPLE_SEGMENTS):
+    geometry = CacheGeometry(sets * ways * 64, ways)
+    return BaseVictimLLC(
+        geometry, policy or LRUPolicy(), make_victim_policy(victim_policy), segments
+    )
+
+
+def fill(bv, addr, size, kind=AccessKind.READ):
+    return bv.access(addr, kind, size)
+
+
+class TestBasicPaths:
+    def test_miss_then_base_hit(self):
+        bv = make_bv()
+        r = fill(bv, 1, 4)
+        assert not r.hit and r.memory_reads == 1
+        r = fill(bv, 1, 4)
+        assert r.hit and not r.victim_hit
+
+    def test_compressed_hit_flag(self):
+        bv = make_bv()
+        fill(bv, 1, 4)
+        assert fill(bv, 1, 4).compressed_hit
+        fill(bv, 2, 8)
+        assert not fill(bv, 2, 8).compressed_hit  # uncompressed line
+        fill(bv, 3, 0)
+        assert not fill(bv, 3, 0).compressed_hit  # zero line: no decompression
+
+    def test_replaced_line_demoted_to_victim_cache(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 2)
+        fill(bv, 2, 2)
+        fill(bv, 3, 2)  # evicts LRU line 1 -> victim cache
+        assert bv.in_victim(1)
+        assert bv.contains(1)
+
+    def test_victim_hit_promotes(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 2)
+        fill(bv, 2, 2)
+        fill(bv, 3, 2)
+        r = fill(bv, 1, 2)  # hits the victim cache
+        assert r.hit and r.victim_hit
+        assert bv.in_baseline(1)
+        assert not bv.in_victim(1)
+
+    def test_oversized_victim_is_dropped(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 8)  # uncompressed: can never share a way
+        fill(bv, 2, 8)
+        fill(bv, 3, 8)  # evicts 1; 1 cannot fit anywhere
+        assert not bv.contains(1)
+        assert bv.stat_demotion_drops == 1
+
+    def test_invariants_after_simple_sequence(self):
+        bv = make_bv()
+        for addr, size in [(1, 2), (2, 6), (3, 8), (4, 3), (5, 2), (1, 2)]:
+            fill(bv, addr, size)
+        bv.check_invariants()
+
+
+class TestWritebackSemantics:
+    def test_dirty_base_replacement_writes_back_once(self):
+        bv = make_bv(ways=1)
+        fill(bv, 1, 2, AccessKind.WRITE)
+        r = fill(bv, 2, 2)
+        assert r.memory_writes == 1  # the demoted dirty line
+        assert bv.in_victim(1)
+
+    def test_at_most_one_writeback_per_fill(self):
+        """Section IV: one writeback per fill, unlike VSC's multi-evict."""
+        bv = make_bv(ways=4)
+        for addr in range(20):
+            r = bv.access(addr, AccessKind.WRITE, 6)
+            assert r.memory_writes <= 1
+
+    def test_victim_lines_are_clean(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 2, AccessKind.WRITE)
+        fill(bv, 2, 2)
+        fill(bv, 3, 2)  # demotes dirty line 1: must write back first
+        assert bv.in_victim(1)
+        # Its subsequent silent eviction produces no memory write.
+        r = fill(bv, 4, 8)  # base way full line, evicts any victim partner
+        for _ in range(5):
+            r = fill(bv, 100 + _, 8)
+            assert r.memory_writes == 0  # all victims clean, all lines clean
+
+    def test_writeback_miss_bypasses_to_memory(self):
+        bv = make_bv()
+        r = bv.access(42, AccessKind.WRITEBACK, 4)
+        assert not r.hit
+        assert r.memory_writes == 1
+        assert not bv.contains(42)
+
+    def test_writeback_hit_updates_size_and_dirty(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 2)
+        r = bv.access(1, AccessKind.WRITEBACK, 7)
+        assert r.hit
+        cset = bv._sets[0]
+        way = cset.base_lookup[1]
+        assert cset.base_dirty[way]
+        assert cset.base_size[way] == 7
+
+
+class TestPartnerEviction:
+    def test_growing_write_evicts_partner(self):
+        """Section IV.B.5: a base line growing past the way drops its victim."""
+        bv = make_bv(ways=2)
+        fill(bv, 1, 4)
+        fill(bv, 2, 4)
+        fill(bv, 3, 4)  # line 1 demoted next to line 3 (4 + 4 = 8 fits)
+        assert bv.in_victim(1)
+        partner_way = bv._sets[0].vict_lookup[1]
+        assert bv._sets[0].base_lookup[3] == partner_way
+        r = bv.access(3, AccessKind.WRITE, 6)  # 6 + 4 > 8: partner must go
+        assert r.silent_evictions == 1
+        assert not bv.contains(1)
+
+    def test_fill_evicts_nonfitting_victim_partner(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 4)
+        fill(bv, 2, 4)
+        fill(bv, 3, 4)  # 1 demoted
+        vict_way = bv._sets[0].vict_lookup[1]
+        # Force a fill into that way with an 8-segment line.
+        # LRU in baseline is line 2 or 3; keep filling until way reused.
+        fill(bv, 4, 8)
+        bv.check_invariants()
+
+    def test_shrinking_write_keeps_partner(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 4)
+        fill(bv, 2, 4)
+        fill(bv, 3, 4)
+        way = bv._sets[0].vict_lookup[1]
+        base_addr = bv._sets[0].base_tags[way]
+        r = bv.access(base_addr, AccessKind.WRITE, 2)
+        assert r.silent_evictions == 0
+        assert bv.in_victim(1)
+
+
+class TestFigure4MissExample:
+    """Reproduces the Compressed LLC Miss example (Figure 4).
+
+    Before: way 0: base A,2 / victim F,5; way 1: base C,3 / victim E,4;
+            way 2: base D,6 / victim X,2; way 3: base B,5 / victim Y,3.
+    LRU order: A (MRU), C, D, B (LRU).  Request Z (6 segments) misses.
+    After: Z in base way 3; Y silently evicted; B inserted into the
+    victim cache in a way that fits (ways 0 or 1; ECM picks way 1 since
+    C=3 > A=2... both fit; paper's random example picks way 1).
+    """
+
+    def _build(self):
+        bv = make_bv(ways=4, policy=LRUPolicy(), victim_policy="ecm")
+        # Fill bases in LRU order B, D, C, A (B becomes LRU).
+        fill(bv, 0xB, 5)
+        fill(bv, 0xD, 6)
+        fill(bv, 0xC, 3)
+        fill(bv, 0xA, 2)
+        # Place victims via direct state injection (the public fill path
+        # cannot dictate way assignment).
+        cset = bv._sets[0]
+        way_of = {cset.base_tags[w]: w for w in range(4) if cset.base_valid[w]}
+        for vaddr, vsize, base in [(0xF, 5, 0xA), (0xE, 4, 0xC), (0x10, 2, 0xD), (0x11, 3, 0xB)]:
+            way = way_of[base]
+            cset.vict_tags[way] = vaddr
+            cset.vict_valid[way] = True
+            cset.vict_size[way] = vsize
+            cset.vict_lookup[vaddr] = way
+        bv.check_invariants()
+        return bv, way_of
+
+    def test_miss_replaces_lru_and_keeps_baseline_exact(self):
+        bv, way_of = self._build()
+        r = bv.access(0x2, AccessKind.READ, 6)  # Z, 6 segments
+        assert not r.hit
+        # Z took B's way.
+        assert bv._sets[0].base_lookup[0x2] == way_of[0xB]
+        # Y (victim of B's way, 3 segs) cannot share with Z (6): silent evict.
+        assert not bv.contains(0x11)
+        # B was demoted into some fitting way: candidates were A's way
+        # (2+5<=8) and C's way (3+5<=8); both occupied, ECM picks the
+        # largest base partner: C's way.
+        assert bv.in_victim(0xB)
+        assert bv._sets[0].vict_lookup[0xB] == way_of[0xC]
+        # E, the previous victim there, was silently evicted.
+        assert not bv.contains(0xE)
+        bv.check_invariants()
+
+
+class TestFigure5VictimHitExample:
+    """Reproduces the Victim Cache read hit example (Figure 5)."""
+
+    def test_promotion_reuses_freed_space(self):
+        bv = make_bv(ways=2, policy=LRUPolicy())
+        # base B (5 segs, LRU) with victim Y (3); base A (2, MRU) + E (4).
+        fill(bv, 0xB, 5)
+        fill(bv, 0xA, 2)
+        cset = bv._sets[0]
+        way_b = cset.base_lookup[0xB]
+        way_a = cset.base_lookup[0xA]
+        cset.vict_tags[way_b] = 0x11  # Y
+        cset.vict_valid[way_b] = True
+        cset.vict_size[way_b] = 3
+        cset.vict_lookup[0x11] = way_b
+        cset.vict_tags[way_a] = 0xE
+        cset.vict_valid[way_a] = True
+        cset.vict_size[way_a] = 4
+        cset.vict_lookup[0xE] = way_a
+        bv.check_invariants()
+
+        r = bv.access(0xE, AccessKind.READ, 4)  # E hits the victim cache
+        assert r.hit and r.victim_hit
+        # E promoted into B's (LRU) way.
+        assert cset.base_lookup[0xE] == way_b
+        # B demoted; E (4) + B (5) > 8, so B cannot stay in way_b; but
+        # way_a's victim slot is now free and A (2) + B (5) fits.
+        assert bv.in_victim(0xB)
+        assert cset.vict_lookup[0xB] == way_a
+        # Y did not fit with E (4+3 <= 8 actually fits! so Y stays).
+        assert bv.in_victim(0x11)
+        bv.check_invariants()
+
+
+class TestGuarantee:
+    """The headline guarantee: hit rate >= uncompressed, structurally."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 60),
+                st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+                st.sampled_from([0, 2, 3, 5, 8]),
+            ),
+            min_size=1,
+            max_size=400,
+        ),
+        policy_cls=st.sampled_from([LRUPolicy, NRUPolicy]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_baseline_mirrors_uncompressed_cache(self, ops, policy_cls):
+        geometry = CacheGeometry(2 * 4 * 64, 4)  # 2 sets, 4 ways
+        bv = BaseVictimLLC(
+            geometry, policy_cls(), make_victim_policy("ecm"), EXAMPLE_SEGMENTS
+        )
+        shadow = UncompressedLLC(geometry, policy_cls())
+        bv_hits = shadow_hits = 0
+        for addr, kind, size in ops:
+            r1 = bv.access(addr, kind, size)
+            r2 = shadow.access(addr, kind, size)
+            bv_hits += r1.hit
+            shadow_hits += r2.hit
+            if r2.hit:
+                assert r1.hit, "a hit in the uncompressed cache must hit Base-Victim"
+        assert bv_hits >= shadow_hits
+        for index in range(geometry.num_sets):
+            assert sorted(bv.baseline_set_contents(index)) == sorted(
+                shadow.cache.set_contents(index)
+            )
+        bv.check_invariants()
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 40),
+                st.sampled_from(
+                    [AccessKind.READ, AccessKind.WRITE, AccessKind.PREFETCH]
+                ),
+                st.integers(0, 8),
+            ),
+            min_size=1,
+            max_size=300,
+        ),
+        victim_policy=st.sampled_from(["ecm", "ecm-strict", "random", "lru", "mix"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_structural_invariants_hold_for_all_victim_policies(
+        self, ops, victim_policy
+    ):
+        bv = make_bv(ways=4, sets=2, victim_policy=victim_policy)
+        for addr, kind, size in ops:
+            bv.access(addr, kind, size)
+        bv.check_invariants()
+
+
+class TestInputValidation:
+    def test_size_out_of_range_rejected(self):
+        bv = make_bv()
+        with pytest.raises(ValueError):
+            bv.access(1, AccessKind.READ, 9)  # 8-segment geometry
+        with pytest.raises(ValueError):
+            bv.access(1, AccessKind.READ, -1)
+
+    def test_stats_accumulate(self):
+        bv = make_bv(ways=2)
+        fill(bv, 1, 2)
+        fill(bv, 2, 2)
+        fill(bv, 3, 2)
+        fill(bv, 1, 2)  # victim hit
+        assert bv.stat_misses == 3
+        assert bv.stat_victim_hits == 1
+        assert bv.stat_promotions == 1
+        assert bv.stat_demotions >= 1

@@ -1,0 +1,155 @@
+"""Tests for the Section IV.B.3 non-inclusive (dirty-victim) variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement import LRUPolicy, make_victim_policy
+from repro.compression.segments import SegmentGeometry
+from repro.core.basevictim import BaseVictimLLC
+from repro.core.interfaces import AccessKind
+from repro.core.uncompressed import UncompressedLLC
+
+EXAMPLE_SEGMENTS = SegmentGeometry(64, 8)
+
+
+def make_bv(ways=2, sets=1, clean=False):
+    geometry = CacheGeometry(sets * ways * 64, ways)
+    return BaseVictimLLC(
+        geometry,
+        LRUPolicy(),
+        make_victim_policy("ecm"),
+        EXAMPLE_SEGMENTS,
+        clean_victims=clean,
+    )
+
+
+class TestDirtyDemotion:
+    def test_demotion_keeps_dirty_without_writeback(self):
+        bv = make_bv()
+        bv.access(1, AccessKind.WRITE, 2)
+        bv.access(2, AccessKind.READ, 2)
+        r = bv.access(3, AccessKind.READ, 2)  # demotes dirty line 1
+        assert bv.in_victim(1)
+        assert r.memory_writes == 0, "dirty demotion defers the writeback"
+
+    def test_dirty_victim_eviction_writes_back(self):
+        bv = make_bv()
+        bv.access(1, AccessKind.WRITE, 2)
+        bv.access(2, AccessKind.READ, 2)
+        bv.access(3, AccessKind.READ, 2)  # 1 demoted dirty
+        # Force eviction of the dirty victim by filling full-size lines.
+        writes = 0
+        for addr in (4, 5, 6):
+            writes += bv.access(addr, AccessKind.READ, 8).memory_writes
+        assert not bv.contains(1)
+        assert writes >= 1, "evicting a dirty victim must reach memory"
+
+    def test_dropped_dirty_demotion_writes_back(self):
+        bv = make_bv()
+        bv.access(1, AccessKind.WRITE, 8)  # incompressible dirty line
+        bv.access(2, AccessKind.READ, 8)
+        r = bv.access(3, AccessKind.READ, 8)  # 1 cannot be demoted anywhere
+        assert not bv.contains(1)
+        assert r.memory_writes == 1
+
+    def test_promotion_carries_dirtiness(self):
+        bv = make_bv()
+        bv.access(1, AccessKind.WRITE, 2)
+        bv.access(2, AccessKind.READ, 2)
+        bv.access(3, AccessKind.READ, 2)  # 1 demoted dirty
+        bv.access(1, AccessKind.READ, 2)  # promoted back
+        cset = bv._sets[0]
+        assert cset.base_dirty[cset.base_lookup[1]]
+
+    def test_victim_write_hit_promotes_dirty(self):
+        bv = make_bv()
+        bv.access(1, AccessKind.READ, 2)
+        bv.access(2, AccessKind.READ, 2)
+        bv.access(3, AccessKind.READ, 2)  # 1 demoted clean
+        r = bv.access(1, AccessKind.WRITE, 3)
+        assert r.hit and r.victim_hit
+        cset = bv._sets[0]
+        way = cset.base_lookup[1]
+        assert cset.base_dirty[way]
+        assert cset.base_size[way] == 3
+
+
+class TestCleanModeUnchanged:
+    def test_clean_mode_never_holds_dirty_victims(self):
+        bv = make_bv(clean=True)
+        for addr in range(12):
+            bv.access(addr, AccessKind.WRITE, 2)
+        bv.check_invariants()
+
+    def test_clean_mode_writes_back_at_demotion(self):
+        bv = make_bv(clean=True)
+        bv.access(1, AccessKind.WRITE, 2)
+        bv.access(2, AccessKind.READ, 2)
+        r = bv.access(3, AccessKind.READ, 2)
+        assert r.memory_writes == 1
+
+
+class TestTrafficTradeoff:
+    def test_dirty_victims_reduce_memory_writes(self):
+        """The variant's whole point: writebacks deferred and often avoided
+        entirely when the line is promoted back before eviction."""
+        geometry = CacheGeometry(4 * 4 * 64, 4)
+        import random
+
+        rng = random.Random(11)
+        ops = [
+            (rng.randrange(40), rng.random() < 0.5, rng.choice([2, 3, 4]))
+            for _ in range(4000)
+        ]
+        totals = {}
+        for clean in (True, False):
+            llc = BaseVictimLLC(
+                geometry,
+                LRUPolicy(),
+                make_victim_policy("ecm"),
+                EXAMPLE_SEGMENTS,
+                clean_victims=clean,
+            )
+            writes = 0
+            for addr, is_write, size in ops:
+                kind = AccessKind.WRITE if is_write else AccessKind.READ
+                writes += llc.access(addr, kind, size).memory_writes
+            llc.check_invariants()
+            totals[clean] = writes
+        assert totals[False] < totals[True]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 50),
+            st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+            st.integers(0, 8),
+        ),
+        min_size=1,
+        max_size=400,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_noninclusive_keeps_hit_guarantee_and_invariants(ops):
+    geometry = CacheGeometry(2 * 4 * 64, 4)
+    bv = BaseVictimLLC(
+        geometry,
+        LRUPolicy(),
+        make_victim_policy("ecm"),
+        EXAMPLE_SEGMENTS,
+        clean_victims=False,
+    )
+    shadow = UncompressedLLC(geometry, LRUPolicy())
+    for addr, kind, size in ops:
+        r1 = bv.access(addr, kind, size)
+        r2 = shadow.access(addr, kind, size)
+        if r2.hit:
+            assert r1.hit
+    bv.check_invariants()
+    for index in range(geometry.num_sets):
+        assert sorted(bv.baseline_set_contents(index)) == sorted(
+            shadow.cache.set_contents(index)
+        )

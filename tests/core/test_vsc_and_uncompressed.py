@@ -1,0 +1,120 @@
+"""Tests for the VSC functional model and the uncompressed baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import CacheGeometry
+from repro.cache.replacement import NRUPolicy
+from repro.compression.segments import SegmentGeometry
+from repro.core.interfaces import AccessKind
+from repro.core.uncompressed import UncompressedLLC
+from repro.core.vsc import VSCFunctionalLLC
+
+EXAMPLE_SEGMENTS = SegmentGeometry(64, 8)
+
+
+def make_vsc(ways=4, sets=1):
+    return VSCFunctionalLLC(CacheGeometry(sets * ways * 64, ways), EXAMPLE_SEGMENTS)
+
+
+class TestVSCCapacity:
+    def test_double_tags_with_half_lines(self):
+        vsc = make_vsc(ways=4)
+        for addr in range(8):
+            vsc.access(addr, AccessKind.READ, 4)
+        assert vsc.resident_logical_lines() == 8
+
+    def test_tag_limit_enforced(self):
+        vsc = make_vsc(ways=2)  # 4 tags, 16 segments
+        for addr in range(6):
+            vsc.access(addr, AccessKind.READ, 1)
+        assert vsc.resident_logical_lines() == 4
+
+    def test_multi_line_eviction_on_fill(self):
+        """Section II: VSC may evict several LRU lines for one fill."""
+        vsc = make_vsc(ways=1)  # 8 segments, 2 tags
+        vsc.access(1, AccessKind.READ, 4)
+        vsc.access(2, AccessKind.READ, 4)
+        r = vsc.access(3, AccessKind.READ, 8)
+        assert len(r.invalidates) == 2
+        assert vsc.stat_multi_evict_fills == 1
+
+    def test_lru_order_of_evictions(self):
+        vsc = make_vsc(ways=2)
+        vsc.access(1, AccessKind.READ, 8)
+        vsc.access(2, AccessKind.READ, 8)
+        vsc.access(1, AccessKind.READ, 8)  # 2 is now LRU
+        vsc.access(3, AccessKind.READ, 8)
+        assert vsc.contains(1) and not vsc.contains(2)
+
+    def test_write_growth_evicts_lru_not_self(self):
+        vsc = make_vsc(ways=1)
+        vsc.access(1, AccessKind.READ, 4)
+        vsc.access(2, AccessKind.READ, 4)
+        r = vsc.access(2, AccessKind.WRITE, 8)
+        assert vsc.contains(2)
+        assert not vsc.contains(1)
+
+    def test_writeback_miss_bypasses(self):
+        vsc = make_vsc()
+        r = vsc.access(9, AccessKind.WRITEBACK, 4)
+        assert r.memory_writes == 1
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 40),
+                st.sampled_from([AccessKind.READ, AccessKind.WRITE]),
+                st.integers(0, 8),
+            ),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_accounting_invariants(self, ops):
+        vsc = make_vsc(ways=4, sets=2)
+        for addr, kind, size in ops:
+            vsc.access(addr, kind, size)
+        vsc.check_invariants()
+
+
+class TestUncompressed:
+    def test_ignores_sizes(self):
+        geometry = CacheGeometry(4 * 64, 4)
+        llc = UncompressedLLC(geometry, NRUPolicy())
+        llc.access(1, AccessKind.READ, 0)
+        llc.access(2, AccessKind.READ, 16)
+        assert llc.contains(1) and llc.contains(2)
+
+    def test_miss_reads_memory_and_fill_reports_invalidate(self):
+        geometry = CacheGeometry(1 * 64, 1)
+        llc = UncompressedLLC(geometry, NRUPolicy())
+        llc.access(1, AccessKind.WRITE, 8)
+        r = llc.access(2, AccessKind.READ, 8)
+        assert r.memory_reads == 1
+        assert r.invalidates == [(1, True)]
+        assert r.memory_writes == 1
+
+    def test_writeback_hit_and_miss(self):
+        geometry = CacheGeometry(4 * 64, 4)
+        llc = UncompressedLLC(geometry, NRUPolicy())
+        llc.access(1, AccessKind.READ, 8)
+        assert llc.access(1, AccessKind.WRITEBACK, 8).hit
+        r = llc.access(2, AccessKind.WRITEBACK, 8)
+        assert not r.hit and r.memory_writes == 1
+        assert llc.stat_writeback_misses == 1
+
+    def test_prefetch_fill_and_hit(self):
+        geometry = CacheGeometry(4 * 64, 4)
+        llc = UncompressedLLC(geometry, NRUPolicy())
+        r = llc.access(1, AccessKind.PREFETCH, 8)
+        assert not r.hit and r.memory_reads == 1
+        assert llc.access(1, AccessKind.PREFETCH, 8).hit
+
+    def test_never_compressed_hits(self):
+        geometry = CacheGeometry(4 * 64, 4)
+        llc = UncompressedLLC(geometry, NRUPolicy())
+        llc.access(1, AccessKind.READ, 4)
+        assert not llc.access(1, AccessKind.READ, 4).compressed_hit

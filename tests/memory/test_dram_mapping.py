@@ -1,0 +1,61 @@
+"""Tests for DRAM address mapping and configuration."""
+
+import pytest
+
+from repro.memory.dram import DRAMConfig, DRAMModel
+
+
+class TestAddressMapping:
+    def test_adjacent_lines_interleave_channels(self):
+        dram = DRAMModel()
+        c0, _, _ = dram._map(0)
+        c1, _, _ = dram._map(1)
+        assert c0 != c1
+
+    def test_channel_count_respected(self):
+        dram = DRAMModel(DRAMConfig(channels=2))
+        channels = {dram._map(addr)[0] for addr in range(64)}
+        assert channels == {0, 1}
+
+    def test_bank_spread(self):
+        dram = DRAMModel()
+        banks = {dram._map(addr)[1] for addr in range(0, 64, 2)}
+        assert len(banks) == DRAMConfig().banks_per_channel
+
+    def test_row_changes_beyond_row_size(self):
+        cfg = DRAMConfig()
+        dram = DRAMModel(cfg)
+        lines_per_row_system = cfg.channels * cfg.banks_per_channel * cfg.lines_per_row
+        _, _, row0 = dram._map(0)
+        _, _, row1 = dram._map(lines_per_row_system)
+        assert row1 == row0 + 1
+
+    def test_same_bank_same_row_for_consecutive_same_channel_lines(self):
+        dram = DRAMModel()
+        c0, b0, r0 = dram._map(0)
+        c2, b2, r2 = dram._map(0 + DRAMConfig().channels * DRAMConfig().banks_per_channel)
+        assert c0 == c2
+        assert b0 == b2
+        assert r0 == r2
+
+
+class TestLatencyComposition:
+    def test_row_hit_faster_than_conflict(self):
+        cfg = DRAMConfig()
+        dram = DRAMModel(cfg)
+        dram.read(0, 0.0)
+        hit = dram.read(0, 1e6)
+        far = cfg.channels * cfg.banks_per_channel * cfg.lines_per_row
+        conflict = dram.read(far, 2e6)
+        assert hit < conflict
+
+    def test_minimum_latency_includes_controller_overhead(self):
+        cfg = DRAMConfig()
+        dram = DRAMModel(cfg)
+        latency = dram.read(0, 0.0)
+        assert latency >= 2 * cfg.controller_cycles
+
+    def test_cpu_dram_clock_ratio_scales_latency(self):
+        slow = DRAMModel(DRAMConfig(cpu_per_dram_cycle=10))
+        fast = DRAMModel(DRAMConfig(cpu_per_dram_cycle=5))
+        assert slow.read(0, 0.0) > fast.read(0, 0.0)

@@ -1,0 +1,44 @@
+"""Tests for the Section IV.C area model."""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.power.area import base_victim_area, paper_headline_area, tag_bits
+
+
+class TestPaperNumbers:
+    """Section IV.C quotes exact arithmetic; we must reproduce it."""
+
+    def test_tag_bits_for_2mb_16way(self):
+        assert tag_bits(CacheGeometry(2 * 2**20, 16)) == 31
+
+    def test_added_bits_per_way(self):
+        report = paper_headline_area()
+        # One 31-bit tag + two 4-bit size fields + one valid bit = 40 bits.
+        assert report.added_bits == 40
+
+    def test_tag_metadata_overhead_is_7_3_percent(self):
+        report = paper_headline_area()
+        assert report.tag_metadata_overhead == pytest.approx(0.073, abs=0.001)
+
+    def test_total_overhead_is_8_5_percent(self):
+        report = paper_headline_area()
+        assert report.total_overhead == pytest.approx(0.085, abs=0.001)
+
+
+class TestScaling:
+    def test_larger_cache_has_fewer_tag_bits(self):
+        small = base_victim_area(CacheGeometry(2 * 2**20, 16))
+        large = base_victim_area(CacheGeometry(8 * 2**20, 16))
+        assert large.tag_bits == small.tag_bits - 2
+
+    def test_overhead_fairly_stable_across_sizes(self):
+        for size_mb in (1, 2, 4, 8):
+            report = base_victim_area(CacheGeometry(size_mb * 2**20, 16))
+            assert 0.06 < report.tag_metadata_overhead < 0.08
+
+    def test_wider_address_increases_overhead(self):
+        geometry = CacheGeometry(2 * 2**20, 16)
+        narrow = base_victim_area(geometry, address_bits=40)
+        wide = base_victim_area(geometry, address_bits=52)
+        assert wide.tag_metadata_overhead > narrow.tag_metadata_overhead

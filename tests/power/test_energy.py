@@ -1,0 +1,121 @@
+"""Tests for SRAM and system energy models (Section VI.D)."""
+
+import pytest
+
+from repro.cache.config import CacheGeometry
+from repro.memory.dram import DRAMModel
+from repro.memory.power import dram_energy, dram_energy_from_counts
+from repro.power.cacti import SRAMModel
+from repro.power.energy import EnergyInputs, system_energy
+
+GEOMETRY = CacheGeometry(2 * 2**20, 16)
+
+
+def make_inputs(**overrides):
+    base = dict(
+        cycles=1e6,
+        llc_accesses=10_000,
+        llc_data_reads=8_000,
+        llc_data_writes=5_000,
+        llc_fill_segments=5_000 * 8,
+        compressions=4_000,
+        decompressions=3_000,
+        dram_reads=4_000,
+        dram_writes=2_000,
+        dram_activates=1_500,
+    )
+    base.update(overrides)
+    return EnergyInputs(**base)
+
+
+class TestSRAMModel:
+    def test_energy_scales_with_capacity(self):
+        small = SRAMModel(CacheGeometry(1 * 2**20, 16))
+        large = SRAMModel(CacheGeometry(4 * 2**20, 16))
+        assert large.data_read_nj > small.data_read_nj
+        assert large.leakage_watts > small.leakage_watts
+
+    def test_doubled_tags_cost_more(self):
+        single = SRAMModel(GEOMETRY, tags_per_way=1)
+        double = SRAMModel(GEOMETRY, tags_per_way=2, extra_metadata_bits=9)
+        assert double.tag_access_nj > single.tag_access_nj
+        assert double.leakage_watts > single.leakage_watts
+
+    def test_leakage_overhead_matches_area_overhead(self):
+        """Doubling tags adds ~7% leakage, matching Section IV.C's area."""
+        single = SRAMModel(GEOMETRY, tags_per_way=1)
+        double = SRAMModel(GEOMETRY, tags_per_way=2, extra_metadata_bits=9)
+        overhead = double.leakage_watts / single.leakage_watts - 1
+        assert overhead == pytest.approx(0.073, abs=0.005)
+
+    def test_partial_write_cheaper_than_full(self):
+        sram = SRAMModel(GEOMETRY)
+        assert sram.data_partial_write_nj(4, 16) < sram.data_write_nj
+        assert sram.data_partial_write_nj(16, 16) == pytest.approx(
+            sram.data_write_nj
+        )
+
+    def test_partial_write_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SRAMModel(GEOMETRY).data_partial_write_nj(4, 0)
+
+
+class TestDRAMEnergy:
+    def test_counts_and_model_agree(self):
+        dram = DRAMModel()
+        for i in range(100):
+            dram.read(i, i * 1000.0)
+        for i in range(50):
+            dram.write(i, i * 1000.0)
+        via_model = dram_energy(dram, cycles=1e6)
+        via_counts = dram_energy_from_counts(
+            dram.stat_reads, dram.stat_writes, dram.stat_activates, 1e6
+        )
+        assert via_model.total_j == pytest.approx(via_counts.total_j)
+
+    def test_background_scales_with_time(self):
+        short = dram_energy_from_counts(0, 0, 0, 1e6)
+        long = dram_energy_from_counts(0, 0, 0, 2e6)
+        assert long.background_j == pytest.approx(2 * short.background_j)
+
+
+class TestSystemEnergy:
+    def test_word_enables_save_energy_for_compressed_fills(self):
+        inputs = make_inputs(llc_fill_segments=5_000 * 6)  # compressed fills
+        with_we = system_energy(
+            inputs, GEOMETRY, tags_per_way=2, extra_metadata_bits=9,
+            word_enables=True,
+        )
+        without_we = system_energy(
+            inputs, GEOMETRY, tags_per_way=2, extra_metadata_bits=9,
+            word_enables=False,
+        )
+        assert with_we.data_write_j < without_we.data_write_j
+        assert with_we.total_j < without_we.total_j
+
+    def test_baseline_has_no_compression_energy(self):
+        report = system_energy(make_inputs(), GEOMETRY, tags_per_way=1)
+        assert report.compression_j == 0.0
+
+    def test_compressed_config_charges_codec(self):
+        report = system_energy(
+            make_inputs(), GEOMETRY, tags_per_way=2, extra_metadata_bits=9
+        )
+        assert report.compression_j > 0.0
+
+    def test_fewer_dram_reads_lower_total(self):
+        high = system_energy(make_inputs(dram_reads=8_000), GEOMETRY)
+        low = system_energy(make_inputs(dram_reads=2_000), GEOMETRY)
+        assert low.total_j < high.total_j
+
+    def test_breakdown_sums_to_total(self):
+        report = system_energy(make_inputs(), GEOMETRY)
+        total = (
+            report.tag_j
+            + report.data_read_j
+            + report.data_write_j
+            + report.leakage_j
+            + report.compression_j
+            + report.dram_j
+        )
+        assert report.total_j == pytest.approx(total)

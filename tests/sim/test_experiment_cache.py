@@ -1,0 +1,45 @@
+"""Tests for experiment-runner caching semantics."""
+
+import json
+
+from repro.sim.config import BASELINE_2MB, TEST
+from repro.sim.experiment import CACHE_VERSION, ExperimentRunner
+from repro.workloads.suite import SUITE_VERSION
+
+
+class TestCacheKeys:
+    def test_keys_embed_suite_version(self):
+        key = ExperimentRunner._single_key(BASELINE_2MB, "mcf.1", 100)
+        assert f"s{SUITE_VERSION}" in key
+        assert "mcf.1" in key
+
+    def test_cache_file_embeds_cache_version(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        runner.run_single(BASELINE_2MB, "sjeng.1")
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert f"v{CACHE_VERSION}" in files[0].name
+
+    def test_corrupt_cache_lines_are_skipped(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        result = runner.run_single(BASELINE_2MB, "sjeng.1")
+        path = next(tmp_path.iterdir())
+        with path.open("a") as handle:
+            handle.write("{torn json\n")
+        fresh = ExperimentRunner(TEST, cache_dir=tmp_path)
+        again = fresh.run_single(BASELINE_2MB, "sjeng.1")
+        assert again.to_dict() == result.to_dict()
+
+    def test_memory_only_mode_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        runner = ExperimentRunner(TEST, use_disk_cache=False)
+        runner.run_single(BASELINE_2MB, "sjeng.1")
+        assert not (tmp_path / ".repro_cache").exists()
+
+    def test_cache_entries_are_valid_json(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        runner.run_single(BASELINE_2MB, "sjeng.1")
+        path = next(tmp_path.iterdir())
+        for line in path.read_text().splitlines():
+            entry = json.loads(line)
+            assert set(entry) == {"key", "result"}

@@ -1,0 +1,59 @@
+"""Tests for figure export helpers."""
+
+import csv
+
+import pytest
+
+from repro.sim.figures import ascii_series_plot, write_rows_csv, write_series_csv
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        plot = ascii_series_plot(
+            {"bv": {"a": 1.1, "b": 0.9, "c": 1.3}}, "Figure X"
+        )
+        assert plot.startswith("Figure X")
+        assert "*=bv" in plot
+
+    def test_baseline_reference_line_present(self):
+        plot = ascii_series_plot({"s": {"a": 1.5, "b": 2.0}}, "t")
+        assert "-" in plot
+
+    def test_multiple_series_use_distinct_glyphs(self):
+        plot = ascii_series_plot(
+            {"one": {"a": 1.0, "b": 1.2}, "two": {"a": 0.8, "b": 1.6}}, "t"
+        )
+        assert "*=one" in plot and "o=two" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series_plot({}, "t")
+
+    def test_axis_labels_span_data(self):
+        plot = ascii_series_plot({"s": {"a": 0.5, "b": 2.0}}, "t")
+        assert "2.000" in plot
+        assert "0.500" in plot
+
+
+class TestCSV:
+    def test_series_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "series.csv"
+        write_series_csv(
+            path, {"bv": {"t1": 1.1, "t2": 0.9}, "big": {"t1": 1.2}}
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["trace", "bv", "big"]
+        assert rows[1][0] == "t1"
+        assert rows[2] == ["t2", "0.9", ""]
+
+    def test_rows_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_rows_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", {})

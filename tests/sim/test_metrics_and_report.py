@@ -1,0 +1,130 @@
+"""Tests for metrics and report formatting."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    bandwidth_ratio,
+    count_losers,
+    dram_read_ratio,
+    dram_write_ratio,
+    geomean,
+    ipc_ratio,
+    weighted_speedup,
+)
+from repro.sim.report import (
+    category_of,
+    format_table,
+    per_category_geomeans,
+    ratio_series_summary,
+)
+from repro.sim.single_core import RunResult
+
+
+def run(trace="t", ipc=1.0, reads=100, writes=50, **kwargs):
+    return RunResult(
+        trace=trace,
+        machine="m",
+        ipc=ipc,
+        memory_reads=reads,
+        memory_writes=writes,
+        **kwargs,
+    )
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        values = [0.5, 1.2, 2.0, 0.9]
+        expected = math.exp(sum(math.log(v) for v in values) / 4)
+        assert geomean(values) == pytest.approx(expected)
+
+
+class TestRatios:
+    def test_ipc_ratio(self):
+        assert ipc_ratio(run(ipc=1.2), run(ipc=1.0)) == pytest.approx(1.2)
+
+    def test_ipc_ratio_requires_same_trace(self):
+        with pytest.raises(ValueError):
+            ipc_ratio(run(trace="a"), run(trace="b"))
+
+    def test_ipc_ratio_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            ipc_ratio(run(), run(ipc=0.0))
+
+    def test_dram_read_ratio(self):
+        assert dram_read_ratio(run(reads=80), run(reads=100)) == pytest.approx(0.8)
+
+    def test_dram_read_ratio_zero_baseline(self):
+        assert dram_read_ratio(run(reads=0), run(reads=0)) == 1.0
+
+    def test_dram_write_ratio(self):
+        assert dram_write_ratio(run(writes=50), run(writes=50)) == 1.0
+
+    def test_bandwidth_ratio(self):
+        assert bandwidth_ratio(run(reads=50, writes=50), run(reads=100, writes=100)) == 0.5
+
+    def test_count_losers(self):
+        assert count_losers([0.9, 1.0, 1.1, 0.99]) == 2
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        shared = [run(trace=f"t{i}", ipc=1.0) for i in range(4)]
+        assert weighted_speedup(shared, shared) == pytest.approx(4.0)
+
+    def test_half_speed(self):
+        shared = [run(trace=f"t{i}", ipc=0.5) for i in range(4)]
+        alone = [run(trace=f"t{i}", ipc=1.0) for i in range(4)]
+        assert weighted_speedup(shared, alone) == pytest.approx(2.0)
+
+    def test_requires_matching_threads(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([run()], [run(), run()])
+
+    def test_requires_matching_order(self):
+        shared = [run(trace="a"), run(trace="b")]
+        alone = [run(trace="b"), run(trace="a")]
+        with pytest.raises(ValueError):
+            weighted_speedup(shared, alone)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_ratio_series_summary_contents(self):
+        text = ratio_series_summary("Fig X", {"a": 1.1, "b": 0.9, "c": 1.0})
+        assert "losers(<1.0)=1" in text
+        assert "geomean" in text
+
+    def test_category_of_known_trace(self):
+        assert category_of("mcf.1") == "ispec"
+        assert category_of("lbm.1") == "fspec"
+
+    def test_category_of_unknown_trace(self):
+        with pytest.raises(KeyError):
+            category_of("nosuch.1")
+
+    def test_per_category_geomeans(self):
+        means = per_category_geomeans({"mcf.1": 2.0, "mcf.2": 0.5, "lbm.1": 1.0})
+        assert means["ispec"] == pytest.approx(1.0)
+        assert means["fspec"] == pytest.approx(1.0)
+        assert means["average"] == pytest.approx(1.0)

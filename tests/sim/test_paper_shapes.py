@@ -1,0 +1,106 @@
+"""Miniature end-to-end checks of the paper's headline shapes.
+
+These run a subset of the suite on the tiny TEST preset, so they are
+coarse — the full-resolution reproduction lives in ``benchmarks/`` — but
+they pin the qualitative results that must never regress:
+
+* Base-Victim never reads more from memory than the uncompressed
+  baseline, on any trace (the structural guarantee),
+* compression-friendly traces gain more than poorly compressing ones,
+* Base-Victim tracks a 50% larger uncompressed cache,
+* the naive two-tag strawman is the weakest compressed design.
+"""
+
+import pytest
+
+from repro.sim.config import (
+    BASE_VICTIM_2MB,
+    BASELINE_2MB,
+    TEST,
+    TWO_TAG_2MB,
+    UNCOMPRESSED_3MB,
+)
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import geomean, ipc_ratio
+from repro.workloads.suite import friendly_specs, poor_specs
+
+#: Small representative sample: friendly + poor traces across categories.
+FRIENDLY_SAMPLE = ["lbm.1", "mcf.1", "sysmark.1", "octane.1", "speech.1", "gcc.1"]
+POOR_SAMPLE = ["milc.3", "mcf.4", "winrar.2", "3dmark.4"]
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(TEST, cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+@pytest.fixture(scope="module")
+def baseline_runs(runner):
+    return {
+        name: runner.run_single(BASELINE_2MB, name)
+        for name in FRIENDLY_SAMPLE + POOR_SAMPLE
+    }
+
+
+class TestGuarantee:
+    def test_reads_never_exceed_baseline(self, runner, baseline_runs):
+        for name, base in baseline_runs.items():
+            bv = runner.run_single(BASE_VICTIM_2MB, name)
+            assert bv.memory_reads <= base.memory_reads, name
+
+    def test_misses_never_exceed_baseline(self, runner, baseline_runs):
+        for name, base in baseline_runs.items():
+            bv = runner.run_single(BASE_VICTIM_2MB, name)
+            assert bv.llc_misses <= base.llc_misses, name
+
+    def test_sample_names_are_classified_correctly(self):
+        friendly = {spec.name for spec in friendly_specs()}
+        poor = {spec.name for spec in poor_specs()}
+        assert set(FRIENDLY_SAMPLE) <= friendly
+        assert set(POOR_SAMPLE) <= poor
+
+
+class TestShapes:
+    def test_friendly_gains_exceed_poor(self, runner, baseline_runs):
+        friendly = geomean(
+            ipc_ratio(runner.run_single(BASE_VICTIM_2MB, n), baseline_runs[n])
+            for n in FRIENDLY_SAMPLE
+        )
+        poor = geomean(
+            ipc_ratio(runner.run_single(BASE_VICTIM_2MB, n), baseline_runs[n])
+            for n in POOR_SAMPLE
+        )
+        assert friendly > poor
+        assert friendly > 1.0
+        assert poor > 0.97  # no meaningful loss even without compressibility
+
+    def test_base_victim_tracks_3mb_cache(self, runner, baseline_runs):
+        names = FRIENDLY_SAMPLE
+        bv = geomean(
+            ipc_ratio(runner.run_single(BASE_VICTIM_2MB, n), baseline_runs[n])
+            for n in names
+        )
+        big = geomean(
+            ipc_ratio(runner.run_single(UNCOMPRESSED_3MB, n), baseline_runs[n])
+            for n in names
+        )
+        assert abs(bv - big) < 0.12
+
+    def test_victim_hits_materialise_on_friendly_traces(self, runner):
+        hits = sum(
+            runner.run_single(BASE_VICTIM_2MB, n).llc_victim_hits
+            for n in FRIENDLY_SAMPLE
+        )
+        assert hits > 0
+
+    def test_naive_twotag_weakest_compressed_design(self, runner, baseline_runs):
+        names = FRIENDLY_SAMPLE + POOR_SAMPLE
+        tt = geomean(
+            ipc_ratio(runner.run_single(TWO_TAG_2MB, n), baseline_runs[n])
+            for n in names
+        )
+        bv = geomean(
+            ipc_ratio(runner.run_single(BASE_VICTIM_2MB, n), baseline_runs[n])
+            for n in names
+        )
+        assert tt < bv

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_traces_flags(self):
+        args = build_parser().parse_args(["list-traces", "--sensitive"])
+        assert args.sensitive
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--trace", "mcf.1"])
+        assert args.preset == "bench"
+        assert args.machine == "base-victim"
+
+
+class TestCommands:
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "bench_fig08_basevictim.py" in out
+
+    def test_list_traces(self, capsys):
+        assert main(["list-traces"]) == 0
+        out = capsys.readouterr().out
+        assert "100 traces" in out
+        assert "mcf.1" in out
+
+    def test_list_traces_sensitive(self, capsys):
+        assert main(["list-traces", "--sensitive"]) == 0
+        assert "60 traces" in capsys.readouterr().out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "7.3%" in out
+        assert "8.5%" in out
+
+    def test_run_single_trace(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC:" in out
+        assert "victim hits:" in out
+
+    def test_compare(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["compare", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "base-victim" in out
+        assert "uncompressed" in out

@@ -1,0 +1,85 @@
+"""Tests for the analytic core timing model."""
+
+import pytest
+
+from repro.cache.hierarchy import L1, L2, LLC, MEMORY, AccessOutcome
+from repro.timing.core_model import CoreParams, CoreTimingModel
+from repro.timing.latency import LatencyParams
+
+
+class TestLatencyParams:
+    def test_paper_load_to_use(self):
+        lat = LatencyParams()
+        assert (lat.l1_cycles, lat.l2_cycles, lat.llc_cycles) == (3, 10, 24)
+
+    def test_exposed_latencies(self):
+        lat = LatencyParams()
+        assert lat.l2_exposed == 7
+        assert lat.llc_exposed == 21
+
+
+class TestAccumulation:
+    def test_base_cpi_only(self):
+        core = CoreTimingModel(CoreParams(base_cpi=0.5))
+        core.advance(1000)
+        assert core.cycles == pytest.approx(500)
+        assert core.ipc == pytest.approx(2.0)
+
+    def test_l1_hit_adds_nothing(self):
+        core = CoreTimingModel()
+        core.advance(100)
+        before = core.cycles
+        core.account_access(AccessOutcome(L1), 0.0)
+        assert core.cycles == before
+
+    def test_l2_stall(self):
+        params = CoreParams(mlp_l2=1.0)
+        core = CoreTimingModel(params)
+        core.advance(100)
+        before = core.cycles
+        core.account_access(AccessOutcome(L2), 0.0)
+        assert core.cycles - before == pytest.approx(7)
+
+    def test_llc_stall_includes_extra_cycles(self):
+        params = CoreParams(mlp_llc=1.0)
+        core = CoreTimingModel(params)
+        core.advance(100)
+        before = core.cycles
+        core.account_access(AccessOutcome(LLC, extra_llc_cycles=3), 0.0)
+        assert core.cycles - before == pytest.approx(24)
+
+    def test_memory_stall_includes_dram_latency(self):
+        params = CoreParams(mlp_memory=2.0)
+        core = CoreTimingModel(params)
+        core.advance(100)
+        before = core.cycles
+        core.account_access(AccessOutcome(MEMORY), 179.0)
+        assert core.cycles - before == pytest.approx((21 + 179) / 2)
+
+    def test_mlp_divides_stalls(self):
+        fast = CoreTimingModel(CoreParams(mlp_memory=4.0))
+        slow = CoreTimingModel(CoreParams(mlp_memory=1.0))
+        for core in (fast, slow):
+            core.advance(100)
+            core.account_access(AccessOutcome(MEMORY), 100.0)
+        assert fast.cycles < slow.cycles
+
+    def test_unknown_level_rejected(self):
+        core = CoreTimingModel()
+        with pytest.raises(ValueError):
+            core.account_access(AccessOutcome(99), 0.0)
+
+    def test_ipc_zero_before_any_work(self):
+        assert CoreTimingModel().ipc == 0.0
+
+    def test_extra_llc_latency_lowers_ipc(self):
+        """The decompression/tag adders must cost performance (Figure 8's
+        'small losses')."""
+        base = CoreTimingModel(CoreParams())
+        penalised = CoreTimingModel(CoreParams())
+        for _ in range(1000):
+            base.advance(10)
+            penalised.advance(10)
+            base.account_access(AccessOutcome(LLC, extra_llc_cycles=0), 0.0)
+            penalised.account_access(AccessOutcome(LLC, extra_llc_cycles=3), 0.0)
+        assert penalised.ipc < base.ipc

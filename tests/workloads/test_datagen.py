@@ -1,0 +1,123 @@
+"""Tests for data-value synthesis and the line data model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bdi import BDICompressor
+from repro.cache.replacement.base import DeterministicRandom
+from repro.workloads.datagen import (
+    build_palette,
+    CATEGORY_MIXES,
+    LineDataModel,
+    PATTERNS,
+)
+
+
+class TestPatternSynthesisers:
+    def test_all_patterns_produce_64_bytes(self):
+        rng = DeterministicRandom(1)
+        for name, synth in PATTERNS.items():
+            assert len(synth(rng)) == 64, name
+
+    def test_zero_pattern_is_zero(self):
+        rng = DeterministicRandom(1)
+        assert PATTERNS["zero"](rng) == b"\x00" * 64
+
+    def test_fp_delta_compresses_well_under_bdi(self):
+        rng = DeterministicRandom(2)
+        bdi = BDICompressor()
+        sizes = [bdi.compressed_size(PATTERNS["fp_delta"](rng)) for _ in range(20)]
+        assert sum(sizes) / len(sizes) < 32  # < 50% of the line
+
+    def test_random_pattern_does_not_compress(self):
+        rng = DeterministicRandom(3)
+        bdi = BDICompressor()
+        sizes = [bdi.compressed_size(PATTERNS["random"](rng)) for _ in range(20)]
+        assert sum(sizes) / len(sizes) > 56
+
+
+class TestPalettes:
+    def test_friendly_palettes_hit_the_paper_band(self):
+        """Section VI.A: friendly traces average ~50% compressed size."""
+        for category in ("fspec", "ispec", "productivity", "client"):
+            palette = build_palette(category, "friendly", seed=11)
+            model = LineDataModel(palette, seed=5)
+            assert 0.40 <= model.average_size_fraction() <= 0.60, category
+
+    def test_poor_palettes_exceed_75_percent(self):
+        for category in ("fspec", "ispec", "productivity", "client"):
+            palette = build_palette(category, "poor", seed=11)
+            model = LineDataModel(palette, seed=5)
+            assert model.average_size_fraction() > 0.75, category
+
+    def test_sizes_are_measured_with_real_bdi(self):
+        bdi = BDICompressor()
+        for entry in build_palette("ispec", "friendly", seed=3):
+            assert entry.size_bytes == bdi.compressed_size(entry.data)
+
+    def test_mixed_class_combines_both(self):
+        palette = build_palette("client", "mixed", seed=9)
+        patterns = {entry.pattern for entry in palette}
+        assert "random" in patterns
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            build_palette("hpc", "friendly", seed=1)
+
+    def test_palettes_are_deterministic(self):
+        a = build_palette("fspec", "friendly", seed=42)
+        b = build_palette("fspec", "friendly", seed=42)
+        assert [e.data for e in a] == [e.data for e in b]
+
+
+class TestLineDataModel:
+    def _model(self, **kwargs):
+        return LineDataModel(build_palette("ispec", "friendly", 7), seed=1, **kwargs)
+
+    def test_size_is_deterministic_per_address(self):
+        model = self._model()
+        assert model.size_of(1234) == model.size_of(1234)
+
+    def test_sizes_in_segment_range(self):
+        model = self._model()
+        for addr in range(500):
+            assert 0 <= model.size_of(addr) <= 16
+
+    def test_two_models_same_seed_agree(self):
+        a, b = self._model(), self._model()
+        for addr in range(100):
+            assert a.size_of(addr) == b.size_of(addr)
+
+    def test_writes_eventually_change_size_class(self):
+        model = self._model(write_change_period=2)
+        changed = 0
+        for addr in range(64):
+            before = model.size_of(addr)
+            for _ in range(8):
+                model.on_write(addr)
+            if model.size_of(addr) != before:
+                changed += 1
+        assert changed > 0
+
+    def test_write_evolution_is_deterministic(self):
+        a, b = self._model(), self._model()
+        for addr in (1, 1, 2, 1, 3, 3, 3):
+            a.on_write(addr)
+            b.on_write(addr)
+        for addr in (1, 2, 3):
+            assert a.size_of(addr) == b.size_of(addr)
+
+    def test_empty_palette_rejected(self):
+        with pytest.raises(ValueError):
+            LineDataModel([])
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            LineDataModel(build_palette("ispec", "friendly", 7), write_change_period=0)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    @settings(max_examples=200)
+    def test_any_address_has_a_valid_size(self, addr):
+        model = self._model()
+        assert 0 <= model.size_of(addr) <= 16

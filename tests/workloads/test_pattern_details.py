@@ -1,0 +1,97 @@
+"""Finer-grained tests of the individual access patterns."""
+
+import pytest
+
+from repro.workloads.generators import PatternGenerator, PatternParams
+from repro.workloads.trace import TraceMeta
+
+
+def gen(kind, footprint=2048, seed=7, **kwargs):
+    params = PatternParams(kind=kind, footprint_lines=footprint, **kwargs)
+    meta = TraceMeta("t", "ispec", seed, footprint, "friendly", True)
+    return PatternGenerator(params, seed).generate(meta, 6000)
+
+
+class TestZipf:
+    def test_popularity_is_skewed(self):
+        trace = gen("zipf", hot_fraction=0.0)
+        from collections import Counter
+
+        counts = Counter(trace.addrs)
+        top = sum(c for _, c in counts.most_common(len(counts) // 10))
+        assert top > len(trace) * 0.4  # top decile draws >40% of accesses
+
+    def test_tail_is_long(self):
+        trace = gen("zipf", hot_fraction=0.0)
+        assert trace.unique_lines() > 500
+
+
+class TestRegions:
+    def test_regions_walk_sequentially_within_each_region(self):
+        trace = gen("regions", hot_fraction=0.0)
+        # Region choice interleaves accesses, so test the per-region
+        # cursor: within one region most consecutive touches advance by
+        # one line (occasional random jumps are part of the pattern).
+        last_by_region: dict[int, int] = {}
+        steps = increments = 0
+        for addr in trace.addrs:
+            region = addr // 64  # regions are >= 16 lines; 64 works here
+            if region in last_by_region:
+                steps += 1
+                if addr - last_by_region[region] == 1:
+                    increments += 1
+            last_by_region[region] = addr
+        assert increments > steps * 0.5
+
+    def test_region_skew_favours_early_regions(self):
+        trace = gen("regions", hot_fraction=0.0, footprint=4096)
+        base = min(trace.addrs)
+        in_first_half = sum(1 for a in trace.addrs if a - base < 2048)
+        assert in_first_half > len(trace) * 0.55
+
+
+class TestFrames:
+    def test_mixes_sequential_and_random(self):
+        trace = gen("frames", hot_fraction=0.0, num_streams=1)
+        seq = sum(
+            1
+            for i in range(1, len(trace))
+            if trace.addrs[i] - trace.addrs[i - 1] == 1
+        )
+        # One frame stream plus the random-touch component: mostly
+        # sequential but clearly not purely so.
+        assert 0.4 < seq / len(trace) < 0.95
+
+
+class TestHotSet:
+    def test_hot_lines_live_outside_main_footprint(self):
+        trace = gen("zipf", hot_fraction=0.5, hot_lines=64)
+        base = min(trace.addrs)
+        # Hot lines map beyond footprint_lines.
+        hot_accesses = sum(1 for a in trace.addrs if a - base >= 2048)
+        assert hot_accesses > len(trace) * 0.3
+
+    def test_hot_set_bounded(self):
+        trace = gen("zipf", hot_fraction=1.0, hot_lines=32)
+        assert trace.unique_lines() <= 32
+
+
+class TestStreamMultiplicity:
+    def test_multiple_concurrent_streams(self):
+        trace = gen("stream", hot_fraction=0.0, num_streams=4)
+        # Jumps between stream cursors break pure sequentiality.
+        jumps = sum(
+            1
+            for i in range(1, len(trace))
+            if abs(trace.addrs[i] - trace.addrs[i - 1]) > 1
+        )
+        assert jumps > len(trace) * 0.3
+
+    def test_single_stream_is_nearly_pure(self):
+        trace = gen("stream", hot_fraction=0.0, num_streams=1)
+        seq = sum(
+            1
+            for i in range(1, len(trace))
+            if trace.addrs[i] - trace.addrs[i - 1] == 1
+        )
+        assert seq > len(trace) * 0.95

@@ -1,0 +1,60 @@
+"""Tests for the trace container."""
+
+from array import array
+
+import pytest
+
+from repro.workloads.trace import LOAD, STORE, Trace, TraceMeta
+
+
+def meta(**kwargs):
+    defaults = dict(
+        name="t",
+        category="ispec",
+        seed=1,
+        footprint_lines=100,
+        comp_class="friendly",
+        cache_sensitive=True,
+    )
+    defaults.update(kwargs)
+    return TraceMeta(**defaults)
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = Trace(meta())
+        trace.append(LOAD, 0x10, 3)
+        trace.append(STORE, 0x20, 5)
+        assert len(trace) == 2
+        assert list(trace.kinds) == [LOAD, STORE]
+
+    def test_instructions_sums_deltas(self):
+        trace = Trace(meta())
+        for delta in (3, 5, 7):
+            trace.append(LOAD, 0, delta)
+        assert trace.instructions == 15
+
+    def test_write_fraction(self):
+        trace = Trace(meta())
+        trace.append(STORE, 0, 1)
+        trace.append(LOAD, 0, 1)
+        trace.append(LOAD, 0, 1)
+        assert trace.write_fraction == pytest.approx(1 / 3)
+
+    def test_write_fraction_empty(self):
+        assert Trace(meta()).write_fraction == 0.0
+
+    def test_unique_lines(self):
+        trace = Trace(meta())
+        for addr in (1, 2, 2, 3, 1):
+            trace.append(LOAD, addr, 1)
+        assert trace.unique_lines() == 3
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(meta(), kinds=array("b", [0]), addrs=array("q"), deltas=array("i"))
+
+    def test_meta_carries_mlp(self):
+        m = meta(mlp_memory=3.0, mlp_llc=2.5, mlp_l2=2.0)
+        assert m.mlp_memory == 3.0
+        assert m.mlp_llc == 2.5

@@ -1,0 +1,90 @@
+"""Tests for the binary trace file format."""
+
+import pytest
+
+from repro.workloads.suite import TraceSuite
+from repro.workloads.trace import LOAD, STORE, Trace, TraceMeta
+from repro.workloads.traceio import read_trace, TraceFormatError, write_trace
+
+
+def small_trace():
+    meta = TraceMeta(
+        name="t",
+        category="ispec",
+        seed=9,
+        footprint_lines=64,
+        comp_class="friendly",
+        cache_sensitive=True,
+        mlp_memory=2.5,
+    )
+    trace = Trace(meta)
+    for i in range(100):
+        trace.append(STORE if i % 3 == 0 else LOAD, i * 7 % 64, 1 + i % 5)
+    return trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert list(loaded.kinds) == list(trace.kinds)
+        assert list(loaded.addrs) == list(trace.addrs)
+        assert list(loaded.deltas) == list(trace.deltas)
+
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert loaded.meta == trace.meta
+
+    def test_roundtrip_of_generated_suite_trace(self, tmp_path):
+        suite = TraceSuite(512, 2000)
+        trace = suite.trace("mcf.1")
+        path = tmp_path / "mcf1.rptr"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert len(loaded) == len(trace)
+        assert list(loaded.addrs) == list(trace.addrs)
+
+    def test_large_addresses_survive(self, tmp_path):
+        trace = small_trace()
+        trace.append(LOAD, 1 << 45, 3)
+        path = tmp_path / "big.rptr"
+        write_trace(trace, path)
+        assert read_trace(path).addrs[-1] == 1 << 45
+
+
+class TestErrorHandling:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rptr"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.rptr"
+        path.write_bytes(b"RPTR\x01")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_truncated_records(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-50])
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        data[4] = 99  # version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
