@@ -22,6 +22,13 @@ NUM_MIXES = 20
 def run_figure13(runner):
     mixes = build_mixes()[:NUM_MIXES]
     machines = {"4MB": BASE_4MB, "4MB+compression": BV_4MB, "6MB": BIG_6MB}
+    # One prewarm covers the whole figure, so every uncached mix and
+    # single-program run fans out across the runner's workers at once.
+    alone_names = sorted({name for mix in mixes for name in mix.trace_names})
+    runner.prewarm(
+        pairs=[(m, name) for m in machines.values() for name in alone_names],
+        mixes=[(m, mix) for m in machines.values() for mix in mixes],
+    )
     speedups: dict[str, dict[str, float]] = {label: {} for label in machines}
     hit_rates: dict[str, dict[str, float]] = {label: {} for label in machines}
     for label, machine in machines.items():

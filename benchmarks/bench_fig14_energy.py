@@ -33,9 +33,10 @@ def run_figure14(runner):
     ratios_we: dict[str, float] = {}
     ratios_rmw: dict[str, float] = {}
     read_ratios: dict[str, float] = {}
+    names = [spec.name for spec in all_specs()]
+    pairs = dict(zip(names, runner.run_pair(BASELINE_2MB, BASE_VICTIM_2MB, names)))
     for spec in all_specs():
-        base = runner.run_single(BASELINE_2MB, spec.name)
-        bv = runner.run_single(BASE_VICTIM_2MB, spec.name)
+        base, bv = pairs[spec.name]
         base_j = system_energy(energy_inputs(base), geometry).total_j
         bv_we = system_energy(
             energy_inputs(bv), geometry, tags_per_way=2, extra_metadata_bits=9,

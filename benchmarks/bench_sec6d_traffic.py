@@ -12,8 +12,8 @@ from repro.sim.report import traffic_summary
 
 
 def run_sec6d(runner, names):
-    base = [runner.run_single(BASELINE_2MB, n) for n in names]
-    bv = [runner.run_single(BASE_VICTIM_2MB, n) for n in names]
+    base = runner.run_many(BASELINE_2MB, names)
+    bv = runner.run_many(BASE_VICTIM_2MB, names)
     return base, bv
 
 

@@ -6,7 +6,9 @@ Each ``bench_*.py`` file regenerates one table or figure of the paper
 with an on-disk result cache, so machine configurations that recur across
 figures (the 2MB baseline, Base-Victim, 3MB) are simulated once.
 
-Run with::
+Uncached sweeps fan out across one worker process per CPU by default;
+set ``REPRO_JOBS`` to override (``REPRO_JOBS=1`` forces the serial
+path, which produces bit-identical results).  Run with::
 
     pytest benchmarks/ --benchmark-only -s
 """
@@ -18,13 +20,17 @@ import pytest
 from repro.sim.config import BENCH
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.metrics import dram_read_ratio, ipc_ratio
+from repro.sim.parallel import resolve_jobs
 from repro.workloads.suite import friendly_specs, poor_specs, sensitive_specs
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    """Session-wide experiment runner with persistent caching."""
-    return ExperimentRunner(BENCH)
+    """Session-wide experiment runner with persistent caching.
+
+    Parallel by default ($REPRO_JOBS overrides, 0 = one worker per CPU).
+    """
+    return ExperimentRunner(BENCH, jobs=resolve_jobs(None, default=0))
 
 
 @pytest.fixture(scope="session")
@@ -46,12 +52,14 @@ def poor_names() -> list[str]:
 
 
 def ratio_maps(runner, machine, baseline, names):
-    """Per-trace IPC and DRAM-read ratios of ``machine`` vs ``baseline``."""
+    """Per-trace IPC and DRAM-read ratios of ``machine`` vs ``baseline``.
+
+    Goes through :meth:`ExperimentRunner.run_pair`, so uncached runs fan
+    out across the runner's worker processes.
+    """
     ipc = {}
     reads = {}
-    for name in names:
-        base = runner.run_single(baseline, name)
-        run = runner.run_single(machine, name)
+    for name, (base, run) in zip(names, runner.run_pair(baseline, machine, names)):
         ipc[name] = ipc_ratio(run, base)
         reads[name] = dram_read_ratio(run, base)
     return ipc, reads

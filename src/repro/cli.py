@@ -37,6 +37,7 @@ from repro.sim.config import (
 )
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.metrics import dram_read_ratio, ipc_ratio
+from repro.sim.parallel import JOBS_ENV
 from repro.workloads.suite import all_specs, sensitive_specs
 
 _ARCH_CHOICES = (
@@ -90,6 +91,20 @@ def _cmd_list_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_line(done: int, total: int, key: str) -> None:
+    """One-line, in-place sweep progress indicator (stderr)."""
+    print(f"\r  simulated {done}/{total}  {key[:66]:<66s}", end="", file=sys.stderr, flush=True)
+    if done == total:
+        print(file=sys.stderr)
+
+
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build a runner honouring --jobs / $REPRO_JOBS, with progress."""
+    return ExperimentRunner(
+        PRESETS[args.preset], jobs=args.jobs, progress=_progress_line
+    )
+
+
 def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig(
         arch=args.machine,
@@ -101,8 +116,7 @@ def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    preset = PRESETS[args.preset]
-    runner = ExperimentRunner(preset)
+    runner = _runner_from_args(args)
     machine = _machine_from_args(args)
     result = runner.run_single(machine, args.trace)
     print(f"trace:        {result.trace}")
@@ -118,8 +132,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    preset = PRESETS[args.preset]
-    runner = ExperimentRunner(preset)
+    runner = _runner_from_args(args)
     machines = [
         BASELINE_2MB,
         BASE_VICTIM_2MB,
@@ -127,6 +140,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         TWO_TAG_MODIFIED_2MB,
         UNCOMPRESSED_3MB,
     ]
+    runner.prewarm((machine, args.trace) for machine in machines)
     base = runner.run_single(BASELINE_2MB, args.trace)
     print(f"{'machine':40s} {'IPC':>8s} {'ratio':>7s} {'rd-ratio':>8s}")
     for machine in machines:
@@ -144,16 +158,22 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.sim.metrics import dram_read_ratio, ipc_ratio
     from repro.workloads.suite import all_specs, sensitive_specs
 
-    preset = PRESETS[args.preset]
-    runner = ExperimentRunner(preset)
+    runner = _runner_from_args(args)
     specs = all_specs() if args.all_traces else sensitive_specs()
+    names = [spec.name for spec in specs]
+    if runner.jobs > 1:
+        print(
+            f"sweeping {2 * len(names)} (machine, trace) runs "
+            f"across {runner.jobs} workers",
+            file=sys.stderr,
+        )
     ipc: dict[str, float] = {}
     reads: dict[str, float] = {}
-    for spec in specs:
-        base = runner.run_single(BASELINE_2MB, spec.name)
-        bv = runner.run_single(BASE_VICTIM_2MB, spec.name)
-        ipc[spec.name] = ipc_ratio(bv, base)
-        reads[spec.name] = dram_read_ratio(bv, base)
+    for name, (base, bv) in zip(
+        names, runner.run_pair(BASELINE_2MB, BASE_VICTIM_2MB, names)
+    ):
+        ipc[name] = ipc_ratio(bv, base)
+        reads[name] = dram_read_ratio(bv, base)
     series = {"ipc_ratio": ipc, "dram_read_ratio": reads}
     if args.csv:
         write_series_csv(args.csv, series)
@@ -197,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sets-mult", type=float, default=1.0)
         p.add_argument("--policy", default="nru")
         p.add_argument("--victim-policy", default="ecm")
+        _add_jobs_argument(p)
 
     sub.add_parser("area", help="print the Section IV.C area overheads")
 
@@ -206,7 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     p_export.add_argument("--all-traces", action="store_true")
     p_export.add_argument("--csv", help="CSV output path")
+    _add_jobs_argument(p_export)
     return parser
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweeps (0 = one per CPU; "
+            f"default ${JOBS_ENV} or 1)"
+        ),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,7 +254,11 @@ def main(argv: list[str] | None = None) -> int:
         "area": _cmd_area,
         "export": _cmd_export,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:  # e.g. a malformed $REPRO_JOBS
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

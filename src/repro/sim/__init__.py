@@ -30,6 +30,7 @@ from repro.sim.metrics import (
     weighted_speedup,
 )
 from repro.sim.multi_core import MixRunResult, simulate_mix
+from repro.sim.parallel import JOBS_ENV, SweepJob, resolve_jobs, run_sweep
 from repro.sim.single_core import RunResult, simulate_trace
 
 __all__ = [
@@ -49,14 +50,18 @@ __all__ = [
     "ExperimentRunner",
     "geomean",
     "ipc_ratio",
+    "JOBS_ENV",
     "MachineConfig",
     "MixRunResult",
     "PAPER",
     "Preset",
     "PRESETS",
+    "resolve_jobs",
     "RunResult",
+    "run_sweep",
     "simulate_mix",
     "simulate_trace",
+    "SweepJob",
     "TEST",
     "TWO_TAG_2MB",
     "TWO_TAG_MODIFIED_2MB",

@@ -1,4 +1,4 @@
-"""Experiment runner with persistent result caching.
+"""Experiment runner with persistent result caching and parallel sweeps.
 
 Every figure in the paper is a sweep of (machine configuration x trace
 set); many machines recur across figures (the 2MB baseline appears in all
@@ -6,19 +6,34 @@ of them).  The runner memoises each (preset, machine, trace) run both in
 memory and on disk (JSON-lines under ``.repro_cache/``), so the bench
 suite shares work across files and across invocations.
 
+Sweeps fan out across worker processes when ``jobs > 1`` (see
+:mod:`repro.sim.parallel`): :meth:`ExperimentRunner.prewarm` collects the
+uncached jobs of a sweep, shards them over a process pool, and merges the
+per-worker result shards back into the main cache file.  ``jobs=1``
+preserves the strictly serial path, and both paths produce bit-identical
+results and cache files (enforced by ``tests/sim/test_parallel.py``).
+
 Results are invalidated by bumping :data:`CACHE_VERSION` whenever the
 simulator's behaviour changes.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.sim.config import MachineConfig, Preset
 from repro.sim.multi_core import MixRunResult, simulate_mix
+from repro.sim.parallel import (
+    MIX,
+    SINGLE,
+    SweepJob,
+    resolve_jobs,
+    run_sweep,
+    simulate_job,
+)
+from repro.sim.resultcache import encode_entry, load_cache_entries
 from repro.sim.single_core import RunResult, simulate_trace
 from repro.workloads.mixes import MixSpec
 from repro.workloads.suite import SUITE_VERSION, TraceSuite
@@ -41,17 +56,32 @@ def default_cache_dir() -> Path:
 
 
 class ExperimentRunner:
-    """Caches single-trace and mix runs for one preset."""
+    """Caches single-trace and mix runs for one preset.
+
+    ``jobs`` controls sweep parallelism: ``None`` falls back to
+    ``$REPRO_JOBS`` (default 1 = serial), ``0`` means one worker per CPU,
+    ``N > 1`` uses N worker processes.  ``progress`` (if given) is called
+    as ``progress(done, total, key)`` while a parallel sweep drains.
+
+    ``cache_hits`` / ``cache_misses`` count, per requested run, whether
+    it was served from the (memory or disk) cache or had to be simulated.
+    """
 
     def __init__(
         self,
         preset: Preset,
         cache_dir: Path | None = None,
         use_disk_cache: bool = True,
+        jobs: int | None = None,
+        progress=None,
     ) -> None:
         self.preset = preset
         self.suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
         self.use_disk_cache = use_disk_cache
+        self.jobs = resolve_jobs(jobs)
+        self.progress = progress
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._memory: dict[str, dict] = {}
         self._cache_path: Path | None = None
         if use_disk_cache:
@@ -65,24 +95,17 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def _load_disk_cache(self) -> None:
-        if self._cache_path is None or not self._cache_path.exists():
+        if self._cache_path is None:
             return
-        with self._cache_path.open() as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from an interrupted run
-                self._memory[entry["key"]] = entry["result"]
+        # Tolerant load: lines torn by an interrupted worker are skipped
+        # (with a CorruptCacheLineWarning) instead of poisoning the cache.
+        self._memory.update(load_cache_entries(self._cache_path))
 
     def _store(self, key: str, result: dict) -> None:
         self._memory[key] = result
         if self._cache_path is not None:
             with self._cache_path.open("a") as handle:
-                handle.write(json.dumps({"key": key, "result": result}) + "\n")
+                handle.write(encode_entry(key, result) + "\n")
 
     @staticmethod
     def _single_key(machine: MachineConfig, trace_name: str, length: int) -> str:
@@ -94,6 +117,68 @@ class ExperimentRunner:
         return f"mix|s{SUITE_VERSION}|{machine.label}|{mix.name}:{traces}|{length}"
 
     # ------------------------------------------------------------------
+    # Sweep fan-out
+    # ------------------------------------------------------------------
+
+    def prewarm(
+        self,
+        pairs: Iterable[tuple[MachineConfig, str]] = (),
+        mixes: Iterable[tuple[MachineConfig, MixSpec]] = (),
+    ) -> int:
+        """Ensure every requested run is cached; returns runs simulated.
+
+        Cached (or duplicate) requests count as cache hits; the unique
+        uncached remainder is simulated — across ``self.jobs`` worker
+        processes when more than one job is pending, serially otherwise.
+        Pending jobs enter the cache (memory and disk) in request order
+        either way, so serial and parallel sweeps produce byte-identical
+        cache files.
+        """
+        length = self.preset.trace_length
+        pending: list[SweepJob] = []
+        seen: set[str] = set()
+
+        def consider(key: str, job: SweepJob) -> None:
+            if key in self._memory or key in seen:
+                self.cache_hits += 1
+                return
+            seen.add(key)
+            pending.append(job)
+
+        for machine, trace_name in pairs:
+            key = self._single_key(machine, trace_name, length)
+            consider(
+                key,
+                SweepJob(key=key, kind=SINGLE, machine=machine, trace_name=trace_name),
+            )
+        for machine, mix in mixes:
+            key = self._mix_key(machine, mix, length)
+            consider(key, SweepJob(key=key, kind=MIX, machine=machine, mix=mix))
+
+        if not pending:
+            return 0
+        self.cache_misses += len(pending)
+        if self.jobs > 1 and len(pending) > 1:
+            results = run_sweep(
+                self.preset,
+                pending,
+                jobs=self.jobs,
+                cache_path=self._cache_path,
+                progress=self.progress,
+            )
+            for job, result in zip(pending, results):
+                self._memory[job.key] = result
+        else:
+            for job in pending:
+                self._store(job.key, simulate_job(job, self.preset, self.suite))
+        return len(pending)
+
+    def _single_result(self, machine: MachineConfig, trace_name: str) -> RunResult:
+        """Fetch a prewarmed single run from memory (no accounting)."""
+        key = self._single_key(machine, trace_name, self.preset.trace_length)
+        return RunResult.from_dict(self._memory[key])
+
+    # ------------------------------------------------------------------
     # Runs
     # ------------------------------------------------------------------
 
@@ -102,7 +187,9 @@ class ExperimentRunner:
         key = self._single_key(machine, trace_name, self.preset.trace_length)
         cached = self._memory.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return RunResult.from_dict(cached)
+        self.cache_misses += 1
         trace = self.suite.trace(trace_name)
         data = self.suite.data_model(trace_name)
         result = simulate_trace(trace, data, machine, self.preset)
@@ -112,18 +199,33 @@ class ExperimentRunner:
     def run_many(
         self, machine: MachineConfig, trace_names: Iterable[str]
     ) -> list[RunResult]:
-        """Run a machine across a list of traces."""
-        return [self.run_single(machine, name) for name in trace_names]
+        """Run a machine across a list of traces (parallel when jobs > 1)."""
+        names = list(trace_names)
+        self.prewarm((machine, name) for name in names)
+        return [self._single_result(machine, name) for name in names]
 
     def run_mix(self, machine: MachineConfig, mix: MixSpec) -> MixRunResult:
         """One multi-program mix run, cached."""
         key = self._mix_key(machine, mix, self.preset.trace_length)
         cached = self._memory.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return MixRunResult.from_dict(cached)
+        self.cache_misses += 1
         result = simulate_mix(mix, machine, self.preset, self.suite)
         self._store(key, result.to_dict())
         return result
+
+    def run_mixes(
+        self, machine: MachineConfig, mixes: Sequence[MixSpec]
+    ) -> list[MixRunResult]:
+        """Run a machine across mixes (parallel when jobs > 1)."""
+        self.prewarm(mixes=((machine, mix) for mix in mixes))
+        length = self.preset.trace_length
+        return [
+            MixRunResult.from_dict(self._memory[self._mix_key(machine, mix, length)])
+            for mix in mixes
+        ]
 
     def run_pair(
         self,
@@ -132,7 +234,12 @@ class ExperimentRunner:
         trace_names: Sequence[str],
     ) -> list[tuple[RunResult, RunResult]]:
         """(baseline, candidate) runs per trace, for ratio metrics."""
+        names = list(trace_names)
+        self.prewarm(
+            [(baseline, name) for name in names]
+            + [(candidate, name) for name in names]
+        )
         return [
-            (self.run_single(baseline, name), self.run_single(candidate, name))
-            for name in trace_names
+            (self._single_result(baseline, name), self._single_result(candidate, name))
+            for name in names
         ]

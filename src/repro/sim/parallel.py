@@ -1,0 +1,232 @@
+"""Parallel sweep execution engine.
+
+Every figure in the paper is an embarrassingly parallel sweep of
+(machine configuration x trace) plus a handful of multi-program mixes.
+This module fans the *uncached* jobs of such a sweep across a process
+pool with chunked work distribution while keeping three guarantees the
+experiment cache depends on:
+
+* **Determinism** — results are returned in submission order, and each
+  simulation is a pure function of (preset, machine, trace/mix), so a
+  parallel sweep is bit-identical to a serial one (locked down by
+  ``tests/sim/test_parallel.py``).
+* **Single-writer files** — each worker process appends finished results
+  to its own JSONL *shard* (``<cache>.shards-<pid>/shard-<worker pid>
+  .jsonl``); no two processes ever write one file.  On completion the
+  parent merges the shards into the main ``results-v*.jsonl`` cache in
+  canonical job order and removes them.
+* **Crash tolerance** — shards are flushed per job, so results survive a
+  killed sweep; the tolerant loader in :mod:`repro.sim.resultcache`
+  skips any line torn by the interruption.
+
+Worker processes build one :class:`~repro.workloads.suite.TraceSuite`
+each (in the pool initializer) so generated traces are reused across all
+jobs a worker executes.  All callables handed to the pool are picklable
+top-level functions.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.sim.config import MachineConfig, Preset
+from repro.sim.multi_core import simulate_mix
+from repro.sim.resultcache import (
+    append_cache_entries,
+    encode_entry,
+    load_cache_entries,
+)
+from repro.sim.single_core import simulate_trace
+from repro.workloads.mixes import MixSpec
+from repro.workloads.suite import TraceSuite
+
+#: Environment variable overriding the worker count (0 = all CPUs).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Job kinds.
+SINGLE = "single"
+MIX = "mix"
+
+#: Progress callback signature: (done, total, key-of-last-finished-job).
+ProgressFn = Callable[[int, int, str], None]
+
+
+def resolve_jobs(jobs: int | None = None, default: int = 1) -> int:
+    """Resolve a worker count: explicit value > $REPRO_JOBS > ``default``.
+
+    Zero or negative values (from any source) mean "one worker per CPU".
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${JOBS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = default
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One pending simulation: a cache key plus what to simulate."""
+
+    key: str
+    kind: str  # SINGLE or MIX
+    machine: MachineConfig
+    trace_name: str = ""
+    mix: MixSpec | None = None
+
+
+def simulate_job(job: SweepJob, preset: Preset, suite: TraceSuite) -> dict:
+    """Run one sweep job to its serialised result dict.
+
+    Shared by the serial path (:class:`~repro.sim.experiment
+    .ExperimentRunner`) and the pool workers so both produce identical
+    results by construction.
+    """
+    if job.kind == SINGLE:
+        trace = suite.trace(job.trace_name)
+        data = suite.data_model(job.trace_name)
+        return simulate_trace(trace, data, job.machine, preset).to_dict()
+    if job.kind == MIX:
+        assert job.mix is not None
+        return simulate_mix(job.mix, job.machine, preset, suite).to_dict()
+    raise ValueError(f"unknown job kind {job.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  State lives in a module-level dict set up by the
+# pool initializer; with the spawn start method the module is re-imported
+# in each worker, so nothing here may depend on parent-process state.
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_worker(preset: Preset, shard_dir: str | None) -> None:
+    """Pool initializer: build the per-process suite and shard path."""
+    _WORKER["preset"] = preset
+    _WORKER["suite"] = TraceSuite(preset.reference_llc_lines, preset.trace_length)
+    _WORKER["shard_path"] = (
+        Path(shard_dir) / f"shard-{os.getpid()}.jsonl" if shard_dir else None
+    )
+
+
+def _run_job(indexed_job: tuple[int, SweepJob]) -> tuple[int, str, dict]:
+    """Execute one job in a worker; append it to this worker's shard."""
+    index, job = indexed_job
+    result = simulate_job(job, _WORKER["preset"], _WORKER["suite"])
+    shard_path: Path | None = _WORKER["shard_path"]
+    if shard_path is not None:
+        with shard_path.open("a") as handle:
+            handle.write(encode_entry(job.key, result) + "\n")
+    return index, job.key, result
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork where available (fast start, no import tax)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Parent-process side.
+# ----------------------------------------------------------------------
+
+
+def run_sweep(
+    preset: Preset,
+    jobs_list: Sequence[SweepJob],
+    *,
+    jobs: int,
+    cache_path: Path | None = None,
+    progress: ProgressFn | None = None,
+    chunksize: int | None = None,
+) -> list[dict]:
+    """Simulate ``jobs_list`` across ``jobs`` workers; results in job order.
+
+    When ``cache_path`` is given, the workers' shard files are merged
+    into it (appended in ``jobs_list`` order, deduplicated by key) after
+    the pool drains, then deleted.  Keys in ``jobs_list`` must be unique.
+    """
+    total = len(jobs_list)
+    if total == 0:
+        return []
+    workers = max(1, min(jobs, total))
+
+    shard_dir: Path | None = None
+    if cache_path is not None:
+        shard_dir = cache_path.parent / f"{cache_path.stem}.shards-{os.getpid()}"
+        shard_dir.mkdir(parents=True, exist_ok=True)
+
+    results: list[dict | None] = [None] * total
+    chunk = chunksize or max(1, math.ceil(total / (workers * 4)))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(preset, str(shard_dir) if shard_dir else None),
+        ) as pool:
+            done = 0
+            for index, key, result in pool.map(
+                _run_job, enumerate(jobs_list), chunksize=chunk
+            ):
+                results[index] = result
+                done += 1
+                if progress is not None:
+                    progress(done, total, key)
+        if shard_dir is not None:
+            _merge_shards(cache_path, shard_dir, jobs_list, results)
+    finally:
+        if shard_dir is not None:
+            _remove_shards(shard_dir)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def _merge_shards(
+    cache_path: Path,
+    shard_dir: Path,
+    jobs_list: Sequence[SweepJob],
+    results: Sequence[dict | None],
+) -> None:
+    """Fold worker shards into the main cache file in job order.
+
+    The shards are authoritative (they are what survived on disk); any
+    job whose shard line was lost falls back to the in-memory result.
+    """
+    sharded: dict[str, dict] = {}
+    for shard in sorted(shard_dir.glob("shard-*.jsonl")):
+        sharded.update(load_cache_entries(shard))
+    append_cache_entries(
+        cache_path,
+        (
+            (job.key, sharded.get(job.key, results[index]))
+            for index, job in enumerate(jobs_list)
+        ),
+    )
+
+
+def _remove_shards(shard_dir: Path) -> None:
+    for shard in shard_dir.glob("shard-*.jsonl"):
+        try:
+            shard.unlink()
+        except OSError:
+            pass
+    try:
+        shard_dir.rmdir()
+    except OSError:
+        pass

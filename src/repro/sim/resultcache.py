@@ -1,0 +1,84 @@
+"""Result-cache JSONL file helpers.
+
+The experiment runner and the parallel sweep engine share one on-disk
+format: JSON-lines files where every line is ``{"key": ..., "result":
+...}``.  This module owns encoding, tolerant loading and the single-writer
+append used when merging per-worker shards, so the main cache file and the
+worker shards can never drift apart.
+
+Loading is *tolerant*: a worker interrupted mid-write (Ctrl-C, OOM kill,
+crashed pool) leaves a truncated final line behind, and a cache that
+refuses to load because of one torn line would throw away hours of sweep
+results.  Corrupt lines are skipped and reported once per file via
+:class:`CorruptCacheLineWarning`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+from typing import Iterable
+
+
+class CorruptCacheLineWarning(RuntimeWarning):
+    """A result-cache file contained truncated or malformed JSONL lines."""
+
+
+def encode_entry(key: str, result: dict) -> str:
+    """One cache line (without trailing newline) for ``key``/``result``."""
+    return json.dumps({"key": key, "result": result})
+
+
+def load_cache_entries(path: Path) -> dict[str, dict]:
+    """Read a JSONL cache file into a key -> result mapping.
+
+    Blank lines are ignored; truncated or structurally wrong lines are
+    skipped and reported with one :class:`CorruptCacheLineWarning` per
+    file.  Later entries for a repeated key win, matching append-only
+    write semantics.
+    """
+    entries: dict[str, dict] = {}
+    if not path.exists():
+        return entries
+    corrupt = 0
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1
+                continue
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("key"), str)
+                or not isinstance(entry.get("result"), dict)
+            ):
+                corrupt += 1
+                continue
+            entries[entry["key"]] = entry["result"]
+    if corrupt:
+        warnings.warn(
+            f"{path}: skipped {corrupt} corrupt cache line(s); "
+            "likely a simulation interrupted mid-write",
+            CorruptCacheLineWarning,
+            stacklevel=2,
+        )
+    return entries
+
+
+def append_cache_entries(path: Path, items: Iterable[tuple[str, dict]]) -> int:
+    """Append ``(key, result)`` pairs to ``path``; returns lines written.
+
+    This is the only merge/write primitive: exactly one process may call
+    it for a given file (workers write private shards, the parent merges).
+    """
+    written = 0
+    with path.open("a") as handle:
+        for key, result in items:
+            handle.write(encode_entry(key, result) + "\n")
+            written += 1
+    return written

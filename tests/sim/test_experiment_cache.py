@@ -1,9 +1,13 @@
 """Tests for experiment-runner caching semantics."""
 
 import json
+import warnings
+
+import pytest
 
 from repro.sim.config import BASELINE_2MB, TEST
 from repro.sim.experiment import CACHE_VERSION, ExperimentRunner
+from repro.sim.resultcache import CorruptCacheLineWarning, load_cache_entries
 from repro.workloads.suite import SUITE_VERSION
 
 
@@ -20,15 +24,45 @@ class TestCacheKeys:
         assert len(files) == 1
         assert f"v{CACHE_VERSION}" in files[0].name
 
-    def test_corrupt_cache_lines_are_skipped(self, tmp_path):
+    def test_corrupt_cache_lines_are_skipped_with_a_warning(self, tmp_path):
         runner = ExperimentRunner(TEST, cache_dir=tmp_path)
         result = runner.run_single(BASELINE_2MB, "sjeng.1")
         path = next(tmp_path.iterdir())
         with path.open("a") as handle:
             handle.write("{torn json\n")
-        fresh = ExperimentRunner(TEST, cache_dir=tmp_path)
+        with pytest.warns(CorruptCacheLineWarning, match="1 corrupt"):
+            fresh = ExperimentRunner(TEST, cache_dir=tmp_path)
         again = fresh.run_single(BASELINE_2MB, "sjeng.1")
         assert again.to_dict() == result.to_dict()
+        assert fresh.cache_hits == 1  # served from the surviving entry
+
+    def test_structurally_wrong_lines_are_skipped(self, tmp_path):
+        """Lines that parse as JSON but are not cache entries are dropped.
+
+        These occur when a worker is killed mid-write and the torn tail
+        of one entry happens to remain valid JSON.
+        """
+        path = tmp_path / "cache.jsonl"
+        good = {"key": "k1", "result": {"ipc": 1.0}}
+        lines = [
+            json.dumps(good),
+            json.dumps(["not", "a", "dict"]),
+            json.dumps({"result": {"no": "key"}}),
+            json.dumps({"key": 42, "result": {}}),
+            json.dumps({"key": "k2"}),
+            "",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(CorruptCacheLineWarning, match="4 corrupt"):
+            entries = load_cache_entries(path)
+        assert entries == {"k1": {"ipc": 1.0}}
+
+    def test_clean_files_load_without_warning(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path)
+        runner.run_single(BASELINE_2MB, "sjeng.1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CorruptCacheLineWarning)
+            ExperimentRunner(TEST, cache_dir=tmp_path)
 
     def test_memory_only_mode_writes_nothing(self, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

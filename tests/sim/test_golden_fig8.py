@@ -1,0 +1,52 @@
+"""Golden regression against a committed Figure 8 fixture.
+
+``golden_figure8.csv`` holds four rows (one trace per workload category)
+copied verbatim from the bench suite's ``.repro_cache/figure8.csv``
+export.  Re-simulating them on the BENCH preset must reproduce the
+committed ratios to near machine precision: the simulator is fully
+deterministic, so *any* drift here means its behaviour changed and
+``CACHE_VERSION``/EXPERIMENTS.md need a deliberate update.  This catches
+simulator drift in seconds, without rerunning the full bench suite.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB, BENCH
+from repro.sim.experiment import ExperimentRunner
+from repro.sim.metrics import dram_read_ratio, ipc_ratio
+
+GOLDEN_PATH = Path(__file__).with_name("golden_figure8.csv")
+
+
+def load_golden() -> dict[str, tuple[float, float]]:
+    with GOLDEN_PATH.open(newline="") as handle:
+        return {
+            row["trace"]: (float(row["IPC ratio"]), float(row["DRAM read ratio"]))
+            for row in csv.DictReader(handle)
+        }
+
+
+def test_fixture_covers_all_four_categories():
+    golden = load_golden()
+    assert sorted(golden) == ["3dmark.1", "lbm.1", "mcf.1", "sysmark.1"]
+
+
+def test_figure8_slice_matches_golden():
+    golden = load_golden()
+    runner = ExperimentRunner(BENCH, use_disk_cache=False)
+    for trace_name, (golden_ipc, golden_reads) in sorted(golden.items()):
+        base = runner.run_single(BASELINE_2MB, trace_name)
+        bv = runner.run_single(BASE_VICTIM_2MB, trace_name)
+        assert ipc_ratio(bv, base) == pytest.approx(golden_ipc, rel=1e-9), (
+            f"{trace_name}: IPC ratio drifted from the committed golden value; "
+            "if the simulator changed intentionally, bump CACHE_VERSION and "
+            "regenerate tests/sim/golden_figure8.csv"
+        )
+        assert dram_read_ratio(bv, base) == pytest.approx(golden_reads, rel=1e-9), (
+            f"{trace_name}: DRAM read ratio drifted from the committed golden value"
+        )

@@ -18,6 +18,12 @@ class TestParser:
         args = build_parser().parse_args(["run", "--trace", "mcf.1"])
         assert args.preset == "bench"
         assert args.machine == "base-victim"
+        assert args.jobs is None  # defer to $REPRO_JOBS / serial default
+
+    def test_jobs_flag_everywhere(self):
+        for command in (["run", "--trace", "mcf.1"], ["compare", "--trace", "mcf.1"], ["export"]):
+            args = build_parser().parse_args(command + ["--jobs", "4"])
+            assert args.jobs == 4
 
 
 class TestCommands:
@@ -56,3 +62,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "base-victim" in out
         assert "uncompressed" in out
+
+    def test_malformed_repro_jobs_is_a_clean_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["run", "--trace", "sjeng.1", "--preset", "test"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "REPRO_JOBS" in err
+
+    def test_compare_parallel_matches_serial(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        assert main(["compare", "--trace", "sjeng.1", "--preset", "test", "--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        assert main(["compare", "--trace", "sjeng.1", "--preset", "test", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
