@@ -29,7 +29,7 @@ def test_fig06_naive_twotag(benchmark, runner, sensitive_names):
     )
     losers = count_losers(ipc.values())
     mean = geomean(ipc.values())
-    print(f"  paper: geomean 0.88 (−12%), 37/60 traces lose")
+    print("  paper: geomean 0.88 (−12%), 37/60 traces lose")
     print(f"  measured: geomean {mean:.3f}, {losers}/60 traces lose")
 
     # Shape assertions: many traces must lose, and the strawman must be

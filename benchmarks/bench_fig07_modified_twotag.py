@@ -31,7 +31,7 @@ def test_fig07_modified_twotag(
     )
     cf = geomean(ipc[n] for n in friendly_names)
     poor = geomean(ipc[n] for n in poor_names)
-    print(f"  paper: CF +4.7%, poor −3.8%, 27/60 lose, outliers to −14%")
+    print("  paper: CF +4.7%, poor −3.8%, 27/60 lose, outliers to −14%")
     print(
         f"  measured: CF {cf:.3f}, poor {poor:.3f}, "
         f"{count_losers(ipc.values())}/60 lose, min {min(ipc.values()):.3f}"

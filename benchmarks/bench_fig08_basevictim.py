@@ -41,7 +41,7 @@ def test_fig08_base_victim(
     cf_reads = geomean(reads[n] for n in friendly_names)
     poor = geomean(ipc[n] for n in poor_names)
     overall = geomean(ipc.values())
-    print(f"  paper: CF +8.5% / reads −16%; poor +1.45%; overall +7.3%")
+    print("  paper: CF +8.5% / reads −16%; poor +1.45%; overall +7.3%")
     print(
         f"  measured: CF {cf:.3f} / reads {cf_reads:.3f}; "
         f"poor {poor:.3f}; overall {overall:.3f}"

@@ -43,7 +43,7 @@ def test_fig10_replacement_policies(benchmark, runner, sensitive_names):
     srrip_bv = geomean(series["srrip+compression"].values())
     char = geomean(series["char"].values())
     char_bv = geomean(series["char+compression"].values())
-    print(f"\n  paper: SRRIP +2.9% -> +6.4% more; CHAR +3.2% -> +7.2% more")
+    print("\n  paper: SRRIP +2.9% -> +6.4% more; CHAR +3.2% -> +7.2% more")
     print(
         f"  measured: SRRIP {srrip:.3f} -> {srrip_bv:.3f}; "
         f"CHAR {char:.3f} -> {char_bv:.3f}"

@@ -5,7 +5,6 @@ gains 15.8%; Base-Victim on top of 4MB adds a further 6.8%; a 6MB
 (50% larger than 4MB) uncompressed cache reaches ~9% over 4MB.
 """
 
-from dataclasses import replace
 
 from benchmarks.conftest import ratio_maps
 from repro.sim.config import ARCH_BASE_VICTIM, BASELINE_2MB, MachineConfig
@@ -42,7 +41,7 @@ def test_fig11_llc_size(benchmark, runner, sensitive_names):
     g4 = geomean(series["4MB"].values())
     g6 = geomean(series["6MB"].values())
     g4bv = geomean(series["4MB+compression"].values())
-    print(f"\n  paper: 4MB +15.8%; compression adds +6.8% on top; 6MB ~ +25%")
+    print("\n  paper: 4MB +15.8%; compression adds +6.8% on top; 6MB ~ +25%")
     print(
         f"  measured: 4MB {g4:.3f}; 4MB+compression {g4bv:.3f} "
         f"(adds {g4bv / g4:.3f}); 6MB {g6:.3f}"

@@ -33,7 +33,7 @@ def test_fig12_all_100_traces(benchmark, runner):
     )
     bv = geomean(bv_ipc.values())
     big = geomean(big_ipc.values())
-    print(f"  paper: Base-Victim +4.3% vs 3MB +4.9% over 100 traces")
+    print("  paper: Base-Victim +4.3% vs 3MB +4.9% over 100 traces")
     print(f"  measured: Base-Victim {bv:.3f} vs 3MB {big:.3f}")
 
     # Shape: diluted but positive gains, no significant negative outliers,

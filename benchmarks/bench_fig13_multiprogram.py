@@ -62,7 +62,7 @@ def test_fig13_multiprogram(benchmark, runner):
         )
     bv = geomean(ratios_bv.values())
     big = geomean(ratios_big.values())
-    print(f"\n  paper: Base-Victim +8.7% vs 6MB +9.0% (4MB baseline)")
+    print("\n  paper: Base-Victim +8.7% vs 6MB +9.0% (4MB baseline)")
     print(f"  measured: Base-Victim {bv:.3f} vs 6MB {big:.3f}")
 
     # Shape: compression gains are close to the 50% larger shared cache,

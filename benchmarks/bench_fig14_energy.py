@@ -62,7 +62,7 @@ def test_fig14_energy(benchmark, runner):
     we = geomean(ratios_we.values())
     rmw = geomean(ratios_rmw.values())
     print("Figure 14 — energy ratio vs uncompressed baseline (100 traces)")
-    print(f"  paper: with word enables 0.935 (−6.5%); without 0.978 (−2.2%)")
+    print("  paper: with word enables 0.935 (−6.5%); without 0.978 (−2.2%)")
     print(
         f"  measured: with word enables {we:.3f}; without {rmw:.3f}; "
         f"worst with-WE {max(ratios_we.values()):.3f}, "

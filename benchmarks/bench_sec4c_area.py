@@ -42,7 +42,7 @@ def test_sec4c_area(benchmark):
             rows,
         )
     )
-    print(f"\n  paper: 31-bit tags, 40 added bits, 7.3% tags+meta, 8.5% total")
+    print("\n  paper: 31-bit tags, 40 added bits, 7.3% tags+meta, 8.5% total")
 
     assert headline.tag_bits == 31
     assert headline.added_bits == 40

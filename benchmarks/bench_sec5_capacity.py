@@ -8,7 +8,6 @@ This bench measures resident logical lines per physical line slot on the
 compression-friendly traces.
 """
 
-from benchmarks.conftest import ratio_maps
 from repro.core.interfaces import AccessKind
 from repro.sim.config import (
     ARCH_BASE_VICTIM,
@@ -69,7 +68,7 @@ def test_sec5_effective_capacity(benchmark, runner):
     print()
     means = {label: geomean(values) for label, values in capacities.items()}
     print("Sections V / VI.B.4 — effective capacity on friendly traces")
-    print(f"  paper: VSC-2X/DCC-class designs ~1.8x, Base-Victim ~1.5x")
+    print("  paper: VSC-2X/DCC-class designs ~1.8x, Base-Victim ~1.5x")
     print(
         "  measured: "
         + ", ".join(f"{label} {mean:.2f}x" for label, mean in means.items())

@@ -42,7 +42,7 @@ def test_sec6b1_associativity(benchmark, runner, sensitive_names):
     g16 = geomean(bv16.values())
     ga = geomean(assoc32.values())
     print("Section VI.B.1 — associativity sensitivity (vs 2MB 16-way baseline)")
-    print(f"  paper: 32-tag BV +7.3%; 16-tag BV +6.2%; 32-way uncompressed ~0%")
+    print("  paper: 32-tag BV +7.3%; 16-tag BV +6.2%; 32-way uncompressed ~0%")
     print(f"  measured: 32-tag BV {g32:.3f}; 16-tag BV {g16:.3f}; "
           f"32-way uncompressed {ga:.3f}")
 

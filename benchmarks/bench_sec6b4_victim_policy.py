@@ -51,7 +51,7 @@ def test_sec6b4_victim_policies(benchmark, runner, sensitive_names):
     print(format_table(["victim policy", "geomean IPC ratio"], rows))
     policy_means = {k: v for k, v in means.items() if "dirty" not in k}
     spread = max(policy_means.values()) - min(policy_means.values())
-    print(f"\n  paper: no variant significantly beats ECM; spread is small")
+    print("\n  paper: no variant significantly beats ECM; spread is small")
     print(f"  measured spread: {spread:.4f}")
     print(
         "  memory-write ratio vs baseline: "

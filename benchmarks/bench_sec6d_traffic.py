@@ -7,7 +7,6 @@ more LLC accesses from base<->victim migrations and extra hits.
 """
 
 from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB
-from repro.sim.metrics import geomean
 from repro.sim.report import traffic_summary
 
 

@@ -49,8 +49,8 @@ def test_table1_workloads(benchmark):
     cf_avg = sum(fractions[n] for n in friendly) / len(friendly)
     poor_avg = sum(fractions[n] for n in poor) / len(poor)
     all_avg = sum(fractions.values()) / len(fractions)
-    print(f"\n  compressed block size (fraction of 64B, measured with BDI):")
-    print(f"  paper: CF ~0.50, poor >0.75, all-60 average ~0.55")
+    print("\n  compressed block size (fraction of 64B, measured with BDI):")
+    print("  paper: CF ~0.50, poor >0.75, all-60 average ~0.55")
     print(
         f"  measured: CF {cf_avg:.2f} ({len(friendly)} traces), "
         f"poor {poor_avg:.2f} ({len(poor)} traces), all {all_avg:.2f}"

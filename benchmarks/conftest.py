@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs.registry import merge_observations
 from repro.sim.config import BENCH
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.metrics import dram_read_ratio, ipc_ratio
@@ -63,3 +64,13 @@ def ratio_maps(runner, machine, baseline, names):
         ipc[name] = ipc_ratio(run, base)
         reads[name] = dram_read_ratio(run, base)
     return ipc, reads
+
+
+def merged_obs(runner, machine, names):
+    """Observability counters of ``machine`` merged across ``names``.
+
+    Every cached run carries its serialised registry (``RunResult.obs``);
+    merging them gives suite-level histograms and hit-category counts —
+    the same numbers ``repro stats --json`` reports.
+    """
+    return merge_observations(run.obs for run in runner.run_many(machine, names))

@@ -242,6 +242,33 @@ class CacheHierarchy:
     # Introspection
     # ------------------------------------------------------------------
 
+    def publish_observations(self, registry, include_llc: bool = True) -> None:
+        """Publish the hit/miss breakdown and per-level counters.
+
+        ``include_llc=False`` lets multi-program drivers publish each
+        thread's private-level counters without double-counting the
+        shared LLC, which the mix driver publishes once itself.
+        """
+        stats = self.stats
+        hits = registry.scoped("hits")
+        hits.inc("l1", stats.l1_hits)
+        hits.inc("l2", stats.l2_hits)
+        hits.inc("llc_base", stats.llc_hits - stats.llc_victim_hits)
+        hits.inc("llc_victim", stats.llc_victim_hits)
+        hits.inc("memory", stats.llc_misses)
+        scope = registry.scoped("hierarchy")
+        scope.inc("accesses", stats.accesses)
+        scope.inc("compressed_hits", stats.compressed_hits)
+        scope.inc("back_invalidations", stats.back_invalidations)
+        scope.inc("memory_reads", stats.memory_reads)
+        scope.inc("memory_writes", stats.memory_writes)
+        scope.inc("prefetch_fills", stats.prefetch_fills)
+        scope.inc("writebacks_to_llc", stats.writebacks_to_llc)
+        self.l1.publish_observations(registry)
+        self.l2.publish_observations(registry)
+        if include_llc:
+            self.llc.publish_observations(registry)
+
     def check_inclusion(self) -> None:
         """Verify L1 ⊆ L2 ⊆ LLC; used by the integration tests."""
         for addr in self.l1.resident_lines():

@@ -39,9 +39,20 @@ class VictimInsertionPolicy(abc.ABC):
 
     name: str = "abstract"
 
+    #: Decisions made / occupied slots overwritten; bumped by the LLC so
+    #: every concrete policy gets the accounting for free.
+    stat_choices: int = 0
+    stat_replacements: int = 0
+
     @abc.abstractmethod
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
         """Pick the way to insert into; ``candidates`` is non-empty."""
+
+    def publish_observations(self, registry) -> None:
+        """Publish decision counters under ``victim_policy/<name>/``."""
+        scope = registry.scoped(f"victim_policy/{self.name}")
+        scope.inc("choices", self.stat_choices)
+        scope.inc("replacements", self.stat_replacements)
 
     def notes(self) -> str:
         """Free-form description used in experiment reports."""

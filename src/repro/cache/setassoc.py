@@ -141,6 +141,14 @@ class SetAssociativeCache:
     # Introspection
     # ------------------------------------------------------------------
 
+    def publish_observations(self, registry) -> None:
+        """Publish this cache's counters under its own name prefix."""
+        scope = registry.scoped(self.name)
+        scope.inc("hits", self.stat_hits)
+        scope.inc("misses", self.stat_misses)
+        scope.inc("evictions", self.stat_evictions)
+        scope.inc("writebacks", self.stat_writebacks)
+
     def contains(self, addr: int) -> bool:
         """True iff ``addr`` is currently cached."""
         return addr in self._sets[addr & self._set_mask].lookup

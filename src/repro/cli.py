@@ -6,6 +6,7 @@ Exposes the paper's experiments and some exploration helpers::
     repro list-traces [--sensitive]
     repro run --machine base-victim --trace mcf.1 [--preset bench]
     repro compare --trace mcf.1
+    repro stats --trace mcf.1 --trace lbm.1 [--json] [--trace-events]
     repro area
     repro export --csv fig8.csv
 
@@ -16,9 +17,10 @@ pytest; the CLI is the quick interactive front end.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.power.area import base_victim_area, paper_headline_area
+from repro.power.area import paper_headline_area
 from repro.sim.config import (
     ARCH_BASE_VICTIM,
     ARCH_DCC,
@@ -152,6 +154,61 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Observability counters for one or more traces on one machine."""
+    from repro.obs.registry import CounterRegistry, merge_observations
+    from repro.obs.tracing import TraceRecorder
+    from repro.sim.report import observability_summary
+    from repro.sim.single_core import simulate_trace
+
+    registry = CounterRegistry()
+    machine = _machine_from_args(args)
+    runner = _runner_from_args(args)
+    names: list[str] = args.traces
+
+    if args.trace_events:
+        # Tracing needs real simulations, so bypass the result cache and
+        # run serially; events flush per trace (stderr or $REPRO_TRACE_FILE).
+        tracer = TraceRecorder.from_env(force=True)
+        assert tracer is not None  # force=True always builds one
+        results = []
+        with registry.timer("phase/simulate"):
+            for name in names:
+                trace = runner.suite.trace(name)
+                data = runner.suite.data_model(name)
+                results.append(
+                    simulate_trace(trace, data, machine, runner.preset, tracer=tracer)
+                )
+                tracer.flush()
+    else:
+        with registry.timer("phase/simulate"):
+            results = runner.run_many(machine, names)
+
+    with registry.timer("phase/report"):
+        merged = merge_observations([run.obs for run in results])
+        if args.json:
+            payload = {
+                "preset": args.preset,
+                "machine": machine.label,
+                "traces": {run.trace: run.obs for run in results},
+                "merged": merged,
+                # Wall time is process-local and non-deterministic; it is
+                # reported here but never enters the result cache.
+                "timers": registry.timers,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"machine: {machine.label}")
+        print(f"preset:  {args.preset}   traces: {', '.join(names)}")
+        print()
+        print(observability_summary(merged))
+        print()
+        print("wall time by phase:")
+    for name, seconds in registry.timers.items():
+        print(f"  {name:16s} {seconds:8.3f}s")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     """Export the Figure 8/12 series as CSV and an ASCII plot."""
     from repro.sim.figures import ascii_series_plot, write_series_csv
@@ -219,6 +276,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--victim-policy", default="ecm")
         _add_jobs_argument(p)
 
+    p_stats = sub.add_parser(
+        "stats", help="observability counters (victim occupancy, hit categories…)"
+    )
+    p_stats.add_argument(
+        "--trace",
+        action="append",
+        required=True,
+        dest="traces",
+        metavar="NAME",
+        help="trace to report on (repeatable; counters merge across traces)",
+    )
+    p_stats.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+    p_stats.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=_ARCH_CHOICES)
+    p_stats.add_argument("--ways", type=int, default=16)
+    p_stats.add_argument("--sets-mult", type=float, default=1.0)
+    p_stats.add_argument("--policy", default="nru")
+    p_stats.add_argument("--victim-policy", default="ecm")
+    p_stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_stats.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="record per-access events (uncached serial runs; "
+        "window size via $REPRO_TRACE_LIMIT)",
+    )
+    _add_jobs_argument(p_stats)
+
     sub.add_parser("area", help="print the Section IV.C area overheads")
 
     p_export = sub.add_parser(
@@ -251,6 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         "list-traces": _cmd_list_traces,
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "stats": _cmd_stats,
         "area": _cmd_area,
         "export": _cmd_export,
     }

@@ -59,8 +59,8 @@ def _huffman_code_lengths(frequencies: dict[int, int]) -> dict[int, int]:
     while len(heap) > 1:
         freq_a, _, lengths_a = heapq.heappop(heap)
         freq_b, _, lengths_b = heapq.heappop(heap)
-        merged = {s: l + 1 for s, l in lengths_a.items()}
-        merged.update({s: l + 1 for s, l in lengths_b.items()})
+        merged = {s: n + 1 for s, n in lengths_a.items()}
+        merged.update({s: n + 1 for s, n in lengths_b.items()})
         heapq.heappush(heap, (freq_a + freq_b, next(counter), merged))
     return heap[0][2]
 

@@ -125,6 +125,10 @@ class BaseVictimLLC(LLCArchitecture):
         self.stat_silent_evictions = 0
         self.stat_victim_write_hits = 0
         self.stat_writeback_misses = 0
+        #: Victim lines dropped because their base partner grew or was
+        #: refilled past the shared-way capacity (Section IV.B.5) — the
+        #: compressed-cache cost Section III calls partner victimization.
+        self.stat_partner_evictions = 0
 
     # ------------------------------------------------------------------
     # Main access path
@@ -183,6 +187,7 @@ class BaseVictimLLC(LLCArchitecture):
         result.fill_segments = size_segments
         if cset.vict_valid[way] and size_segments + cset.vict_size[way] > self.segments_per_line:
             # Section IV.B.5: the grown base line no longer shares the way.
+            self.stat_partner_evictions += 1
             self._evict_victim(cset, way, result)
 
     def _victim_hit(
@@ -302,6 +307,7 @@ class BaseVictimLLC(LLCArchitecture):
             cset.vict_valid[way]
             and size_segments + cset.vict_size[way] > self.segments_per_line
         ):
+            self.stat_partner_evictions += 1
             self._evict_victim(cset, way, result)
 
         if replaced is not None:
@@ -342,7 +348,9 @@ class BaseVictimLLC(LLCArchitecture):
             return
 
         way = self.victim_policy.choose(candidates)
+        self.victim_policy.stat_choices += 1
         if cset.vict_valid[way]:
+            self.victim_policy.stat_replacements += 1
             self._evict_victim(cset, way, result)
         cset.vict_tags[way] = addr
         cset.vict_valid[way] = True
@@ -437,6 +445,22 @@ class BaseVictimLLC(LLCArchitecture):
     def victim_occupancy(self) -> int:
         """Number of lines currently held only thanks to compression."""
         return sum(len(cset.vict_lookup) for cset in self._sets)
+
+    def publish_observations(self, registry) -> None:
+        """Publish Base-Victim counters under ``llc/`` (see repro.obs)."""
+        scope = registry.scoped("llc")
+        scope.inc("base_hits", self.stat_base_hits)
+        scope.inc("victim_hits", self.stat_victim_hits)
+        scope.inc("misses", self.stat_misses)
+        scope.inc("demotions", self.stat_demotions)
+        scope.inc("demotion_drops", self.stat_demotion_drops)
+        scope.inc("promotions", self.stat_promotions)
+        scope.inc("silent_evictions", self.stat_silent_evictions)
+        scope.inc("victim_write_hits", self.stat_victim_write_hits)
+        scope.inc("writeback_misses", self.stat_writeback_misses)
+        scope.inc("partner_evictions", self.stat_partner_evictions)
+        scope.inc("victim_lines_resident", self.victim_occupancy())
+        self.victim_policy.publish_observations(registry)
 
     def check_invariants(self) -> None:
         """Validate internal consistency; used by property-based tests."""

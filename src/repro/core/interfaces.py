@@ -119,3 +119,7 @@ class LLCArchitecture(abc.ABC):
     def resident_logical_lines(self) -> int:
         """Number of logical lines currently stored (for capacity studies)."""
         raise NotImplementedError
+
+    def publish_observations(self, registry) -> None:
+        """Publish architecture-specific counters into an observability
+        registry (see :mod:`repro.obs`); the default has nothing to add."""

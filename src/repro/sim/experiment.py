@@ -41,7 +41,7 @@ from repro.workloads.suite import SUITE_VERSION, TraceSuite
 #: Bump to invalidate previously cached results when simulator behaviour
 #: changes; the workload suite carries its own version
 #: (:data:`repro.workloads.suite.SUITE_VERSION`) folded into every key.
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

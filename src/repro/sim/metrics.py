@@ -9,6 +9,7 @@ normalised weighted speedup (Section VI.C).
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, Sequence
 
 from repro.sim.single_core import RunResult
@@ -41,14 +42,32 @@ def ipc_ratio(run: RunResult, baseline: RunResult) -> float:
 def dram_read_ratio(run: RunResult, baseline: RunResult) -> float:
     """DRAM reads of ``run`` normalised to baseline (the figures' red line)."""
     if baseline.memory_reads == 0:
-        return 1.0 if run.memory_reads == 0 else float("inf")
+        if run.memory_reads == 0:
+            return 1.0
+        warnings.warn(
+            f"dram_read_ratio: trace {run.trace!r} has {run.memory_reads} "
+            "DRAM reads but its baseline has none; the ratio is inf and "
+            "will poison any aggregate it enters",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("inf")
     return run.memory_reads / baseline.memory_reads
 
 
 def dram_write_ratio(run: RunResult, baseline: RunResult) -> float:
     """DRAM writes normalised to baseline (Base-Victim does not reduce these)."""
     if baseline.memory_writes == 0:
-        return 1.0 if run.memory_writes == 0 else float("inf")
+        if run.memory_writes == 0:
+            return 1.0
+        warnings.warn(
+            f"dram_write_ratio: trace {run.trace!r} has {run.memory_writes} "
+            "DRAM writes but its baseline has none; the ratio is inf and "
+            "will poison any aggregate it enters",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return float("inf")
     return run.memory_writes / baseline.memory_writes
 
 

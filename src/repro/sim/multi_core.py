@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.cache.hierarchy import L1, CacheHierarchy
 from repro.memory.dram import DRAMModel
+from repro.obs.registry import CounterRegistry
 from repro.sim.config import MachineConfig, Preset
-from repro.sim.single_core import RunResult, core_params_for
+from repro.sim.single_core import OCCUPANCY_SAMPLES, RunResult, core_params_for
 from repro.timing.core_model import CoreTimingModel
 from repro.workloads.datagen import LineDataModel
 from repro.workloads.mixes import MixSpec
@@ -42,6 +43,9 @@ class MixRunResult:
     llc_misses: int = 0
     memory_reads: int = 0
     memory_writes: int = 0
+    #: Mix-level observability (shared-LLC counters + occupancy); each
+    #: thread dict carries its private-level metrics in its own "obs".
+    obs: dict = field(default_factory=dict)
 
     @property
     def thread_results(self) -> list[RunResult]:
@@ -63,6 +67,7 @@ class MixRunResult:
             "llc_misses": self.llc_misses,
             "memory_reads": self.memory_reads,
             "memory_writes": self.memory_writes,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -131,6 +136,12 @@ def simulate_mix(
         core = CoreTimingModel(core_params_for(trace, machine))
         threads.append(_Thread(trace_name, trace, data, hierarchy, core, offset))
 
+    registry = CounterRegistry()
+    occupancy = registry.histogram("llc/victim_occupancy")
+    victim_occupancy = getattr(llc, "victim_occupancy", None)
+    sample_every = max(1, len(threads) * preset.trace_length // OCCUPANCY_SAMPLES)
+    steps = 0
+
     unfinished = len(threads)
     while unfinished > 0:
         # The thread with the smallest clock issues next.
@@ -147,6 +158,10 @@ def simulate_mix(
         if outcome.level != L1:
             thread.core.account_access(outcome, outcome.dram_latency)
 
+        steps += 1
+        if victim_occupancy is not None and steps % sample_every == 0:
+            occupancy.observe(victim_occupancy())
+
         thread.index += 1
         if thread.index >= len(trace):
             thread.index = 0  # wrap: keep generating contention
@@ -160,6 +175,10 @@ def simulate_mix(
     for thread in threads:
         stats = thread.hierarchy.stats
         cycles = thread.measured_cycles
+        # Each thread publishes its private levels only; the shared LLC
+        # is published once, into the mix-level registry below.
+        thread_registry = CounterRegistry()
+        thread.hierarchy.publish_observations(thread_registry, include_llc=False)
         run = RunResult(
             trace=thread.name,
             machine=machine.label,
@@ -174,12 +193,15 @@ def simulate_mix(
             llc_misses=stats.llc_misses,
             memory_reads=stats.memory_reads,
             memory_writes=stats.memory_writes,
+            obs=thread_registry.as_dict(),
         )
         result.threads.append(run.to_dict())
         result.llc_hits += stats.llc_hits
         result.llc_misses += stats.llc_misses
         result.memory_reads += stats.memory_reads
         result.memory_writes += stats.memory_writes
+    llc.publish_observations(registry)
+    result.obs = registry.as_dict()
     return result
 
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.tracing import TRACE_ENV
 from repro.sim.config import MachineConfig, Preset
 from repro.sim.multi_core import simulate_mix
 from repro.sim.resultcache import (
@@ -117,6 +118,9 @@ _WORKER: dict = {}
 
 def _init_worker(preset: Preset, shard_dir: str | None) -> None:
     """Pool initializer: build the per-process suite and shard path."""
+    # Tracing is a serial-only diagnostic: a pool of workers all writing
+    # per-access events to stderr would interleave uselessly.
+    os.environ.pop(TRACE_ENV, None)
     _WORKER["preset"] = preset
     _WORKER["suite"] = TraceSuite(preset.reference_llc_lines, preset.trace_length)
     _WORKER["shard_path"] = (
@@ -189,6 +193,7 @@ def run_sweep(
                 if progress is not None:
                     progress(done, total, key)
         if shard_dir is not None:
+            assert cache_path is not None  # shard_dir implies a cache file
             _merge_shards(cache_path, shard_dir, jobs_list, results)
     finally:
         if shard_dir is not None:

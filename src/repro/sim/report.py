@@ -90,6 +90,74 @@ def category_table(
     return title + "\n" + format_table(["config"] + columns, rows)
 
 
+def hit_category_breakdown(obs: Mapping[str, Mapping]) -> dict[str, int]:
+    """Where accesses were served, from serialised observability metrics.
+
+    Returns the ``hits/*`` counters (l1, l2, llc_base, llc_victim,
+    memory) published by the cache hierarchy — the Figure 9 category
+    split — as plain ints, in level order.
+    """
+    out: dict[str, int] = {}
+    for level in ("l1", "l2", "llc_base", "llc_victim", "memory"):
+        metric = obs.get(f"hits/{level}")
+        if metric is not None and metric.get("kind") == "counter":
+            out[level] = metric["value"]
+    return out
+
+
+def histogram_stats(obs: Mapping[str, Mapping], name: str) -> dict[str, float]:
+    """min/mean/max/samples of a serialised histogram (empty if absent)."""
+    metric = obs.get(name)
+    if metric is None or metric.get("kind") != "histogram" or not metric["buckets"]:
+        return {}
+    values = [(int(bucket), count) for bucket, count in metric["buckets"].items()]
+    samples = sum(count for _, count in values)
+    weighted = sum(value * count for value, count in values)
+    return {
+        "min": float(min(value for value, _ in values)),
+        "mean": weighted / samples,
+        "max": float(max(value for value, _ in values)),
+        "samples": float(samples),
+    }
+
+
+def observability_summary(obs: Mapping[str, Mapping]) -> str:
+    """Human-readable ``repro stats`` rendering of serialised metrics."""
+    lines: list[str] = []
+    breakdown = hit_category_breakdown(obs)
+    if breakdown:
+        total = sum(breakdown.values()) or 1
+        lines.append("hit/miss breakdown:")
+        for level, count in breakdown.items():
+            lines.append(f"  {level:12s} {count:>12d}  ({count / total:6.1%})")
+    occupancy = histogram_stats(obs, "llc/victim_occupancy")
+    if occupancy:
+        lines.append(
+            "victim-cache occupancy (lines, sampled): "
+            f"min={occupancy['min']:.0f} mean={occupancy['mean']:.1f} "
+            f"max={occupancy['max']:.0f} over {occupancy['samples']:.0f} samples"
+        )
+    partner = obs.get("llc/partner_evictions")
+    if partner is not None and partner.get("kind") == "counter":
+        lines.append(f"partner victimizations: {partner['value']}")
+    codecs = sorted(
+        name.split("/")[1]
+        for name in obs
+        if name.startswith("codec/") and name.endswith("/size_bytes")
+    )
+    if codecs:
+        lines.append("per-codec compressed size (bytes over palette lines):")
+        for codec in codecs:
+            stats = histogram_stats(obs, f"codec/{codec}/size_bytes")
+            lines.append(
+                f"  {codec:6s} min={stats['min']:3.0f} "
+                f"mean={stats['mean']:5.1f} max={stats['max']:3.0f}"
+            )
+    if not lines:
+        return "(no observability metrics published)"
+    return "\n".join(lines)
+
+
 def traffic_summary(runs: Sequence[RunResult], baselines: Sequence[RunResult]) -> str:
     """Section VI.D traffic rows: reads, writes, bandwidth, LLC accesses."""
     reads = sum(r.memory_reads for r in runs) / max(

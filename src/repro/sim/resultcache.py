@@ -26,8 +26,13 @@ class CorruptCacheLineWarning(RuntimeWarning):
 
 
 def encode_entry(key: str, result: dict) -> str:
-    """One cache line (without trailing newline) for ``key``/``result``."""
-    return json.dumps({"key": key, "result": result})
+    """One cache line (without trailing newline) for ``key``/``result``.
+
+    Keys are sorted so the encoding is canonical: observability metrics
+    travel inside ``result`` as nested dicts, and byte-identity between
+    serial and parallel sweeps must not depend on insertion order.
+    """
+    return json.dumps({"key": key, "result": result}, sort_keys=True)
 
 
 def load_cache_entries(path: Path) -> dict[str, dict]:

@@ -11,12 +11,18 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 
 from repro.cache.hierarchy import L1, CacheHierarchy
+from repro.compression.stats import publish_codec_histograms
 from repro.memory.dram import DRAMModel
+from repro.obs.registry import CounterRegistry
+from repro.obs.tracing import TraceRecorder
 from repro.sim.config import MachineConfig, Preset
 from repro.timing.core_model import CoreParams, CoreTimingModel
 from repro.timing.latency import LatencyParams
 from repro.workloads.datagen import LineDataModel
 from repro.workloads.trace import Trace
+
+#: Victim-cache occupancy is sampled this many times over a run.
+OCCUPANCY_SAMPLES = 64
 
 
 @dataclass
@@ -49,6 +55,9 @@ class RunResult:
     prefetch_fills: int = 0
     avg_compressed_fraction: float = 1.0
     extra: dict = field(default_factory=dict)
+    #: Serialised observability metrics (see repro.obs): deterministic
+    #: counters/histograms only, so cached runs merge across shards.
+    obs: dict = field(default_factory=dict)
 
     @property
     def llc_hit_rate(self) -> float:
@@ -86,8 +95,14 @@ def simulate_trace(
     data: LineDataModel,
     machine: MachineConfig,
     preset: Preset,
+    tracer: TraceRecorder | None = None,
 ) -> RunResult:
-    """Run one trace through one machine configuration."""
+    """Run one trace through one machine configuration.
+
+    ``tracer`` (or ``$REPRO_TRACE``, see :mod:`repro.obs.tracing`)
+    records a bounded window of per-access events without affecting any
+    simulation state.
+    """
     llc = machine.build_llc(preset)
     dram = DRAMModel()
     hierarchy = CacheHierarchy(
@@ -98,6 +113,14 @@ def simulate_trace(
     )
     core = CoreTimingModel(core_params_for(trace, machine))
 
+    env_tracer = tracer is None
+    if env_tracer:
+        tracer = TraceRecorder.from_env()
+    if tracer is not None:
+        tracer.record(event="run", trace=trace.meta.name, machine=machine.label)
+
+    registry = CounterRegistry()
+
     kinds = trace.kinds
     addrs = trace.addrs
     deltas = trace.deltas
@@ -106,16 +129,39 @@ def simulate_trace(
     advance = core.advance
     account = core.account_access
 
-    for i in range(len(addrs)):
-        advance(deltas[i])
-        hierarchy.now = core.cycles
-        addr = addrs[i]
-        is_write = kinds[i] == 1
-        if is_write:
-            on_write(addr)
-        outcome = access(addr, is_write)
-        if outcome.level != L1:
-            account(outcome, outcome.dram_latency)
+    # Sample victim-cache occupancy on a fixed deterministic grid; LLCs
+    # without a Victim Cache (no victim_occupancy) are never sampled.
+    length = len(addrs)
+    victim_occupancy = getattr(llc, "victim_occupancy", None)
+    sample_every = max(1, length // OCCUPANCY_SAMPLES)
+    next_sample = sample_every - 1 if victim_occupancy is not None else -1
+    occupancy = registry.histogram("llc/victim_occupancy")
+
+    with registry.timer("phase/simulate"):
+        for i in range(length):
+            advance(deltas[i])
+            hierarchy.now = core.cycles
+            addr = addrs[i]
+            is_write = kinds[i] == 1
+            if is_write:
+                on_write(addr)
+            outcome = access(addr, is_write)
+            if outcome.level != L1:
+                account(outcome, outcome.dram_latency)
+            if i == next_sample:
+                occupancy.observe(victim_occupancy())
+                next_sample += sample_every
+            if tracer is not None:
+                tracer.record(i=i, addr=addr, write=is_write, level=outcome.level)
+
+    with registry.timer("phase/publish"):
+        hierarchy.publish_observations(registry)
+        palette = getattr(data, "palette", None)
+        if palette:
+            publish_codec_histograms(registry, [entry.data for entry in palette])
+
+    if env_tracer and tracer is not None:
+        tracer.flush()
 
     stats = hierarchy.stats
     result = RunResult(
@@ -144,5 +190,6 @@ def simulate_trace(
         writebacks_to_llc=stats.writebacks_to_llc,
         prefetch_fills=stats.prefetch_fills,
         avg_compressed_fraction=data.average_size_fraction(),
+        obs=registry.as_dict(),
     )
     return result

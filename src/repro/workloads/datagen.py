@@ -188,6 +188,9 @@ class LineDataModel:
             raise ValueError(
                 f"write_change_period must be positive, got {write_change_period}"
             )
+        #: Kept for observability: per-codec compressed-size histograms
+        #: are measured over these palette lines (repro.compression.stats).
+        self.palette = palette
         self._sizes = [entry.size_segments for entry in palette]
         # Pre-expanded ring so size_of is one hash + two list indexes.
         self._ring = [

@@ -1,6 +1,5 @@
 """Tests for the DRRIP and CAMP extension policies."""
 
-import pytest
 
 from repro.cache.replacement.camp import CAMPPolicy, SMALL_THRESHOLD_SEGMENTS
 from repro.cache.replacement.drrip import DRRIPPolicy

@@ -1,6 +1,5 @@
 """Integration tests for the inclusive three-level hierarchy."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,39 @@
+"""Tests for per-codec compressed-size histograms (observability)."""
+
+from repro.compression import ALGORITHMS
+from repro.compression.stats import codec_size_histograms, publish_codec_histograms
+from repro.obs.registry import CounterRegistry
+from repro.workloads.datagen import build_palette
+
+
+def palette_lines():
+    return [entry.data for entry in build_palette("ispec", "friendly", seed=7)]
+
+
+class TestCodecSizeHistograms:
+    def test_covers_every_registered_codec(self):
+        lines = palette_lines()
+        histograms = codec_size_histograms(lines)
+        assert sorted(histograms) == sorted(ALGORITHMS)
+        for buckets in histograms.values():
+            assert sum(buckets.values()) == len(lines)
+            assert all(0 < size <= 64 for size in buckets)
+
+    def test_deterministic_and_memoised(self):
+        lines = palette_lines()
+        assert codec_size_histograms(lines) == codec_size_histograms(lines)
+
+    def test_publish_into_registry(self):
+        reg = CounterRegistry()
+        lines = palette_lines()
+        publish_codec_histograms(reg, lines)
+        obs = reg.as_dict()
+        for name in ALGORITHMS:
+            metric = obs[f"codec/{name}/size_bytes"]
+            assert metric["kind"] == "histogram"
+            assert sum(metric["buckets"].values()) == len(lines)
+
+    def test_publish_empty_lines_is_a_noop(self):
+        reg = CounterRegistry()
+        publish_codec_histograms(reg, [])
+        assert reg.as_dict() == {}

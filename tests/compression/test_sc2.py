@@ -36,7 +36,7 @@ class TestHuffman:
     def test_kraft_inequality(self):
         freqs = {i: (i + 1) ** 2 for i in range(20)}
         lengths = _huffman_code_lengths(freqs)
-        assert sum(2 ** -l for l in lengths.values()) <= 1.0 + 1e-9
+        assert sum(2 ** -n for n in lengths.values()) <= 1.0 + 1e-9
 
     def test_empty(self):
         assert _huffman_code_lengths({}) == {}
@@ -75,7 +75,7 @@ class TestTraining:
         sc2 = SC2Compressor()
         samples = [words(*(i * 16 + j for j in range(16))) for i in range(16)]
         sc2.train(samples)
-        assert all(l <= MAX_CODE_BITS for l in sc2.codebook.values())
+        assert all(n <= MAX_CODE_BITS for n in sc2.codebook.values())
 
     def test_train_on_empty_rejected(self):
         with pytest.raises(CompressionError):

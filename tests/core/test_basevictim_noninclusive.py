@@ -1,6 +1,5 @@
 """Tests for the Section IV.B.3 non-inclusive (dirty-victim) variant."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the VSC functional model and the uncompressed baseline."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

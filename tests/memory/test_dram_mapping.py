@@ -1,6 +1,5 @@
 """Tests for DRAM address mapping and configuration."""
 
-import pytest
 
 from repro.memory.dram import DRAMConfig, DRAMModel
 

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.sim.config import (
-    ARCH_BASE_VICTIM,
     BASE_VICTIM_2MB,
     BASELINE_2MB,
     MachineConfig,
-    Preset,
     PRESETS,
     TEST,
     TWO_TAG_2MB,

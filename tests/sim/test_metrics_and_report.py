@@ -75,6 +75,25 @@ class TestRatios:
     def test_dram_write_ratio(self):
         assert dram_write_ratio(run(writes=50), run(writes=50)) == 1.0
 
+    def test_dram_read_ratio_inf_warns_naming_the_trace(self):
+        with pytest.warns(RuntimeWarning, match="mcf.1"):
+            ratio = dram_read_ratio(
+                run(trace="mcf.1", reads=10), run(trace="mcf.1", reads=0)
+            )
+        assert ratio == float("inf")
+
+    def test_dram_write_ratio_inf_warns_naming_the_trace(self):
+        with pytest.warns(RuntimeWarning, match="lbm.4"):
+            ratio = dram_write_ratio(
+                run(trace="lbm.4", writes=3), run(trace="lbm.4", writes=0)
+            )
+        assert ratio == float("inf")
+
+    def test_dram_ratios_do_not_warn_on_normal_input(self, recwarn):
+        dram_read_ratio(run(reads=80), run(reads=100))
+        dram_write_ratio(run(writes=0), run(writes=0))
+        assert len(recwarn) == 0
+
     def test_bandwidth_ratio(self):
         assert bandwidth_ratio(run(reads=50, writes=50), run(reads=100, writes=100)) == 0.5
 

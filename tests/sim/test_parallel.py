@@ -9,8 +9,11 @@ byte-identical merged cache files, on the first pass and on a second
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.obs.registry import merge_observations
 from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB, TEST
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.parallel import JOBS_ENV, resolve_jobs
@@ -65,6 +68,43 @@ class TestDifferentialSingles:
         runner.run_many(BASELINE_2MB, ["sjeng.1", "sjeng.1", "mcf.1"])
         assert runner.cache_misses == 2
         assert runner.cache_hits == 1
+
+
+class TestObservationDeterminism:
+    """Counters must merge across worker shards without drift."""
+
+    def test_jobs4_counters_byte_identical_to_jobs1(self, tmp_path):
+        serial = ExperimentRunner(TEST, cache_dir=tmp_path / "serial", jobs=1)
+        parallel = ExperimentRunner(TEST, cache_dir=tmp_path / "parallel", jobs=4)
+
+        serial_obs = [
+            run.obs for run in serial.run_many(BASE_VICTIM_2MB, TRACES)
+        ]
+        parallel_obs = [
+            run.obs for run in parallel.run_many(BASE_VICTIM_2MB, TRACES)
+        ]
+        for ser, par in zip(serial_obs, parallel_obs):
+            assert json.dumps(ser, sort_keys=True) == json.dumps(par, sort_keys=True)
+        # Merged suite-level counters are byte-identical too.
+        assert json.dumps(merge_observations(serial_obs)) == json.dumps(
+            merge_observations(parallel_obs)
+        )
+
+    def test_runs_publish_the_papers_observables(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path, jobs=1)
+        obs = runner.run_single(BASE_VICTIM_2MB, "mcf.1").obs
+        assert obs["llc/partner_evictions"]["kind"] == "counter"
+        assert obs["llc/victim_occupancy"]["kind"] == "histogram"
+        assert sum(obs["llc/victim_occupancy"]["buckets"].values()) > 0
+        assert obs["hits/llc_victim"]["value"] == obs["llc/victim_hits"]["value"]
+        for codec in ("bdi", "fpc", "cpack", "sc2", "zero"):
+            assert obs[f"codec/{codec}/size_bytes"]["kind"] == "histogram"
+
+    def test_no_timers_ever_serialise(self, tmp_path):
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path, jobs=1)
+        obs = runner.run_single(BASE_VICTIM_2MB, "sjeng.1").obs
+        assert obs  # the run did publish something
+        assert all(metric["kind"] != "timer" for metric in obs.values())
 
 
 class TestDifferentialMixes:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,9 +23,22 @@ class TestParser:
         assert args.jobs is None  # defer to $REPRO_JOBS / serial default
 
     def test_jobs_flag_everywhere(self):
-        for command in (["run", "--trace", "mcf.1"], ["compare", "--trace", "mcf.1"], ["export"]):
+        for command in (
+            ["run", "--trace", "mcf.1"],
+            ["compare", "--trace", "mcf.1"],
+            ["stats", "--trace", "mcf.1"],
+            ["export"],
+        ):
             args = build_parser().parse_args(command + ["--jobs", "4"])
             assert args.jobs == 4
+
+    def test_stats_traces_accumulate(self):
+        args = build_parser().parse_args(
+            ["stats", "--trace", "mcf.1", "--trace", "lbm.1", "--json"]
+        )
+        assert args.traces == ["mcf.1", "lbm.1"]
+        assert args.json
+        assert not args.trace_events
 
 
 class TestCommands:
@@ -62,6 +77,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "base-victim" in out
         assert "uncompressed" in out
+
+    def test_stats_text_mode(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "hit/miss breakdown" in out
+        assert "victim-cache occupancy" in out
+        assert "partner victimizations" in out
+        assert "wall time by phase" in out
+
+    def test_stats_json_mode(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["stats", "--trace", "sjeng.1", "--trace", "mcf.1", "--preset", "test", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload["traces"]) == ["mcf.1", "sjeng.1"]
+        merged = payload["merged"]
+        for key in (
+            "llc/victim_occupancy",
+            "llc/partner_evictions",
+            "codec/bdi/size_bytes",
+            "hits/llc_victim",
+        ):
+            assert key in merged
+        assert all(metric["kind"] != "timer" for metric in merged.values())
+        assert payload["timers"]  # live wall-time is reported separately
 
     def test_malformed_repro_jobs_is_a_clean_error(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")

@@ -8,7 +8,6 @@ from repro.compression.bdi import BDICompressor
 from repro.cache.replacement.base import DeterministicRandom
 from repro.workloads.datagen import (
     build_palette,
-    CATEGORY_MIXES,
     LineDataModel,
     PATTERNS,
 )

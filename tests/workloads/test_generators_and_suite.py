@@ -12,7 +12,7 @@ from repro.workloads.suite import (
     sensitive_specs,
     TraceSuite,
 )
-from repro.workloads.trace import LOAD, STORE, Trace, TraceMeta
+from repro.workloads.trace import TraceMeta
 
 
 def make_trace(kind="zipf", footprint=512, length=2000, seed=3, **kwargs):

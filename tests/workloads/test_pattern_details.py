@@ -1,6 +1,5 @@
 """Finer-grained tests of the individual access patterns."""
 
-import pytest
 
 from repro.workloads.generators import PatternGenerator, PatternParams
 from repro.workloads.trace import TraceMeta
