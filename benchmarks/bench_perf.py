@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Standalone perf-benchmark runner (the script CI's perf-smoke job runs).
+
+Thin wrapper over :mod:`repro.sim.perfbench` so the benchmark works both
+as ``python benchmarks/bench_perf.py`` and as ``repro perf``.  Typical
+invocations:
+
+    # Full bench-preset matrix, 3 repeats, table to stdout:
+    PYTHONPATH=src python benchmarks/bench_perf.py
+
+    # CI smoke slice: 2 traces on the test preset, gate against the
+    # committed baseline, write the artifact:
+    PYTHONPATH=src python benchmarks/bench_perf.py \
+        --preset test --trace mcf.1 --trace sjeng.1 \
+        --output BENCH_PERF.ci.json \
+        --check BENCH_PERF.json --section test-ci
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.perfbench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cache.config import CacheGeometry
-from repro.cache.prefetch import StreamPrefetcher
+from repro.cache.prefetch import _PAGE_MASK, _PAGE_SHIFT, StreamPrefetcher
 from repro.cache.replacement.lru import LRUPolicy
 from repro.cache.setassoc import SetAssociativeCache
 from repro.core.interfaces import AccessKind, LLCArchitecture
@@ -29,8 +29,14 @@ from repro.core.interfaces import AccessKind, LLCArchitecture
 #: Levels at which an access can be served.
 L1, L2, LLC, MEMORY = 1, 2, 3, 4
 
+#: AccessKind members as plain ints (IntEnum __eq__ dispatch is
+#: measurable on the demand path; see repro.core.basevictim).
+_READ = int(AccessKind.READ)
+_WRITEBACK = int(AccessKind.WRITEBACK)
+_PREFETCH = int(AccessKind.PREFETCH)
 
-@dataclass
+
+@dataclass(slots=True)
 class HierarchyStats:
     """Counters accumulated over a run."""
 
@@ -76,6 +82,16 @@ class AccessOutcome:
         self.dram_latency = dram_latency
 
 
+#: L1/L2 outcomes carry no per-access payload, so the hierarchy hands out
+#: these shared instances instead of allocating one per hit.  They are
+#: treated as immutable by every consumer.  LLC/MEMORY outcomes do carry
+#: per-access payload; each hierarchy reuses one mutable instance per
+#: level for them (see __init__), so like the shared hit outcomes an
+#: AccessOutcome is only valid until the next access.
+_OUTCOME_L1 = AccessOutcome(L1)
+_OUTCOME_L2 = AccessOutcome(L2)
+
+
 @dataclass
 class HierarchyConfig:
     """Geometry knobs for the private levels (paper defaults)."""
@@ -114,6 +130,9 @@ class CacheHierarchy:
         self.llc = llc
         #: Maps a line address to its current compressed size in segments.
         self.size_fn = size_fn
+        #: Size-insensitive architectures (uncompressed LLCs) never read
+        #: the size argument, so the miss path skips the lookup for them.
+        self._uses_sizes = llc.uses_sizes
         #: Optional :class:`~repro.memory.dram.DRAMModel`; when present the
         #: hierarchy issues its reads/writes so misses get real latencies.
         self.memory = memory
@@ -125,6 +144,10 @@ class CacheHierarchy:
         self.prefetcher = StreamPrefetcher(degree=self.config.prefetch_degree)
         self.stats = HierarchyStats()
         self._last_read_latency = 0.0
+        # Reused mutable outcomes for the miss paths (see module note on
+        # the shared L1/L2 outcome instances).
+        self._outcome_llc = AccessOutcome(LLC)
+        self._outcome_memory = AccessOutcome(MEMORY)
 
     # ------------------------------------------------------------------
     # Demand path
@@ -137,21 +160,90 @@ class CacheHierarchy:
 
         if self.l1.probe(addr, is_write):
             stats.l1_hits += 1
-            return AccessOutcome(L1)
+            return _OUTCOME_L1
 
-        if self.l2.probe(addr):
+        return self.access_after_l1_miss(addr, is_write)
+
+    def access_after_l1_miss(self, addr: int, is_write: bool) -> AccessOutcome:
+        """Continue a demand access whose L1 probe already missed.
+
+        The caller is responsible for the L1 probe *and* its accounting
+        (``stats.accesses``/``stats.l1_hits`` and the L1's own hit/miss
+        counters) — this is the hook the single-core fast loop uses to
+        inline the L1 hit path and batch those counters locally.
+        """
+        stats = self.stats
+        l1 = self.l1
+        l2 = self.l2
+        # Inlined l2.probe (a demand read never dirties the L2 line).
+        cset = l2._sets[addr & l2._set_mask]
+        way = cset.lookup.get(addr)
+        if way is not None:
+            if l2._lru_inline:
+                state = cset.policy_state
+                state.clock += 1
+                state.stamps[way] = state.clock
+            else:
+                l2.policy.on_hit(cset.policy_state, way)
+            l2.stat_hits += 1
             stats.l2_hits += 1
             self._fill_l1(addr, is_write)
-            return AccessOutcome(L2)
+            return _OUTCOME_L2
+        l2.stat_misses += 1
 
         # L2 demand miss: train the prefetcher before the LLC access so the
-        # stream runs ahead of the demand stream.
-        prefetches = self.prefetcher.observe(addr)
+        # stream runs ahead of the demand stream.  prefetcher.observe,
+        # inlined (see StreamPrefetcher.observe for the commented model);
+        # the branch structure is reordered but hits every table/counter
+        # update in the same order with the same values.
+        prefetches: list[int] | tuple[()] = ()
+        prefetcher = self.prefetcher
+        if prefetcher.degree:
+            table = prefetcher._table
+            page = addr >> _PAGE_SHIFT
+            offset = addr & _PAGE_MASK
+            entry = table.pop(page, None)
+            if entry is None:
+                table[page] = (offset, 0, False)
+            else:
+                last_offset, stride, trained = entry
+                new_stride = offset - last_offset
+                if new_stride == 0:
+                    # Same line again: keep the entry untouched.
+                    table[page] = entry
+                elif new_stride == stride and (trained or stride != 0):
+                    if not trained:
+                        prefetcher.stat_trainings += 1
+                    prefetches = prefetcher._issue(page, offset, stride)
+                    table[page] = (offset, stride, True)
+                else:
+                    table[page] = (offset, new_stride, False)
+            while len(table) > prefetcher.table_size:
+                del table[next(iter(table))]
 
-        result = self.llc.access(addr, AccessKind.READ, self.size_fn(addr))
-        stats.merge_llc_result(result)
-        self._account_memory(addr, result, demand=True)
-        self._process_invalidates(result)
+        result = self.llc.access(
+            addr, _READ, self.size_fn(addr) if self._uses_sizes else 1
+        )
+        # merge_llc_result, unrolled: this is the hottest stats callsite.
+        stats.memory_reads += result.memory_reads
+        stats.memory_writes += result.memory_writes
+        stats.silent_evictions += result.silent_evictions
+        stats.llc_data_reads += result.data_reads
+        stats.llc_data_writes += result.data_writes
+        stats.llc_fill_segments += result.fill_segments
+        stats.llc_accesses += 1
+        # Inlined _account_memory(demand=True).
+        memory = self.memory
+        read_latency = 0.0
+        if memory is not None:
+            now = self.now
+            if result.memory_reads:
+                read_latency = memory.read(addr, now)
+            for _ in range(result.memory_writes):
+                memory.write(addr, now)
+        self._last_read_latency = read_latency
+        if result.invalidates:
+            self._process_invalidates(result)
         extra = self.llc.extra_tag_cycles
         if result.hit:
             stats.llc_hits += 1
@@ -160,10 +252,13 @@ class CacheHierarchy:
             if result.compressed_hit:
                 stats.compressed_hits += 1
                 extra += _decompression_cycles(self.llc)
-            outcome = AccessOutcome(LLC, extra)
+            outcome = self._outcome_llc
+            outcome.extra_llc_cycles = extra
         else:
             stats.llc_misses += 1
-            outcome = AccessOutcome(MEMORY, extra, self._last_read_latency)
+            outcome = self._outcome_memory
+            outcome.extra_llc_cycles = extra
+            outcome.dram_latency = read_latency
 
         self._fill_l2(addr)
         self._fill_l1(addr, is_write)
@@ -176,67 +271,187 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
 
     def _fill_l1(self, addr: int, is_write: bool) -> None:
-        victim = self.l1.fill(addr, dirty=is_write)
-        if victim is not None and victim.dirty:
+        # l1.fill, inlined and specialised: the L1 is always LRU (see
+        # __init__), every caller has already established the L1 miss (so
+        # the fill-of-present-line protocol check cannot fire), and the
+        # victim travels as two locals instead of an EvictedLine.
+        l1 = self.l1
+        cset = l1._sets[addr & l1._set_mask]
+        valid = cset.valid
+        tags = cset.tags
+        dirty_bits = cset.dirty
+        victim_dirty = False
+        victim_addr = 0
+        if cset.valid_count == len(valid):
+            state = cset.policy_state
+            stamps = state.stamps
+            way = stamps.index(min(stamps))
+            victim_addr = tags[way]
+            victim_dirty = dirty_bits[way]
+            del cset.lookup[victim_addr]
+            l1.stat_evictions += 1
+            if victim_dirty:
+                l1.stat_writebacks += 1
+        else:
+            way = valid.index(False)
+            cset.valid_count += 1
+            state = cset.policy_state
+            stamps = state.stamps
+        tags[way] = addr
+        valid[way] = True
+        dirty_bits[way] = is_write
+        cset.lookup[addr] = way
+        state.clock += 1
+        stamps[way] = state.clock
+        if victim_dirty:
             # Dirty L1 victim merges into the (inclusive) L2.
-            if not self.l2.probe(victim.addr, is_write=True):
+            if not self.l2.probe(victim_addr, is_write=True):
                 # Inclusion guarantees presence; refill defensively if not.
-                self._fill_l2(victim.addr, dirty=True)
+                self._fill_l2(victim_addr, dirty=True)
 
     def _fill_l2(self, addr: int, dirty: bool = False) -> None:
-        victim = self.l2.fill(addr, dirty=dirty)
-        if victim is None:
+        # l2.fill, inlined and specialised exactly like _fill_l1 above:
+        # always-LRU L2, caller-established miss, victim kept in locals.
+        l2 = self.l2
+        cset = l2._sets[addr & l2._set_mask]
+        valid = cset.valid
+        tags = cset.tags
+        dirty_bits = cset.dirty
+        if cset.valid_count < len(valid):
+            way = valid.index(False)
+            cset.valid_count += 1
+            tags[way] = addr
+            valid[way] = True
+            dirty_bits[way] = dirty
+            cset.lookup[addr] = way
+            state = cset.policy_state
+            state.clock += 1
+            state.stamps[way] = state.clock
             return
-        # L1 must not outlive its L2 copy (inclusive pair).
-        present, l1_dirty = self.l1.invalidate(victim.addr)
-        was_dirty = victim.dirty or (present and l1_dirty)
+        state = cset.policy_state
+        stamps = state.stamps
+        way = stamps.index(min(stamps))
+        victim_addr = tags[way]
+        victim_dirty = dirty_bits[way]
+        del cset.lookup[victim_addr]
+        l2.stat_evictions += 1
+        if victim_dirty:
+            l2.stat_writebacks += 1
+        tags[way] = addr
+        dirty_bits[way] = dirty
+        cset.lookup[addr] = way
+        state.clock += 1
+        stamps[way] = state.clock
+
+        # L1 must not outlive its L2 copy (inclusive pair).  l1.invalidate,
+        # inlined (always-LRU L1, same as _fill_l1).
+        l1 = self.l1
+        l1set = l1._sets[victim_addr & l1._set_mask]
+        l1way = l1set.lookup.pop(victim_addr, None)
+        was_dirty = victim_dirty
+        if l1way is not None:
+            was_dirty = was_dirty or l1set.dirty[l1way]
+            l1set.valid[l1way] = False
+            l1set.dirty[l1way] = False
+            l1set.valid_count -= 1
+            l1set.policy_state.stamps[l1way] = 0
         if was_dirty:
-            self.stats.writebacks_to_llc += 1
+            stats = self.stats
+            stats.writebacks_to_llc += 1
             result = self.llc.access(
-                victim.addr, AccessKind.WRITEBACK, self.size_fn(victim.addr)
+                victim_addr,
+                _WRITEBACK,
+                self.size_fn(victim_addr) if self._uses_sizes else 1,
             )
-            self.stats.merge_llc_result(result)
-            self._account_memory(victim.addr, result, demand=False)
-            self._process_invalidates(result)
+            # merge_llc_result, unrolled (second-hottest stats callsite).
+            stats.memory_reads += result.memory_reads
+            stats.memory_writes += result.memory_writes
+            stats.silent_evictions += result.silent_evictions
+            stats.llc_data_reads += result.data_reads
+            stats.llc_data_writes += result.data_writes
+            stats.llc_fill_segments += result.fill_segments
+            stats.llc_accesses += 1
+            # Inlined _account_memory(demand=False).
+            self._last_read_latency = 0.0
+            memory = self.memory
+            if memory is not None:
+                now = self.now
+                if result.memory_reads:
+                    memory.read(victim_addr, now)
+                for _ in range(result.memory_writes):
+                    memory.write(victim_addr, now)
+            if result.invalidates:
+                self._process_invalidates(result)
         elif self.config.l2_eviction_hints:
             # Clean, unreused L2 eviction: CHAR-style downgrade hint.
-            self.llc.hint_downgrade(victim.addr)
+            self.llc.hint_downgrade(victim_addr)
 
     def _prefetch(self, addr: int) -> None:
         """Inject one hardware prefetch into the LLC."""
-        if self.llc.contains(addr):
+        llc = self.llc
+        if llc.contains(addr):
             return  # a prefetch hit is dropped without touching any state
-        result = self.llc.access(addr, AccessKind.PREFETCH, self.size_fn(addr))
-        self.stats.merge_llc_result(result)
-        self._account_memory(addr, result, demand=False)
-        self._process_invalidates(result)
+        result = llc.access(
+            addr, _PREFETCH, self.size_fn(addr) if self._uses_sizes else 1
+        )
+        stats = self.stats
+        # merge_llc_result, unrolled.
+        stats.memory_reads += result.memory_reads
+        stats.memory_writes += result.memory_writes
+        stats.silent_evictions += result.silent_evictions
+        stats.llc_data_reads += result.data_reads
+        stats.llc_data_writes += result.data_writes
+        stats.llc_fill_segments += result.fill_segments
+        stats.llc_accesses += 1
+        # Inlined _account_memory(demand=False).
+        self._last_read_latency = 0.0
+        memory = self.memory
+        if memory is not None:
+            now = self.now
+            if result.memory_reads:
+                memory.read(addr, now)
+            for _ in range(result.memory_writes):
+                memory.write(addr, now)
+        if result.invalidates:
+            self._process_invalidates(result)
         if not result.hit:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
 
     def _process_invalidates(self, result) -> None:
         """Back-invalidate lines the LLC dropped from its baseline image."""
+        l1 = self.l1
+        l2 = self.l2
         for addr, wrote_back in result.invalidates:
-            p1, d1 = self.l1.invalidate(addr)
-            p2, d2 = self.l2.invalidate(addr)
-            if p1 or p2:
+            # l1/l2.invalidate, inlined (both are always LRU; most lines
+            # the LLC drops are long gone from the private levels, so the
+            # common case is two failed dict pops).
+            cset = l1._sets[addr & l1._set_mask]
+            way = cset.lookup.pop(addr, None)
+            if way is None:
+                present = dirty = False
+            else:
+                present = True
+                dirty = cset.dirty[way]
+                cset.valid[way] = False
+                cset.dirty[way] = False
+                cset.valid_count -= 1
+                cset.policy_state.stamps[way] = 0
+            cset = l2._sets[addr & l2._set_mask]
+            way = cset.lookup.pop(addr, None)
+            if way is not None:
+                present = True
+                dirty = dirty or cset.dirty[way]
+                cset.valid[way] = False
+                cset.dirty[way] = False
+                cset.valid_count -= 1
+                cset.policy_state.stamps[way] = 0
+            if present:
                 self.stats.back_invalidations += 1
-            if (d1 or d2) and not wrote_back:
+            if dirty and not wrote_back:
                 # Most-recent data lived upstream; it must reach memory.
                 self.stats.memory_writes += 1
                 if self.memory is not None:
                     self.memory.write(addr, self.now)
-
-    def _account_memory(self, addr: int, result, demand: bool) -> None:
-        """Issue the DRAM traffic of one LLC access to the memory model."""
-        self._last_read_latency = 0.0
-        if self.memory is None:
-            return
-        if result.memory_reads:
-            latency = self.memory.read(addr, self.now)
-            if demand:
-                self._last_read_latency = latency
-        for _ in range(result.memory_writes):
-            self.memory.write(addr, self.now)
 
     # ------------------------------------------------------------------
     # Introspection

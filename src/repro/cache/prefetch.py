@@ -14,10 +14,10 @@ prefetch ``degree`` lines ahead on every subsequent access.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 #: Lines per 4KB page with 64B lines.
 _PAGE_LINES = 64
+_PAGE_SHIFT = _PAGE_LINES.bit_length() - 1
+_PAGE_MASK = _PAGE_LINES - 1
 
 
 class StreamPrefetcher:
@@ -30,8 +30,10 @@ class StreamPrefetcher:
             raise ValueError(f"table_size must be positive, got {table_size}")
         self.degree = degree
         self.table_size = table_size
-        # page -> (last_line_offset, stride, trained)
-        self._table: OrderedDict[int, tuple[int, int, bool]] = OrderedDict()
+        # page -> (last_line_offset, stride, trained).  A plain dict: the
+        # pop-and-reinsert below keeps LRU order through plain insertion
+        # ordering, without OrderedDict's per-access overhead.
+        self._table: dict[int, tuple[int, int, bool]] = {}
         self.stat_trainings = 0
         self.stat_issued = 0
 
@@ -39,29 +41,31 @@ class StreamPrefetcher:
         """Record a demand access; return line addresses to prefetch."""
         if self.degree == 0:
             return []
-        page, offset = divmod(line_addr, _PAGE_LINES)
-        entry = self._table.pop(page, None)
+        table = self._table
+        page = line_addr >> _PAGE_SHIFT
+        offset = line_addr & _PAGE_MASK
+        entry = table.pop(page, None)
         prefetches: list[int] = []
         if entry is None:
-            self._table[page] = (offset, 0, False)
+            table[page] = (offset, 0, False)
         else:
             last_offset, stride, trained = entry
             new_stride = offset - last_offset
             if new_stride == 0:
                 # Same line again: keep the entry untouched.
-                self._table[page] = (offset, stride, trained)
+                table[page] = (offset, stride, trained)
             elif trained and new_stride == stride:
                 prefetches = self._issue(page, offset, stride)
-                self._table[page] = (offset, stride, True)
+                table[page] = (offset, stride, True)
             elif not trained and stride != 0 and new_stride == stride:
                 # Second consistent stride: train and start prefetching.
                 self.stat_trainings += 1
                 prefetches = self._issue(page, offset, stride)
-                self._table[page] = (offset, stride, True)
+                table[page] = (offset, stride, True)
             else:
-                self._table[page] = (offset, new_stride, False)
-        while len(self._table) > self.table_size:
-            self._table.popitem(last=False)
+                table[page] = (offset, new_stride, False)
+        while len(table) > self.table_size:
+            del table[next(iter(table))]
         return prefetches
 
     def _issue(self, page: int, offset: int, stride: int) -> list[int]:

@@ -36,18 +36,23 @@ class NRUPolicy(ReplacementPolicy):
         state.referenced[way] = True
 
     def choose_victim(self, state: _NRUState) -> int:
+        # Equivalent to scanning offsets 0..ways-1 from the hand (mod
+        # ways) for the first clear bit, but with C-speed index() calls:
+        # first the [hand:] segment, then the wrapped [:hand] prefix.
         referenced = state.referenced
         ways = len(referenced)
-        for offset in range(ways):
-            way = (state.hand + offset) % ways
-            if not referenced[way]:
-                state.hand = (way + 1) % ways
-                return way
-        # All referenced: age everything and victimize at the hand.
-        for way in range(ways):
-            referenced[way] = False
-        victim = state.hand
-        state.hand = (victim + 1) % ways
+        hand = state.hand
+        try:
+            victim = referenced.index(False, hand)
+        except ValueError:
+            try:
+                victim = referenced.index(False, 0, hand)
+            except ValueError:
+                # All referenced: age everything and victimize at the hand.
+                for way in range(ways):
+                    referenced[way] = False
+                victim = hand
+        state.hand = victim + 1 if victim + 1 < ways else 0
         return victim
 
     def eligible_victims(self, state: _NRUState) -> list[int]:

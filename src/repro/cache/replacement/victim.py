@@ -17,15 +17,18 @@ Section VI.B.4 also tries random, LRU and a size/LRU mix; none beat ECM.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 from repro.cache.replacement.base import DeterministicRandom
 
 
-@dataclass(frozen=True)
-class VictimCandidate:
-    """One way whose victim slot could receive the replaced base line."""
+class VictimCandidate(NamedTuple):
+    """One way whose victim slot could receive the replaced base line.
+
+    A NamedTuple rather than a dataclass: Base-Victim builds one list of
+    these per demotion attempt, deep inside the simulation inner loop,
+    and tuple construction is several times cheaper.
+    """
 
     way: int
     base_size: int
@@ -70,10 +73,26 @@ class ECMVictimPolicy(VictimInsertionPolicy):
     name = "ecm"
 
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
-        free = [c for c in candidates if not c.occupied]
-        pool = free if free else candidates
-        best = max(pool, key=lambda c: (c.base_size, -c.way))
-        return best.way
+        # Hot path: a single pass with explicit tie-breaks instead of
+        # list+max+key-tuple allocations.  Same choice as
+        # max(pool, key=lambda c: (c.base_size, -c.way)) over the free
+        # pool (falling back to all candidates when none are free).
+        best_way = -1
+        best_size = -1
+        for c in candidates:
+            if not c.occupied:
+                size = c.base_size
+                if size > best_size or (size == best_size and c.way < best_way):
+                    best_size = size
+                    best_way = c.way
+        if best_way >= 0:
+            return best_way
+        for c in candidates:
+            size = c.base_size
+            if size > best_size or (size == best_size and c.way < best_way):
+                best_size = size
+                best_way = c.way
+        return best_way
 
 
 class ECMStrictVictimPolicy(VictimInsertionPolicy):

@@ -17,6 +17,8 @@ from typing import Iterator, NamedTuple
 
 from repro.cache.config import CacheGeometry
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.nru import NRUPolicy
 
 
 class EvictedLine(NamedTuple):
@@ -59,6 +61,12 @@ class SetAssociativeCache:
             for index in range(geometry.num_sets)
         ]
         self._set_mask = geometry.num_sets - 1
+        #: The private L1/L2 caches are always LRU and the default LLC
+        #: policy is NRU; for exactly those policy classes, probe/fill
+        #: apply the touch inline instead of through a method call per
+        #: access.  Any other policy (or subclass) takes the generic path.
+        self._lru_inline = type(policy) is LRUPolicy
+        self._nru_inline = type(policy) is NRUPolicy
         self.stat_hits = 0
         self.stat_misses = 0
         self.stat_evictions = 0
@@ -75,7 +83,14 @@ class SetAssociativeCache:
         if way is None:
             self.stat_misses += 1
             return False
-        self.policy.on_hit(cset.policy_state, way)
+        if self._lru_inline:
+            state = cset.policy_state
+            state.clock += 1
+            state.stamps[way] = state.clock
+        elif self._nru_inline:
+            cset.policy_state.referenced[way] = True
+        else:
+            self.policy.on_hit(cset.policy_state, way)
         if is_write:
             cset.dirty[way] = True
         self.stat_hits += 1
@@ -89,25 +104,59 @@ class SetAssociativeCache:
         bug in the caller.
         """
         cset = self._sets[addr & self._set_mask]
-        if addr in cset.lookup:
+        lookup = cset.lookup
+        if addr in lookup:
             raise ValueError(f"{self.name}: fill of already-present line {addr:#x}")
+        tags = cset.tags
+        dirty_bits = cset.dirty
         victim: EvictedLine | None = None
-        if cset.valid_count == len(cset.valid):
-            way = self.policy.choose_victim(cset.policy_state)
-            victim = EvictedLine(cset.tags[way], cset.dirty[way])
-            del cset.lookup[cset.tags[way]]
+        valid = cset.valid
+        if cset.valid_count == len(valid):
+            if self._lru_inline:
+                # Inline LRUPolicy.choose_victim: oldest stamp, first
+                # way on ties (index() returns the first minimum).
+                stamps = cset.policy_state.stamps
+                way = stamps.index(min(stamps))
+            elif self._nru_inline:
+                # Inline NRUPolicy.choose_victim: first clear referenced
+                # bit from the rotating hand, with the classic reset when
+                # every bit is set.
+                state = cset.policy_state
+                referenced = state.referenced
+                ways = len(referenced)
+                hand = state.hand
+                try:
+                    way = referenced.index(False, hand)
+                except ValueError:
+                    try:
+                        way = referenced.index(False, 0, hand)
+                    except ValueError:
+                        for w in range(ways):
+                            referenced[w] = False
+                        way = hand
+                state.hand = way + 1 if way + 1 < ways else 0
+            else:
+                way = self.policy.choose_victim(cset.policy_state)
+            victim = EvictedLine(tags[way], dirty_bits[way])
+            del lookup[tags[way]]
             self.stat_evictions += 1
             if victim.dirty:
                 self.stat_writebacks += 1
         else:
-            way = self._free_way(cset)
-            assert way is not None
+            way = valid.index(False)
             cset.valid_count += 1
-        cset.tags[way] = addr
-        cset.valid[way] = True
-        cset.dirty[way] = dirty
-        cset.lookup[addr] = way
-        self.policy.on_fill(cset.policy_state, way)
+        tags[way] = addr
+        valid[way] = True
+        dirty_bits[way] = dirty
+        lookup[addr] = way
+        if self._lru_inline:
+            state = cset.policy_state
+            state.clock += 1
+            state.stamps[way] = state.clock
+        elif self._nru_inline:
+            cset.policy_state.referenced[way] = True
+        else:
+            self.policy.on_fill(cset.policy_state, way)
         return victim
 
     def access(self, addr: int, is_write: bool = False) -> tuple[bool, EvictedLine | None]:
@@ -127,7 +176,14 @@ class SetAssociativeCache:
         cset.valid[way] = False
         cset.dirty[way] = False
         cset.valid_count -= 1
-        self.policy.on_invalidate(cset.policy_state, way)
+        if self._lru_inline:
+            # Inlined LRUPolicy.on_invalidate: free ways age to stamp 0.
+            cset.policy_state.stamps[way] = 0
+        elif self._nru_inline:
+            # Inlined NRUPolicy.on_invalidate.
+            cset.policy_state.referenced[way] = False
+        else:
+            self.policy.on_invalidate(cset.policy_state, way)
         return True, was_dirty
 
     def hint_downgrade(self, addr: int) -> None:
@@ -135,7 +191,11 @@ class SetAssociativeCache:
         cset = self._sets[addr & self._set_mask]
         way = cset.lookup.get(addr)
         if way is not None:
-            self.policy.on_hint(cset.policy_state, way)
+            if self._nru_inline:
+                # Inlined NRUPolicy.on_hint: clear the referenced bit.
+                cset.policy_state.referenced[way] = False
+            else:
+                self.policy.on_hint(cset.policy_state, way)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,6 +9,7 @@ Exposes the paper's experiments and some exploration helpers::
     repro stats --trace mcf.1 --trace lbm.1 [--json] [--trace-events]
     repro area
     repro export --csv fig8.csv
+    repro perf [--repeats 3] [--output BENCH_PERF.json]
 
 The figure/table benches proper live in ``benchmarks/`` and run through
 pytest; the CLI is the quick interactive front end.
@@ -239,6 +240,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Measure single-worker engine throughput (see repro.sim.perfbench)."""
+    from repro.sim.perfbench import run
+
+    return run(args)
+
+
 def _cmd_area(args: argparse.Namespace) -> int:
     report = paper_headline_area()
     print("Section IV.C area accounting (2MB 16-way, 48-bit addresses):")
@@ -306,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("area", help="print the Section IV.C area overheads")
 
+    p_perf = sub.add_parser(
+        "perf", help="measure engine throughput (accesses/sec, phase times)"
+    )
+    from repro.sim.perfbench import add_arguments as _add_perf_arguments
+
+    _add_perf_arguments(p_perf)
+
     p_export = sub.add_parser(
         "export", help="export the Base-Victim ratio series (CSV + ASCII plot)"
     )
@@ -338,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "stats": _cmd_stats,
         "area": _cmd_area,
+        "perf": _cmd_perf,
         "export": _cmd_export,
     }
     try:

@@ -38,9 +38,21 @@ from __future__ import annotations
 
 from repro.cache.config import CacheGeometry
 from repro.cache.replacement.base import ReplacementPolicy
-from repro.cache.replacement.victim import VictimCandidate, VictimInsertionPolicy
+from repro.cache.replacement.nru import NRUPolicy
+from repro.cache.replacement.victim import (
+    ECMVictimPolicy,
+    VictimCandidate,
+    VictimInsertionPolicy,
+)
 from repro.compression.segments import SegmentGeometry
 from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
+
+# AccessKind members hoisted to plain ints: IntEnum comparisons go through
+# __eq__ dispatch, and the access path compares kinds on every request.
+_READ = int(AccessKind.READ)
+_WRITEBACK = int(AccessKind.WRITEBACK)
+_WRITE = int(AccessKind.WRITE)
+_PREFETCH = int(AccessKind.PREFETCH)
 
 
 class _BVSet:
@@ -115,6 +127,18 @@ class BaseVictimLLC(LLCArchitecture):
             for index in range(geometry.num_sets)
         ]
         self._set_mask = geometry.num_sets - 1
+        #: NRU is the paper's (and the sweeps') baseline policy; when the
+        #: policy is exactly NRUPolicy, hot hit handling sets the
+        #: referenced bit inline instead of through a method call.
+        self._nru_inline = type(policy) is NRUPolicy
+        #: Same treatment for the paper's default victim-insertion policy:
+        #: exactly ECMVictimPolicy lets _insert_victim pick the slot in a
+        #: single scan without building a candidate list.
+        self._ecm_inline = type(victim_policy) is ECMVictimPolicy
+        #: Victim Cache resident-line count, maintained incrementally so
+        #: the occupancy samples taken by the simulation drivers are O(1)
+        #: instead of a sum over every set.
+        self._victim_resident = 0
 
         self.stat_base_hits = 0
         self.stat_victim_hits = 0
@@ -145,7 +169,19 @@ class BaseVictimLLC(LLCArchitecture):
 
         base_way = cset.base_lookup.get(addr)
         if base_way is not None:
-            self._base_hit(cset, base_way, kind, size_segments, result)
+            if kind == _READ:
+                # Inlined _base_hit READ path — the hottest LLC event.
+                result.hit = True
+                self.stat_base_hits += 1
+                if self._nru_inline:
+                    cset.policy_state.referenced[base_way] = True
+                else:
+                    self.policy.on_hit(cset.policy_state, base_way)
+                result.data_reads = 1
+                size = cset.base_size[base_way]
+                result.compressed_hit = 0 < size < self.segments_per_line
+            else:
+                self._base_hit(cset, base_way, kind, size_segments, result)
             return result
 
         vict_way = cset.vict_lookup.get(addr)
@@ -170,13 +206,17 @@ class BaseVictimLLC(LLCArchitecture):
     ) -> None:
         result.hit = True
         self.stat_base_hits += 1
-        if kind == AccessKind.PREFETCH:
+        if kind == _PREFETCH:
             return  # a prefetch that hits is dropped; no state changes
 
-        if kind == AccessKind.READ:
-            self.policy.on_hit(cset.policy_state, way)
+        if kind == _READ:
+            if self._nru_inline:
+                cset.policy_state.referenced[way] = True
+            else:
+                self.policy.on_hit(cset.policy_state, way)
             result.data_reads = 1
-            result.compressed_hit = self._needs_decompression(cset.base_size[way])
+            size = cset.base_size[way]
+            result.compressed_hit = 0 < size < self.segments_per_line
             return
 
         # WRITE or WRITEBACK: the line's data (and compressed size) change.
@@ -202,14 +242,14 @@ class BaseVictimLLC(LLCArchitecture):
         result.hit = True
         result.victim_hit = True
         self.stat_victim_hits += 1
-        if kind == AccessKind.PREFETCH:
+        if kind == _PREFETCH:
             return  # leave the line where it is
 
         stored_size = cset.vict_size[vict_way]
         result.compressed_hit = self._needs_decompression(stored_size)
         result.data_reads = 1  # read the victim line out of the data array
 
-        is_write = kind in (AccessKind.WRITE, AccessKind.WRITEBACK)
+        is_write = kind == _WRITE or kind == _WRITEBACK
         if is_write:
             # Section IV.B.3 non-inclusive variant; inclusive hierarchies
             # never reach here because demotion back-invalidated L1/L2.
@@ -222,6 +262,7 @@ class BaseVictimLLC(LLCArchitecture):
         # only in the non-inclusive variant) travels with the promotion.
         stored_dirty = cset.vict_dirty[vict_way]
         del cset.vict_lookup[addr]
+        self._victim_resident -= 1
         cset.vict_valid[vict_way] = False
         cset.vict_dirty[vict_way] = False
 
@@ -243,7 +284,7 @@ class BaseVictimLLC(LLCArchitecture):
         size_segments: int,
         result: LLCAccessResult,
     ) -> None:
-        if kind == AccessKind.WRITEBACK:
+        if kind == _WRITEBACK:
             # A writeback to a non-resident line bypasses to memory.
             self.stat_writeback_misses += 1
             result.memory_writes = 1
@@ -251,11 +292,11 @@ class BaseVictimLLC(LLCArchitecture):
 
         self.stat_misses += 1
         result.memory_reads = 1
-        is_write = kind == AccessKind.WRITE
+        is_write = kind == _WRITE
         self._fill_baseline(cset, addr, size_segments, is_write, result)
         result.data_writes += 1
         result.fill_segments += size_segments
-        if kind != AccessKind.PREFETCH:
+        if kind != _PREFETCH:
             result.data_reads += 1  # deliver the line to the core
 
     def _fill_baseline(
@@ -274,11 +315,30 @@ class BaseVictimLLC(LLCArchitecture):
         """
         replaced: tuple[int, int, bool] | None = None
         if cset.base_valid_count < len(cset.base_valid):
-            way = self._free_base_way(cset)
-            assert way is not None
+            way = cset.base_valid.index(False)
             cset.base_valid_count += 1
         else:
-            way = self.policy.choose_victim(cset.policy_state)
+            if self._nru_inline:
+                # Inlined NRUPolicy.choose_victim (same hand scan as
+                # SetAssociativeCache.fill): first clear referenced bit
+                # from the rotating hand, resetting all bits when none
+                # is clear.
+                state = cset.policy_state
+                referenced = state.referenced
+                ways = len(referenced)
+                hand = state.hand
+                try:
+                    way = referenced.index(False, hand)
+                except ValueError:
+                    try:
+                        way = referenced.index(False, 0, hand)
+                    except ValueError:
+                        for w in range(ways):
+                            referenced[w] = False
+                        way = hand
+                state.hand = way + 1 if way + 1 < ways else 0
+            else:
+                way = self.policy.choose_victim(cset.policy_state)
             replaced_addr = cset.base_tags[way]
             was_dirty = cset.base_dirty[way]
             if was_dirty and self.clean_victims:
@@ -301,7 +361,11 @@ class BaseVictimLLC(LLCArchitecture):
         cset.base_dirty[way] = dirty
         cset.base_size[way] = size_segments
         cset.base_lookup[addr] = way
-        self.policy.on_fill_sized(cset.policy_state, way, size_segments)
+        if self._nru_inline:
+            # NRUPolicy.on_fill_sized defers to on_fill: referenced bit.
+            cset.policy_state.referenced[way] = True
+        else:
+            self.policy.on_fill_sized(cset.policy_state, way, size_segments)
 
         if (
             cset.vict_valid[way]
@@ -326,28 +390,52 @@ class BaseVictimLLC(LLCArchitecture):
         In the default (inclusive) configuration the line is clean by the
         time it gets here; the non-inclusive variant may demote it dirty.
         """
-        spl = self.segments_per_line
         base_valid = cset.base_valid
         base_size = cset.base_size
-        candidates = [
-            VictimCandidate(
-                way=way,
-                base_size=base_size[way] if base_valid[way] else 0,
-                occupied=cset.vict_valid[way],
-                victim_size=cset.vict_size[way],
-                victim_stamp=cset.vict_stamp[way],
-            )
-            for way in range(len(base_valid))
-            if (base_size[way] if base_valid[way] else 0) + size_segments <= spl
-        ]
-        if not candidates:
+        vict_valid = cset.vict_valid
+        # Largest base size a candidate way may hold and still fit us.
+        room = self.segments_per_line - size_segments
+        if self._ecm_inline:
+            # Inlined ECMVictimPolicy.choose over the implicit candidate
+            # list: prefer free victim slots, then the largest base
+            # partner, lowest way on ties — without materialising one
+            # VictimCandidate per fitting way.
+            way = -1
+            free_way = -1
+            free_size = -1
+            occ_size = -1
+            for w in range(len(base_valid)):
+                bsize = base_size[w] if base_valid[w] else 0
+                if bsize <= room:
+                    if vict_valid[w]:
+                        if bsize > occ_size:
+                            occ_size = bsize
+                            way = w
+                    elif bsize > free_size:
+                        free_size = bsize
+                        free_way = w
+            if free_way >= 0:
+                way = free_way
+        else:
+            vict_size = cset.vict_size
+            vict_stamp = cset.vict_stamp
+            candidates = []
+            for w in range(len(base_valid)):
+                bsize = base_size[w] if base_valid[w] else 0
+                if bsize <= room:
+                    candidates.append(
+                        VictimCandidate(
+                            w, bsize, vict_valid[w], vict_size[w], vict_stamp[w]
+                        )
+                    )
+            way = self.victim_policy.choose(candidates) if candidates else -1
+        if way < 0:
             self.stat_demotion_drops += 1
             if dirty:
                 # Nowhere to keep the dirty line: it must reach memory.
                 result.memory_writes += 1
             return
 
-        way = self.victim_policy.choose(candidates)
         self.victim_policy.stat_choices += 1
         if cset.vict_valid[way]:
             self.victim_policy.stat_replacements += 1
@@ -359,6 +447,7 @@ class BaseVictimLLC(LLCArchitecture):
         cset.clock += 1
         cset.vict_stamp[way] = cset.clock
         cset.vict_lookup[addr] = way
+        self._victim_resident += 1
         self.stat_demotions += 1
         # Migration: read the line out of its base way, write it here.
         result.data_reads += 1
@@ -377,6 +466,7 @@ class BaseVictimLLC(LLCArchitecture):
         written back.
         """
         del cset.vict_lookup[cset.vict_tags[way]]
+        self._victim_resident -= 1
         cset.vict_valid[way] = False
         if cset.vict_dirty[way]:
             cset.vict_dirty[way] = False
@@ -417,7 +507,11 @@ class BaseVictimLLC(LLCArchitecture):
         cset = self._sets[addr & self._set_mask]
         way = cset.base_lookup.get(addr)
         if way is not None:
-            self.policy.on_hint(cset.policy_state, way)
+            if self._nru_inline:
+                # Inlined NRUPolicy.on_hint: clear the referenced bit.
+                cset.policy_state.referenced[way] = False
+            else:
+                self.policy.on_hint(cset.policy_state, way)
 
     def baseline_set_contents(self, set_index: int) -> list[int]:
         """Valid baseline line addresses of one set, in way order."""
@@ -444,7 +538,7 @@ class BaseVictimLLC(LLCArchitecture):
 
     def victim_occupancy(self) -> int:
         """Number of lines currently held only thanks to compression."""
-        return sum(len(cset.vict_lookup) for cset in self._sets)
+        return self._victim_resident
 
     def publish_observations(self, registry) -> None:
         """Publish Base-Victim counters under ``llc/`` (see repro.obs)."""

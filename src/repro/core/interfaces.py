@@ -105,6 +105,12 @@ class LLCArchitecture(abc.ABC):
     #: Number of logical tags per physical way (1 or 2).
     tags_per_way: int = 1
 
+    #: Whether ``access`` reads its ``size_segments`` argument at all.
+    #: Uncompressed organisations set this False so the hierarchy can
+    #: skip the data model's size lookup on their miss path entirely
+    #: (the lookup is pure, so skipping it changes no simulation state).
+    uses_sizes: bool = True
+
     @abc.abstractmethod
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
         """Process one request for line ``addr`` of the given compressed size."""

@@ -14,6 +14,11 @@ from repro.cache.replacement.base import ReplacementPolicy
 from repro.cache.setassoc import SetAssociativeCache
 from repro.core.interfaces import AccessKind, LLCAccessResult, LLCArchitecture
 
+# Hoisted to plain ints; see repro.core.basevictim for rationale.
+_WRITEBACK = int(AccessKind.WRITEBACK)
+_WRITE = int(AccessKind.WRITE)
+_PREFETCH = int(AccessKind.PREFETCH)
+
 
 class UncompressedLLC(LLCArchitecture):
     """Plain set-associative LLC with a pluggable replacement policy."""
@@ -21,6 +26,7 @@ class UncompressedLLC(LLCArchitecture):
     name = "uncompressed"
     extra_tag_cycles = 0
     tags_per_way = 1
+    uses_sizes = False  # sizes are ignored; see access()
 
     def __init__(self, geometry: CacheGeometry, policy: ReplacementPolicy) -> None:
         self.geometry = geometry
@@ -32,49 +38,117 @@ class UncompressedLLC(LLCArchitecture):
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
         result = LLCAccessResult()
         cache = self._cache
+        # cache.probe, inlined around a single set lookup shared by every
+        # request kind (this is the hottest call of the baseline machine).
+        # A prefetch lookup matches cache.contains: no policy touch, no
+        # hit/miss accounting.
+        cset = cache._sets[addr & cache._set_mask]
+        way = cset.lookup.get(addr)
 
-        if kind == AccessKind.WRITEBACK:
-            if cache.probe(addr, is_write=True):
+        if kind == _WRITEBACK:
+            if way is not None:
+                if cache._nru_inline:
+                    cset.policy_state.referenced[way] = True
+                else:
+                    cache.policy.on_hit(cset.policy_state, way)
+                cset.dirty[way] = True
+                cache.stat_hits += 1
                 result.hit = True
                 result.data_writes = 1
                 result.fill_segments = 1
             else:
                 # Writeback to a non-resident line bypasses to memory.
+                cache.stat_misses += 1
                 self.stat_writeback_misses += 1
                 result.memory_writes = 1
             return result
 
-        is_write = kind == AccessKind.WRITE
-        if kind == AccessKind.PREFETCH:
-            if cache.contains(addr):
+        is_write = kind == _WRITE
+        if kind == _PREFETCH:
+            if way is not None:
                 result.hit = True
                 return result
-            hit = False
-        else:
-            hit = cache.probe(addr, is_write)
-
-        if hit:
+        elif way is not None:
+            if cache._nru_inline:
+                cset.policy_state.referenced[way] = True
+            else:
+                cache.policy.on_hit(cset.policy_state, way)
+            if is_write:
+                cset.dirty[way] = True
+            cache.stat_hits += 1
             result.hit = True
             result.data_reads = 1
             return result
+        else:
+            cache.stat_misses += 1
 
         result.memory_reads = 1
         result.data_writes = 1
         result.fill_segments = 1
-        victim = cache.fill(addr, dirty=is_write)
-        if victim is not None:
-            result.invalidates.append((victim.addr, victim.dirty))
-            if victim.dirty:
-                result.memory_writes = 1
-        if kind != AccessKind.PREFETCH:
+        if cache._nru_inline:
+            # cache.fill, inlined for the default NRU LLC: the miss above
+            # established the line is absent, and the victim never needs
+            # an EvictedLine.
+            valid = cset.valid
+            tags = cset.tags
+            dirty_bits = cset.dirty
+            if cset.valid_count == len(valid):
+                # Inlined NRUPolicy.choose_victim (see cache.fill).
+                state = cset.policy_state
+                referenced = state.referenced
+                ways = len(referenced)
+                hand = state.hand
+                try:
+                    way = referenced.index(False, hand)
+                except ValueError:
+                    try:
+                        way = referenced.index(False, 0, hand)
+                    except ValueError:
+                        for w in range(ways):
+                            referenced[w] = False
+                        way = hand
+                state.hand = way + 1 if way + 1 < ways else 0
+                victim_addr = tags[way]
+                victim_dirty = dirty_bits[way]
+                del cset.lookup[victim_addr]
+                cache.stat_evictions += 1
+                if victim_dirty:
+                    cache.stat_writebacks += 1
+                    result.memory_writes = 1
+                result.invalidates.append((victim_addr, victim_dirty))
+            else:
+                way = valid.index(False)
+                cset.valid_count += 1
+            tags[way] = addr
+            valid[way] = True
+            dirty_bits[way] = is_write
+            cset.lookup[addr] = way
+            cset.policy_state.referenced[way] = True
+        else:
+            victim = cache.fill(addr, dirty=is_write)
+            if victim is not None:
+                result.invalidates.append((victim.addr, victim.dirty))
+                if victim.dirty:
+                    result.memory_writes = 1
+        if kind != _PREFETCH:
             result.data_reads += 1  # deliver the filled line to the core
         return result
 
     def contains(self, addr: int) -> bool:
-        return self._cache.contains(addr)
+        cache = self._cache
+        return addr in cache._sets[addr & cache._set_mask].lookup
 
     def hint_downgrade(self, addr: int) -> None:
-        self._cache.hint_downgrade(addr)
+        # Inlined cache.hint_downgrade to skip the extra call layer on
+        # the clean-L2-eviction path.
+        cache = self._cache
+        cset = cache._sets[addr & cache._set_mask]
+        way = cset.lookup.get(addr)
+        if way is not None:
+            if cache._nru_inline:
+                cset.policy_state.referenced[way] = False
+            else:
+                cache.policy.on_hint(cset.policy_state, way)
 
     def resident_logical_lines(self) -> int:
         return self._cache.occupancy()

@@ -80,6 +80,20 @@ class DRAMModel:
             for _ in range(cfg.channels)
         ]
         self._bus_free = [0.0] * cfg.channels
+        # Hot-path constants, precomputed so _request does no dataclass
+        # field or property lookups.  All integer products, so latencies
+        # are bit-identical to computing them per request.
+        timings = cfg.timings
+        ratio = cfg.cpu_per_dram_cycle
+        self._channels = cfg.channels
+        self._banks_per_channel = cfg.banks_per_channel
+        self._lines_per_row = cfg.lines_per_row
+        self._controller = cfg.controller_cycles
+        self._row_hit_cpu = timings.row_hit_cycles * ratio
+        self._row_empty_cpu = timings.row_empty_cycles * ratio
+        self._row_conflict_cpu = timings.row_conflict_cycles * ratio
+        self._tras_cpu = timings.tRAS * ratio
+        self._burst_cpu = timings.burst_cycles * ratio
         self.stat_reads = 0
         self.stat_writes = 0
         self.stat_row_hits = 0
@@ -122,43 +136,46 @@ class DRAMModel:
         self.stat_writes += 1
 
     def _request(self, line_addr: int, now: float) -> float:
-        cfg = self.config
-        timings = cfg.timings
-        ratio = cfg.cpu_per_dram_cycle
-        channel, bank_index, row = self._map(line_addr)
+        # Inlined _map plus the precomputed CPU-cycle constants.
+        channel = line_addr % self._channels
+        rest = line_addr // self._channels
+        bank_index = rest % self._banks_per_channel
+        row = rest // self._banks_per_channel // self._lines_per_row
         bank = self._banks[channel][bank_index]
 
-        start = now + cfg.controller_cycles
+        controller = self._controller
+        start = now + controller
         if bank.ready_time > start:
             start = bank.ready_time
 
-        if bank.open_row == row:
-            access_dram = timings.row_hit_cycles
+        open_row = bank.open_row
+        if open_row == row:
+            access_cpu = self._row_hit_cpu
             self.stat_row_hits += 1
-        elif bank.open_row is None:
-            access_dram = timings.row_empty_cycles
+        elif open_row is None:
+            access_cpu = self._row_empty_cpu
             self.stat_activates += 1
         else:
             # Conflict: respect tRAS since the previous activate before
             # precharging the old row.
             self.stat_row_conflicts += 1
             self.stat_activates += 1
-            earliest_pre = bank.activate_time + timings.tRAS * ratio
+            earliest_pre = bank.activate_time + self._tras_cpu
             if earliest_pre > start:
                 start = earliest_pre
-            access_dram = timings.row_conflict_cycles
+            access_cpu = self._row_conflict_cpu
         bank.open_row = row
         bank.activate_time = start
 
-        data_ready = start + access_dram * ratio
+        data_ready = start + access_cpu
         bus_free = self._bus_free[channel]
         if bus_free > data_ready:
             data_ready = bus_free
-        completion = data_ready + timings.burst_cycles * ratio
+        completion = data_ready + self._burst_cpu
         self._bus_free[channel] = completion
         bank.ready_time = completion
 
-        return completion + cfg.controller_cycles - now
+        return completion + controller - now
 
     # ------------------------------------------------------------------
     # Reporting

@@ -41,7 +41,7 @@ from repro.sim.multi_core import simulate_mix
 from repro.sim.resultcache import (
     append_cache_entries,
     encode_entry,
-    load_cache_entries,
+    iter_cache_entries,
 )
 from repro.sim.single_core import simulate_trace
 from repro.workloads.mixes import MixSpec
@@ -215,7 +215,9 @@ def _merge_shards(
     """
     sharded: dict[str, dict] = {}
     for shard in sorted(shard_dir.glob("shard-*.jsonl")):
-        sharded.update(load_cache_entries(shard))
+        # One streaming pass per shard — no intermediate per-shard dict.
+        for key, result in iter_cache_entries(shard):
+            sharded[key] = result
     append_cache_entries(
         cache_path,
         (

@@ -9,8 +9,13 @@ worker shards can never drift apart.
 Loading is *tolerant*: a worker interrupted mid-write (Ctrl-C, OOM kill,
 crashed pool) leaves a truncated final line behind, and a cache that
 refuses to load because of one torn line would throw away hours of sweep
-results.  Corrupt lines are skipped and reported once per file via
-:class:`CorruptCacheLineWarning`.
+results.  Corrupt lines are skipped and reported via
+:class:`CorruptCacheLineWarning` — once per file per process, so a file
+that is prewarmed and then merged again does not repeat the warning.
+
+:func:`iter_cache_entries` is the single streaming pass over a file; both
+the prewarm load and the shard merge consume it directly, so every shard
+is read and parsed exactly once, with no intermediate per-file dict.
 """
 
 from __future__ import annotations
@@ -18,11 +23,16 @@ from __future__ import annotations
 import json
 import warnings
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 
 class CorruptCacheLineWarning(RuntimeWarning):
     """A result-cache file contained truncated or malformed JSONL lines."""
+
+
+#: Files already reported as corrupt (resolved paths); a process warns at
+#: most once per file however many times the file is re-read.
+_warned_corrupt: set[str] = set()
 
 
 def encode_entry(key: str, result: dict) -> str:
@@ -35,17 +45,15 @@ def encode_entry(key: str, result: dict) -> str:
     return json.dumps({"key": key, "result": result}, sort_keys=True)
 
 
-def load_cache_entries(path: Path) -> dict[str, dict]:
-    """Read a JSONL cache file into a key -> result mapping.
+def iter_cache_entries(path: Path) -> Iterator[tuple[str, dict]]:
+    """Stream ``(key, result)`` pairs from a JSONL cache file, one pass.
 
     Blank lines are ignored; truncated or structurally wrong lines are
     skipped and reported with one :class:`CorruptCacheLineWarning` per
-    file.  Later entries for a repeated key win, matching append-only
-    write semantics.
+    file per process.  A missing file yields nothing.
     """
-    entries: dict[str, dict] = {}
     if not path.exists():
-        return entries
+        return
     corrupt = 0
     with path.open() as handle:
         for line in handle:
@@ -64,15 +72,27 @@ def load_cache_entries(path: Path) -> dict[str, dict]:
             ):
                 corrupt += 1
                 continue
-            entries[entry["key"]] = entry["result"]
+            yield entry["key"], entry["result"]
     if corrupt:
-        warnings.warn(
-            f"{path}: skipped {corrupt} corrupt cache line(s); "
-            "likely a simulation interrupted mid-write",
-            CorruptCacheLineWarning,
-            stacklevel=2,
-        )
-    return entries
+        resolved = str(path.resolve())
+        if resolved not in _warned_corrupt:
+            _warned_corrupt.add(resolved)
+            warnings.warn(
+                f"{path}: skipped {corrupt} corrupt cache line(s); "
+                "likely a simulation interrupted mid-write",
+                CorruptCacheLineWarning,
+                stacklevel=2,
+            )
+
+
+def load_cache_entries(path: Path) -> dict[str, dict]:
+    """Read a JSONL cache file into a key -> result mapping.
+
+    Later entries for a repeated key win, matching append-only write
+    semantics.  Tolerance and warning behaviour are those of
+    :func:`iter_cache_entries`.
+    """
+    return dict(iter_cache_entries(path))
 
 
 def append_cache_entries(path: Path, items: Iterable[tuple[str, dict]]) -> int:

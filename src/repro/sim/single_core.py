@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
-from repro.cache.hierarchy import L1, CacheHierarchy
+from repro.cache.hierarchy import L1, L2, LLC, CacheHierarchy
 from repro.compression.stats import publish_codec_histograms
 from repro.memory.dram import DRAMModel
 from repro.obs.registry import CounterRegistry
@@ -96,12 +96,15 @@ def simulate_trace(
     machine: MachineConfig,
     preset: Preset,
     tracer: TraceRecorder | None = None,
+    registry: CounterRegistry | None = None,
 ) -> RunResult:
     """Run one trace through one machine configuration.
 
     ``tracer`` (or ``$REPRO_TRACE``, see :mod:`repro.obs.tracing`)
     records a bounded window of per-access events without affecting any
-    simulation state.
+    simulation state.  ``registry`` lets a caller keep the run's
+    :class:`CounterRegistry` afterwards — the perf bench reads the
+    ``phase/*`` timers, which never serialise into ``RunResult.obs``.
     """
     llc = machine.build_llc(preset)
     dram = DRAMModel()
@@ -119,7 +122,8 @@ def simulate_trace(
     if tracer is not None:
         tracer.record(event="run", trace=trace.meta.name, machine=machine.label)
 
-    registry = CounterRegistry()
+    if registry is None:
+        registry = CounterRegistry()
 
     kinds = trace.kinds
     addrs = trace.addrs
@@ -137,22 +141,103 @@ def simulate_trace(
     next_sample = sample_every - 1 if victim_occupancy is not None else -1
     occupancy = registry.histogram("llc/victim_occupancy")
 
+    # Two equivalent inner loops.  The traced loop is the reference: one
+    # hierarchy.access per demand access, per-access counter updates, one
+    # tracer.record per access.  The fast loop is the profile-guided
+    # version of the same computation: the L1 hit path (the overwhelming
+    # majority of accesses) is inlined down to a dict lookup plus the LRU
+    # timestamp touch, core timing runs on hoisted locals, and per-access
+    # counters accumulate in local ints flushed into HierarchyStats and
+    # the registry after the loop.  tests/sim/test_engine_equivalence.py
+    # proves the two produce byte-identical RunResults and observations.
+    l1 = hierarchy.l1
+    fast_loop = tracer is None and l1._lru_inline
+
     with registry.timer("phase/simulate"):
-        for i in range(length):
-            advance(deltas[i])
-            hierarchy.now = core.cycles
-            addr = addrs[i]
-            is_write = kinds[i] == 1
-            if is_write:
-                on_write(addr)
-            outcome = access(addr, is_write)
-            if outcome.level != L1:
-                account(outcome, outcome.dram_latency)
-            if i == next_sample:
-                occupancy.observe(victim_occupancy())
-                next_sample += sample_every
-            if tracer is not None:
-                tracer.record(i=i, addr=addr, write=is_write, level=outcome.level)
+        if not fast_loop:
+            for i in range(length):
+                advance(deltas[i])
+                hierarchy.now = core.cycles
+                addr = addrs[i]
+                is_write = kinds[i] == 1
+                if is_write:
+                    on_write(addr)
+                outcome = access(addr, is_write)
+                if outcome.level != L1:
+                    account(outcome, outcome.dram_latency)
+                if i == next_sample:
+                    occupancy.observe(victim_occupancy())
+                    next_sample += sample_every
+                if tracer is not None:
+                    tracer.record(i=i, addr=addr, write=is_write, level=outcome.level)
+        else:
+            l1_sets = l1._sets
+            l1_mask = l1._set_mask
+            after_l1_miss = hierarchy.access_after_l1_miss
+            base_cpi = core.base_cpi
+            l2_stall = core.l2_stall
+            llc_exposed = core.llc_exposed
+            mlp_llc = core.mlp_llc
+            mlp_memory = core.mlp_memory
+            cycles = core.cycles
+            instructions = core.instructions
+            stall_cycles = core.stall_cycles
+            l1_hits = 0
+            samples: list[int] = []
+
+            # zip iterates the packed arrays in C instead of one boxed
+            # subscript per array per access.
+            i = 0
+            for delta, addr, kind in zip(deltas, addrs, kinds):
+                instructions += delta
+                cycles += delta * base_cpi
+                is_write = kind == 1
+                if is_write:
+                    on_write(addr)
+                cset = l1_sets[addr & l1_mask]
+                way = cset.lookup.get(addr)
+                if way is not None:
+                    # Inlined l1.probe hit: LRU touch plus the dirty bit.
+                    state = cset.policy_state
+                    state.clock += 1
+                    state.stamps[way] = state.clock
+                    if is_write:
+                        cset.dirty[way] = True
+                    l1_hits += 1
+                else:
+                    hierarchy.now = cycles
+                    outcome = after_l1_miss(addr, is_write)
+                    level = outcome.level
+                    if level == L2:
+                        stall = l2_stall
+                    elif level == LLC:
+                        stall = (
+                            llc_exposed + outcome.extra_llc_cycles
+                        ) / mlp_llc
+                    else:
+                        stall = (
+                            llc_exposed
+                            + outcome.extra_llc_cycles
+                            + outcome.dram_latency
+                        ) / mlp_memory
+                    cycles += stall
+                    stall_cycles += stall
+                if i == next_sample:
+                    samples.append(victim_occupancy())
+                    next_sample += sample_every
+                i += 1
+
+            # Flush the locally batched state back into the models.
+            core.cycles = cycles
+            core.instructions = instructions
+            core.stall_cycles = stall_cycles
+            stats = hierarchy.stats
+            stats.accesses += length
+            stats.l1_hits += l1_hits
+            l1.stat_hits += l1_hits
+            l1.stat_misses += length - l1_hits
+            for value in samples:
+                occupancy.observe(value)
 
     with registry.timer("phase/publish"):
         hierarchy.publish_observations(registry)

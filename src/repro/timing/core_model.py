@@ -52,16 +52,39 @@ class CoreParams:
 class CoreTimingModel:
     """Accumulates cycles for one hardware thread."""
 
+    __slots__ = (
+        "params",
+        "cycles",
+        "instructions",
+        "stall_cycles",
+        "base_cpi",
+        "l2_stall",
+        "llc_exposed",
+        "mlp_llc",
+        "mlp_memory",
+    )
+
     def __init__(self, params: CoreParams | None = None) -> None:
         self.params = params or CoreParams()
         self.cycles = 0.0
         self.instructions = 0
         self.stall_cycles = 0.0
+        # Per-access constants, hoisted out of the inner loop.  The L2
+        # stall is a full constant; LLC/MEMORY stalls keep the original
+        # expression shape (and hence bit-identical float results), only
+        # the parameter loads are precomputed.
+        params = self.params
+        lat = params.latencies
+        self.base_cpi = params.base_cpi
+        self.l2_stall = lat.l2_exposed / params.mlp_l2
+        self.llc_exposed = lat.llc_exposed
+        self.mlp_llc = params.mlp_llc
+        self.mlp_memory = params.mlp_memory
 
     def advance(self, instructions: int) -> None:
         """Retire ``instructions`` non-stalling instructions."""
         self.instructions += instructions
-        self.cycles += instructions * self.params.base_cpi
+        self.cycles += instructions * self.base_cpi
 
     def account_access(self, outcome: AccessOutcome, dram_latency: float) -> None:
         """Add the exposed stall of one demand access.
@@ -69,18 +92,16 @@ class CoreTimingModel:
         ``dram_latency`` is the CPU-cycle latency returned by the DRAM
         model for accesses served at MEMORY (0 otherwise).
         """
-        params = self.params
-        lat = params.latencies
         level = outcome.level
         if level == L1:
             return
         if level == L2:
-            stall = lat.l2_exposed / params.mlp_l2
+            stall = self.l2_stall
         elif level == LLC:
-            stall = (lat.llc_exposed + outcome.extra_llc_cycles) / params.mlp_llc
+            stall = (self.llc_exposed + outcome.extra_llc_cycles) / self.mlp_llc
         elif level == MEMORY:
-            exposed = lat.llc_exposed + outcome.extra_llc_cycles + dram_latency
-            stall = exposed / params.mlp_memory
+            exposed = self.llc_exposed + outcome.extra_llc_cycles + dram_latency
+            stall = exposed / self.mlp_memory
         else:
             raise ValueError(f"unknown service level {level}")
         self.cycles += stall

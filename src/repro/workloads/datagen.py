@@ -176,6 +176,17 @@ class LineDataModel:
     over the same trace.
     """
 
+    __slots__ = (
+        "palette",
+        "_sizes",
+        "_ring",
+        "_seed",
+        "_ring_base",
+        "_versions",
+        "_write_counts",
+        "_period",
+    )
+
     def __init__(
         self,
         palette: list[PaletteEntry],
@@ -198,14 +209,24 @@ class LineDataModel:
             for i in range(_RING_SIZE)
         ]
         self._seed = seed
+        #: addr -> _mix(addr ^ seed) % _RING_SIZE, memoised: the hash is
+        #: pure, and traces revisit the same lines millions of times.
+        self._ring_base: dict[int, int] = {}
         self._versions: dict[int, int] = {}
         self._write_counts: dict[int, int] = {}
         self._period = write_change_period
 
     def size_of(self, addr: int) -> int:
         """Current compressed size of line ``addr`` in segments."""
-        version = self._versions.get(addr, 0)
-        return self._ring[(_mix(addr ^ self._seed) + version) % _RING_SIZE]
+        # (_mix(x) + v) % R == (_mix(x) % R + v) % R, so the reduced hash
+        # can be cached per address without changing any lookup.
+        base = self._ring_base.get(addr)
+        if base is None:
+            base = self._ring_base[addr] = _mix(addr ^ self._seed) % _RING_SIZE
+        version = self._versions.get(addr)
+        if version is None:
+            return self._ring[base]
+        return self._ring[(base + version) % _RING_SIZE]
 
     def on_write(self, addr: int) -> None:
         """Record one store to ``addr``; may rotate its data pattern."""

@@ -12,6 +12,7 @@ simulator drift in seconds, without rerunning the full bench suite.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 import pytest
@@ -50,3 +51,26 @@ def test_figure8_slice_matches_golden():
         assert dram_read_ratio(bv, base) == pytest.approx(golden_reads, rel=1e-9), (
             f"{trace_name}: DRAM read ratio drifted from the committed golden value"
         )
+
+
+def test_figure8_slice_identical_at_jobs1_and_jobs4():
+    """The optimized engine under the parallel sweep must reproduce the
+    golden slice byte-for-byte at both --jobs 1 and --jobs 4: every
+    RunResult field and every serialised obs counter, not just the
+    ratios the fixture commits."""
+    golden = load_golden()
+    serial = ExperimentRunner(BENCH, use_disk_cache=False, jobs=1)
+    parallel = ExperimentRunner(BENCH, use_disk_cache=False, jobs=4)
+    for trace_name, (golden_ipc, _) in sorted(golden.items()):
+        pairs = {}
+        for label, runner in (("jobs1", serial), ("jobs4", parallel)):
+            base = runner.run_single(BASELINE_2MB, trace_name)
+            bv = runner.run_single(BASE_VICTIM_2MB, trace_name)
+            assert ipc_ratio(bv, base) == pytest.approx(golden_ipc, rel=1e-9)
+            pairs[label] = (base, bv)
+        for serial_run, parallel_run in zip(pairs["jobs1"], pairs["jobs4"]):
+            assert json.dumps(
+                serial_run.to_dict(), sort_keys=True
+            ) == json.dumps(parallel_run.to_dict(), sort_keys=True), (
+                f"{trace_name}: jobs=4 run drifted from jobs=1"
+            )
