@@ -54,6 +54,7 @@ class CAMPPolicy(ReplacementPolicy):
         self._psel = _PSEL_INIT
 
     def make_set_state(self, ways: int, set_index: int) -> _CAMPState:
+        """Create fresh per-set replacement state."""
         phase = set_index % _DUEL_PERIOD
         leader = 1 if phase == 0 else (-1 if phase == 1 else 0)
         return _CAMPState(ways, leader)
@@ -66,14 +67,17 @@ class CAMPPolicy(ReplacementPolicy):
         return self._psel > _PSEL_INIT
 
     def on_hit(self, state: _CAMPState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.rrpv[way] = 0
 
     def on_fill(self, state: _CAMPState, way: int) -> None:
+        """Update replacement state after a fill."""
         self.on_fill_sized(state, way, None)
 
     def on_fill_sized(
         self, state: _CAMPState, way: int, size_segments: int | None
     ) -> None:
+        """Update replacement state after a size-aware fill."""
         if state.leader == 1 and self._psel < _PSEL_MAX:
             self._psel += 1
         elif state.leader == -1 and self._psel > 0:
@@ -89,6 +93,7 @@ class CAMPPolicy(ReplacementPolicy):
             state.rrpv[way] = _RRPV_LONG
 
     def choose_victim(self, state: _CAMPState) -> int:
+        """Pick the way to evict for the next fill."""
         rrpv = state.rrpv
         while True:
             for way, value in enumerate(rrpv):
@@ -98,6 +103,7 @@ class CAMPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def eligible_victims(self, state: _CAMPState) -> list[int]:
+        """Ways ordered most-evictable first."""
         rrpv = state.rrpv
         while True:
             tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
@@ -107,9 +113,11 @@ class CAMPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def on_invalidate(self, state: _CAMPState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.rrpv[way] = _RRPV_MAX
 
     def on_hint(self, state: _CAMPState, way: int) -> None:
+        """Apply an architecture-supplied priority hint."""
         state.rrpv[way] = _RRPV_MAX
 
     @property

@@ -51,6 +51,7 @@ class CharPolicy(ReplacementPolicy):
         self._psel = _PSEL_INIT
 
     def make_set_state(self, ways: int, set_index: int) -> _CharState:
+        """Create fresh per-set replacement state."""
         phase = set_index % _DUEL_PERIOD
         if phase == 0:
             leader = 1
@@ -69,10 +70,12 @@ class CharPolicy(ReplacementPolicy):
         return self._psel <= _PSEL_INIT
 
     def on_hit(self, state: _CharState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.referenced[way] = True
 
     def on_fill(self, state: _CharState, way: int) -> None:
         # A fill means this set missed: charge the leader responsible.
+        """Update replacement state after a fill."""
         if state.leader == 1 and self._psel < _PSEL_MAX:
             self._psel += 1
         elif state.leader == -1 and self._psel > 0:
@@ -80,6 +83,7 @@ class CharPolicy(ReplacementPolicy):
         state.referenced[way] = self._insert_referenced(state)
 
     def choose_victim(self, state: _CharState) -> int:
+        """Pick the way to evict for the next fill."""
         referenced = state.referenced
         ways = len(referenced)
         for offset in range(ways):
@@ -94,6 +98,7 @@ class CharPolicy(ReplacementPolicy):
         return victim
 
     def eligible_victims(self, state: _CharState) -> list[int]:
+        """Ways ordered most-evictable first."""
         referenced = state.referenced
         ways = len(referenced)
         tier = [way for way in range(ways) if not referenced[way]]
@@ -104,6 +109,7 @@ class CharPolicy(ReplacementPolicy):
         return list(range(ways))
 
     def on_invalidate(self, state: _CharState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.referenced[way] = False
 
     def on_hint(self, state: _CharState, way: int) -> None:

@@ -43,6 +43,7 @@ class DRRIPPolicy(ReplacementPolicy):
         self._rng = DeterministicRandom(seed)
 
     def make_set_state(self, ways: int, set_index: int) -> _DRRIPState:
+        """Create fresh per-set replacement state."""
         phase = set_index % _DUEL_PERIOD
         leader = 1 if phase == 0 else (-1 if phase == 1 else 0)
         return _DRRIPState(ways, leader)
@@ -55,10 +56,12 @@ class DRRIPPolicy(ReplacementPolicy):
         return self._psel > _PSEL_INIT
 
     def on_hit(self, state: _DRRIPState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.rrpv[way] = 0
 
     def on_fill(self, state: _DRRIPState, way: int) -> None:
         # Leader-set misses steer PSEL: an SRRIP-leader miss votes BRRIP.
+        """Update replacement state after a fill."""
         if state.leader == 1 and self._psel < _PSEL_MAX:
             self._psel += 1
         elif state.leader == -1 and self._psel > 0:
@@ -70,6 +73,7 @@ class DRRIPPolicy(ReplacementPolicy):
             state.rrpv[way] = _RRPV_LONG
 
     def choose_victim(self, state: _DRRIPState) -> int:
+        """Pick the way to evict for the next fill."""
         rrpv = state.rrpv
         while True:
             for way, value in enumerate(rrpv):
@@ -79,6 +83,7 @@ class DRRIPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def eligible_victims(self, state: _DRRIPState) -> list[int]:
+        """Ways ordered most-evictable first."""
         rrpv = state.rrpv
         while True:
             tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
@@ -88,9 +93,11 @@ class DRRIPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def on_invalidate(self, state: _DRRIPState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.rrpv[way] = _RRPV_MAX
 
     def on_hint(self, state: _DRRIPState, way: int) -> None:
+        """Apply an architecture-supplied priority hint."""
         state.rrpv[way] = _RRPV_MAX
 
     @property

@@ -26,21 +26,25 @@ class LRUPolicy(ReplacementPolicy):
     metadata_bits = 4
 
     def make_set_state(self, ways: int, set_index: int) -> _LRUState:
+        """Create fresh per-set replacement state."""
         return _LRUState(ways)
 
     # on_hit/on_fill are the single hottest policy calls in a run, so the
     # touch is written out in both rather than shared through a helper.
     def on_hit(self, state: _LRUState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.clock += 1
         state.stamps[way] = state.clock
 
     def on_fill(self, state: _LRUState, way: int) -> None:
+        """Update replacement state after a fill."""
         state.clock += 1
         state.stamps[way] = state.clock
 
     def choose_victim(self, state: _LRUState) -> int:
         # index(min(...)) returns the first way holding the lowest stamp —
         # the same victim as a first-wins linear scan, at C speed.
+        """Pick the way to evict for the next fill."""
         stamps = state.stamps
         return stamps.index(min(stamps))
 
@@ -50,6 +54,7 @@ class LRUPolicy(ReplacementPolicy):
         return order[: max(1, len(order) // 2)]
 
     def on_invalidate(self, state: _LRUState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.stamps[way] = 0
 
     def stack_order(self, state: _LRUState) -> list[int]:

@@ -27,18 +27,22 @@ class NRUPolicy(ReplacementPolicy):
     metadata_bits = 1
 
     def make_set_state(self, ways: int, set_index: int) -> _NRUState:
+        """Create fresh per-set replacement state."""
         return _NRUState(ways)
 
     def on_hit(self, state: _NRUState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.referenced[way] = True
 
     def on_fill(self, state: _NRUState, way: int) -> None:
+        """Update replacement state after a fill."""
         state.referenced[way] = True
 
     def choose_victim(self, state: _NRUState) -> int:
         # Equivalent to scanning offsets 0..ways-1 from the hand (mod
         # ways) for the first clear bit, but with C-speed index() calls:
         # first the [hand:] segment, then the wrapped [:hand] prefix.
+        """Pick the way to evict for the next fill."""
         referenced = state.referenced
         ways = len(referenced)
         hand = state.hand
@@ -56,6 +60,7 @@ class NRUPolicy(ReplacementPolicy):
         return victim
 
     def eligible_victims(self, state: _NRUState) -> list[int]:
+        """Ways ordered most-evictable first."""
         referenced = state.referenced
         ways = len(referenced)
         tier = [
@@ -71,6 +76,7 @@ class NRUPolicy(ReplacementPolicy):
         return [(state.hand + offset) % ways for offset in range(ways)]
 
     def on_invalidate(self, state: _NRUState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.referenced[way] = False
 
     def on_hint(self, state: _NRUState, way: int) -> None:

@@ -22,15 +22,19 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = DeterministicRandom(seed)
 
     def make_set_state(self, ways: int, set_index: int) -> _RandomState:
+        """Create fresh per-set replacement state."""
         return _RandomState(ways)
 
     def on_hit(self, state: _RandomState, way: int) -> None:
+        """Update replacement state after a hit."""
         pass
 
     def on_fill(self, state: _RandomState, way: int) -> None:
+        """Update replacement state after a fill."""
         pass
 
     def choose_victim(self, state: _RandomState) -> int:
+        """Pick the way to evict for the next fill."""
         return self._rng.below(state.ways)
 
     def eligible_victims(self, state: _RandomState) -> list[int]:

@@ -33,15 +33,19 @@ class SRRIPPolicy(ReplacementPolicy):
     metadata_bits = _RRPV_BITS
 
     def make_set_state(self, ways: int, set_index: int) -> _SRRIPState:
+        """Create fresh per-set replacement state."""
         return _SRRIPState(ways)
 
     def on_hit(self, state: _SRRIPState, way: int) -> None:
+        """Update replacement state after a hit."""
         state.rrpv[way] = 0
 
     def on_fill(self, state: _SRRIPState, way: int) -> None:
+        """Update replacement state after a fill."""
         state.rrpv[way] = _RRPV_LONG
 
     def choose_victim(self, state: _SRRIPState) -> int:
+        """Pick the way to evict for the next fill."""
         rrpv = state.rrpv
         while True:
             for way, value in enumerate(rrpv):
@@ -51,6 +55,7 @@ class SRRIPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def eligible_victims(self, state: _SRRIPState) -> list[int]:
+        """Ways ordered most-evictable first."""
         rrpv = state.rrpv
         while True:
             tier = [way for way, value in enumerate(rrpv) if value >= _RRPV_MAX]
@@ -60,6 +65,7 @@ class SRRIPPolicy(ReplacementPolicy):
                 rrpv[way] += 1
 
     def on_invalidate(self, state: _SRRIPState, way: int) -> None:
+        """Clear replacement state for an invalidated way."""
         state.rrpv[way] = _RRPV_MAX
 
     def on_hint(self, state: _SRRIPState, way: int) -> None:

@@ -77,6 +77,7 @@ class ECMVictimPolicy(VictimInsertionPolicy):
         # list+max+key-tuple allocations.  Same choice as
         # max(pool, key=lambda c: (c.base_size, -c.way)) over the free
         # pool (falling back to all candidates when none are free).
+        """Pick which victim-cache line to evict."""
         best_way = -1
         best_size = -1
         for c in candidates:
@@ -105,6 +106,7 @@ class ECMStrictVictimPolicy(VictimInsertionPolicy):
     name = "ecm-strict"
 
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        """Pick which victim-cache line to evict."""
         best = max(candidates, key=lambda c: (c.base_size, -c.way))
         return best.way
 
@@ -118,6 +120,7 @@ class RandomVictimPolicy(VictimInsertionPolicy):
         self._rng = DeterministicRandom(seed)
 
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        """Pick which victim-cache line to evict."""
         return candidates[self._rng.below(len(candidates))].way
 
 
@@ -131,6 +134,7 @@ class LRUVictimPolicy(VictimInsertionPolicy):
     name = "lru"
 
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        """Pick which victim-cache line to evict."""
         best = min(
             candidates,
             key=lambda c: (c.victim_stamp if c.occupied else -1, c.way),
@@ -149,6 +153,7 @@ class MixVictimPolicy(VictimInsertionPolicy):
     name = "mix"
 
     def choose(self, candidates: Sequence[VictimCandidate]) -> int:
+        """Pick which victim-cache line to evict."""
         free = [c for c in candidates if not c.occupied]
         if free:
             return max(free, key=lambda c: (c.base_size, -c.way)).way

@@ -9,6 +9,7 @@ Exposes the paper's experiments and some exploration helpers::
     repro stats --trace mcf.1 --trace lbm.1 [--json] [--trace-events]
     repro area
     repro export --csv fig8.csv
+    repro sweep [--resume] [--strict] [--retries 2] [--job-timeout 60]
     repro perf [--repeats 3] [--output BENCH_PERF.json]
 
 The figure/table benches proper live in ``benchmarks/`` and run through
@@ -41,6 +42,7 @@ from repro.sim.config import (
 from repro.sim.experiment import ExperimentRunner
 from repro.sim.metrics import dram_read_ratio, ipc_ratio
 from repro.sim.parallel import JOBS_ENV
+from repro.sim.retry import JOB_TIMEOUT_ENV, RETRIES_ENV, SweepFailedError
 from repro.workloads.suite import all_specs, sensitive_specs
 
 _ARCH_CHOICES = (
@@ -101,10 +103,17 @@ def _progress_line(done: int, total: int, key: str) -> None:
         print(file=sys.stderr)
 
 
-def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
-    """Build a runner honouring --jobs / $REPRO_JOBS, with progress."""
+def _runner_from_args(
+    args: argparse.Namespace, strict: bool = True
+) -> ExperimentRunner:
+    """Build a runner honouring --jobs/--retries/--job-timeout and envs."""
     return ExperimentRunner(
-        PRESETS[args.preset], jobs=args.jobs, progress=_progress_line
+        PRESETS[args.preset],
+        jobs=args.jobs,
+        progress=_progress_line,
+        retries=getattr(args, "retries", None),
+        job_timeout=getattr(args, "job_timeout", None),
+        strict=strict,
     )
 
 
@@ -196,6 +205,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 # Wall time is process-local and non-deterministic; it is
                 # reported here but never enters the result cache.
                 "timers": registry.timers,
+                # Cache health: corrupt JSONL lines skipped by the
+                # tolerant loader — silent data loss made visible.
+                "cache": {"corrupt_lines_skipped": runner.corrupt_lines_skipped},
             }
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
@@ -204,6 +216,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(observability_summary(merged))
         print()
+        print(f"corrupt cache lines skipped: {runner.corrupt_lines_skipped}")
         print("wall time by phase:")
     for name, seconds in registry.timers.items():
         print(f"  {name:16s} {seconds:8.3f}s")
@@ -240,6 +253,64 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Fault-tolerant Figure-8-style sweep with checkpoint/resume reporting.
+
+    Runs (baseline, base-victim) x traces through the cached runner in
+    graceful-degradation mode: transient worker failures retry, crashed
+    workers are recovered, and cells that exhaust their retries are
+    reported as a failed-cell table instead of aborting the sweep.
+    ``--resume`` additionally salvages shard files left by a killed
+    sweep and reports exactly which cells were recovered vs recomputed;
+    ``--strict`` turns any failed cell into a nonzero exit.
+    """
+    from repro.sim.report import failed_cells_table, sweep_health_summary
+
+    runner = _runner_from_args(args, strict=False)
+    salvaged = runner.resume_orphan_shards() if args.resume else []
+    if args.traces:
+        names = args.traces
+    else:
+        specs = all_specs() if args.all_traces else sensitive_specs()
+        names = [spec.name for spec in specs]
+    machines = [BASELINE_2MB, BASE_VICTIM_2MB]
+    cells = [(machine, name) for machine in machines for name in names]
+    cached = [
+        f"{machine.label}|{name}"
+        for machine, name in cells
+        if runner.has_cached(machine, name)
+    ]
+    recomputed = [
+        f"{machine.label}|{name}"
+        for machine, name in cells
+        if not runner.has_cached(machine, name)
+    ]
+    simulated = runner.prewarm(cells)
+    failures = runner.failed_cells
+
+    print(
+        f"sweep: {len(cells)} cells ({len(names)} traces x "
+        f"{len(machines)} machines), preset={args.preset}, jobs={runner.jobs}"
+    )
+    print(f"  recovered from cache: {len(cached)} cells")
+    if args.resume:
+        print(f"    salvaged from orphan shards: {len(salvaged)} cells")
+        for key in salvaged:
+            print(f"      salvaged   {key}")
+    print(f"  recomputed: {simulated} cells")
+    if args.resume:
+        for cell in recomputed:
+            print(f"      recomputed {cell}")
+    print(f"  failed: {len(failures)} cells")
+    print("  " + sweep_health_summary(runner.registry.as_dict()))
+    if failures:
+        print()
+        print(failed_cells_table(failures))
+        if args.strict:
+            return 1
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     """Measure single-worker engine throughput (see repro.sim.perfbench)."""
     from repro.sim.perfbench import run
@@ -259,6 +330,7 @@ def _cmd_area(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Base-Victim compressed cache reproduction (ISCA 2016)",
@@ -328,10 +400,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--all-traces", action="store_true")
     p_export.add_argument("--csv", help="CSV output path")
     _add_jobs_argument(p_export)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant (machine x trace) sweep with checkpoint/resume",
+    )
+    p_sweep.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+    p_sweep.add_argument(
+        "--trace",
+        action="append",
+        dest="traces",
+        metavar="NAME",
+        help="trace subset (repeatable; default: the cache-sensitive suite)",
+    )
+    p_sweep.add_argument("--all-traces", action="store_true")
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="salvage shards left by a killed sweep; report recovered vs "
+        "recomputed cells",
+    )
+    p_sweep.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any cell failed after exhausting retries",
+    )
+    _add_jobs_argument(p_sweep)
     return parser
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep-execution flags (--jobs/--retries/--job-timeout)."""
     parser.add_argument(
         "--jobs",
         type=int,
@@ -342,9 +441,30 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             f"default ${JOBS_ENV} or 1)"
         ),
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts per sweep job after a failure or timeout "
+            f"(default ${RETRIES_ENV} or 0)"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-attempt watchdog; a hung job fails and retries "
+            f"(default ${JOB_TIMEOUT_ENV} or no timeout)"
+        ),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {
         "list-experiments": _cmd_list_experiments,
@@ -355,12 +475,16 @@ def main(argv: list[str] | None = None) -> int:
         "area": _cmd_area,
         "perf": _cmd_perf,
         "export": _cmd_export,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)
     except ValueError as exc:  # e.g. a malformed $REPRO_JOBS
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except SweepFailedError as exc:  # strict-mode sweep with failed cells
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -76,6 +76,7 @@ class BDICompressor(CompressionAlgorithm):
     decompression_cycles = 2
 
     def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line of raw bytes."""
         self._check_line(data)
         data = bytes(data)
 
@@ -144,6 +145,7 @@ class BDICompressor(CompressionAlgorithm):
         return CompressedBlock(self.name, encoding, size, payload)
 
     def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line bytes."""
         if block.algorithm != self.name:
             raise CompressionError(
                 f"block was produced by {block.algorithm!r}, not {self.name!r}"

@@ -42,6 +42,7 @@ class CPackCompressor(CompressionAlgorithm):
     decompression_cycles = 8
 
     def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line of raw bytes."""
         self._check_line(data)
         data = bytes(data)
         words = [
@@ -101,6 +102,7 @@ class CPackCompressor(CompressionAlgorithm):
         return "verbatim", word, 2 + 32
 
     def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line bytes."""
         if block.algorithm != self.name:
             raise CompressionError(
                 f"block was produced by {block.algorithm!r}, not {self.name!r}"

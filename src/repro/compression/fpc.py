@@ -76,6 +76,7 @@ class FPCCompressor(CompressionAlgorithm):
     decompression_cycles = 5
 
     def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line of raw bytes."""
         self._check_line(data)
         data = bytes(data)
         words = [
@@ -112,6 +113,7 @@ class FPCCompressor(CompressionAlgorithm):
         return CompressedBlock(self.name, "fpc", size, tuple(entries))
 
     def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line bytes."""
         if block.algorithm != self.name:
             raise CompressionError(
                 f"block was produced by {block.algorithm!r}, not {self.name!r}"

@@ -118,6 +118,7 @@ class SC2Compressor(CompressionAlgorithm):
     # ------------------------------------------------------------------
 
     def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line of raw bytes."""
         self._check_line(data)
         data = bytes(data)
         words = [
@@ -138,6 +139,7 @@ class SC2Compressor(CompressionAlgorithm):
         return CompressedBlock(self.name, encoding, size, tuple(words))
 
     def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line bytes."""
         if block.algorithm != self.name:
             raise CompressionError(
                 f"block was produced by {block.algorithm!r}, not {self.name!r}"

@@ -23,12 +23,14 @@ class ZeroContentCompressor(CompressionAlgorithm):
     decompression_cycles = 0
 
     def compress(self, data: bytes) -> CompressedBlock:
+        """Compress one cache line of raw bytes."""
         self._check_line(data)
         if bytes(data) == b"\x00" * self.line_size:
             return CompressedBlock(self.name, "zeros", 1, None)
         return self._uncompressed(bytes(data))
 
     def decompress(self, block: CompressedBlock) -> bytes:
+        """Reconstruct the original line bytes."""
         if block.algorithm != self.name:
             raise CompressionError(
                 f"block was produced by {block.algorithm!r}, not {self.name!r}"

@@ -159,6 +159,7 @@ class BaseVictimLLC(LLCArchitecture):
     # ------------------------------------------------------------------
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         if not 0 <= size_segments <= self.segments_per_line:
             raise ValueError(
                 f"size_segments {size_segments} out of range "
@@ -492,6 +493,7 @@ class BaseVictimLLC(LLCArchitecture):
     # ------------------------------------------------------------------
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         cset = self._sets[addr & self._set_mask]
         return addr in cset.base_lookup or addr in cset.vict_lookup
 
@@ -504,6 +506,7 @@ class BaseVictimLLC(LLCArchitecture):
         return addr in self._sets[addr & self._set_mask].vict_lookup
 
     def hint_downgrade(self, addr: int) -> None:
+        """Downgrade the line's replacement priority if resident."""
         cset = self._sets[addr & self._set_mask]
         way = cset.base_lookup.get(addr)
         if way is not None:
@@ -532,6 +535,7 @@ class BaseVictimLLC(LLCArchitecture):
         ]
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return sum(
             len(cset.base_lookup) + len(cset.vict_lookup) for cset in self._sets
         )

@@ -52,6 +52,7 @@ class _SuperBlock:
 
     @property
     def used_segments(self) -> int:
+        """Data segments consumed by the super-block's lines."""
         return sum(size for size, _ in self.lines.values())
 
 
@@ -91,6 +92,7 @@ class DCCFunctionalLLC(LLCArchitecture):
         return addr // LINES_PER_SUPERBLOCK, addr % LINES_PER_SUPERBLOCK
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         if not 0 <= size_segments <= self.segments_per_line:
             raise ValueError(
                 f"size_segments {size_segments} out of range "
@@ -194,11 +196,13 @@ class DCCFunctionalLLC(LLCArchitecture):
             )
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         sb_addr, offset = self._split(addr)
         block = self._sets[sb_addr & self._set_mask].get(sb_addr)
         return block is not None and offset in block.lines
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return sum(
             len(block.lines) for cset in self._sets for block in cset.values()
         )

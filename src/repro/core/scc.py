@@ -54,6 +54,7 @@ class _PhysicalLine:
 
     @property
     def capacity(self) -> int:
+        """Lines one physical way holds at this compression class."""
         return 16 // self.cls
 
 
@@ -89,6 +90,7 @@ class SCCFunctionalLLC(LLCArchitecture):
         self.stat_writeback_misses = 0
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         if not 0 <= size_segments <= self.segments_per_line:
             raise ValueError(
                 f"size_segments {size_segments} out of range "
@@ -180,9 +182,11 @@ class SCCFunctionalLLC(LLCArchitecture):
             result.invalidates.append((line_addr, dirty))
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         return addr in self._where
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return len(self._where)
 
     def check_invariants(self) -> None:

@@ -91,6 +91,7 @@ class TwoTagLLC(LLCArchitecture):
         return slot - ways if slot >= ways else slot + ways
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         if not 0 <= size_segments <= self.segments_per_line:
             raise ValueError(
                 f"size_segments {size_segments} out of range "
@@ -256,15 +257,18 @@ class TwoTagLLC(LLCArchitecture):
         return 0 < size_segments < self.segments_per_line
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         return addr in self._sets[addr & self._set_mask].lookup
 
     def hint_downgrade(self, addr: int) -> None:
+        """Downgrade the line's replacement priority if resident."""
         cset = self._sets[addr & self._set_mask]
         slot = cset.lookup.get(addr)
         if slot is not None:
             self.policy.on_hint(cset.policy_state, slot)
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return sum(len(cset.lookup) for cset in self._sets)
 
     def check_invariants(self) -> None:

@@ -36,6 +36,7 @@ class UncompressedLLC(LLCArchitecture):
         self.stat_writeback_misses = 0
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         result = LLCAccessResult()
         cache = self._cache
         # cache.probe, inlined around a single set lookup shared by every
@@ -135,12 +136,14 @@ class UncompressedLLC(LLCArchitecture):
         return result
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         cache = self._cache
         return addr in cache._sets[addr & cache._set_mask].lookup
 
     def hint_downgrade(self, addr: int) -> None:
         # Inlined cache.hint_downgrade to skip the extra call layer on
         # the clean-L2-eviction path.
+        """Downgrade the line's replacement priority if resident."""
         cache = self._cache
         cset = cache._sets[addr & cache._set_mask]
         way = cset.lookup.get(addr)
@@ -151,6 +154,7 @@ class UncompressedLLC(LLCArchitecture):
                 cache.policy.on_hint(cset.policy_state, way)
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return self._cache.occupancy()
 
     @property

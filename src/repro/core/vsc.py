@@ -65,6 +65,7 @@ class VSCFunctionalLLC(LLCArchitecture):
         self.stat_writeback_misses = 0
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
+        """Service one access against this LLC architecture."""
         if not 0 <= size_segments <= self.segments_per_line:
             raise ValueError(
                 f"size_segments {size_segments} out of range "
@@ -145,9 +146,11 @@ class VSCFunctionalLLC(LLCArchitecture):
             result.invalidates.append((old_addr, old_line.dirty))
 
     def contains(self, addr: int) -> bool:
+        """Return whether the address's line is resident."""
         return addr in self._sets[addr & self._set_mask]
 
     def resident_logical_lines(self) -> int:
+        """Count of logical lines currently resident."""
         return sum(len(cset) for cset in self._sets)
 
     def check_invariants(self) -> None:

@@ -34,14 +34,17 @@ class DRAMTimings:
 
     @property
     def row_hit_cycles(self) -> int:
+        """DRAM cycles for an access that hits the open row."""
         return self.tCL
 
     @property
     def row_empty_cycles(self) -> int:
+        """DRAM cycles for an access to a precharged bank."""
         return self.tRCD + self.tCL
 
     @property
     def row_conflict_cycles(self) -> int:
+        """DRAM cycles for an access that closes and reopens a row."""
         return self.tRP + self.tRCD + self.tCL
 
 

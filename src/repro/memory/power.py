@@ -47,6 +47,7 @@ class DRAMEnergyBreakdown:
 
     @property
     def total_j(self) -> float:
+        """Total energy in joules across all components."""
         return self.activate_j + self.read_j + self.write_j + self.background_j
 
 

@@ -43,9 +43,11 @@ class Counter:
         self.value = 0
 
     def add(self, amount: int = 1) -> None:
+        """Add ``amount`` to the counter."""
         self.value += amount
 
     def as_dict(self) -> dict:
+        """Serialisable (JSON-safe) representation."""
         return {"kind": self.kind, "value": self.value}
 
 
@@ -59,15 +61,18 @@ class Histogram:
         self.buckets: dict[int, int] = {}
 
     def observe(self, value: int, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
         self.buckets[value] = self.buckets.get(value, 0) + count
 
     @property
     def total(self) -> int:
+        """Total samples recorded across all buckets."""
         return sum(self.buckets.values())
 
     def as_dict(self) -> dict:
         # JSON objects key on strings; sort numerically so the
         # serialised form is canonical regardless of insertion order.
+        """Serialisable (JSON-safe) representation."""
         return {
             "kind": self.kind,
             "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
@@ -92,6 +97,7 @@ class Timer:
         self.seconds += time.perf_counter() - self._started
 
     def as_dict(self) -> dict:
+        """Serialisable (JSON-safe) representation."""
         return {"kind": self.kind, "seconds": self.seconds}
 
 
@@ -113,12 +119,15 @@ class CounterRegistry:
         return metric
 
     def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
         return self._get(name, Counter)  # type: ignore[return-value]
 
     def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
         return self._get(name, Histogram)  # type: ignore[return-value]
 
     def timer(self, name: str) -> Timer:
+        """Get or create the named timer."""
         return self._get(name, Timer)  # type: ignore[return-value]
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -164,21 +173,27 @@ class ScopedRegistry:
         return f"{self._prefix}/{name}"
 
     def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
         return self._registry.counter(self._name(name))
 
     def histogram(self, name: str) -> Histogram:
+        """Get or create the named histogram."""
         return self._registry.histogram(self._name(name))
 
     def timer(self, name: str) -> Timer:
+        """Get or create the named timer."""
         return self._registry.timer(self._name(name))
 
     def inc(self, name: str, amount: int = 1) -> None:
+        """Bump the named counter."""
         self._registry.inc(self._name(name), amount)
 
     def observe(self, name: str, value: int, count: int = 1) -> None:
+        """Record ``count`` samples of ``value``."""
         self._registry.observe(self._name(name), value, count)
 
     def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A registry view nested one prefix deeper."""
         return ScopedRegistry(self._registry, self._name(prefix))
 
 

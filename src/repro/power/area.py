@@ -50,6 +50,7 @@ class AreaReport:
 
     @property
     def total_overhead(self) -> float:
+        """Combined area overhead as a fraction of the baseline LLC."""
         return self.tag_metadata_overhead + self.compression_logic_overhead
 
 

@@ -54,6 +54,7 @@ class EnergyReport:
 
     @property
     def total_j(self) -> float:
+        """Total energy in joules across all components."""
         return (
             self.tag_j
             + self.data_read_j

@@ -13,6 +13,19 @@ per-worker result shards back into the main cache file.  ``jobs=1``
 preserves the strictly serial path, and both paths produce bit-identical
 results and cache files (enforced by ``tests/sim/test_parallel.py``).
 
+Sweeps are *fault tolerant*: per-job retries/timeouts come from a
+:class:`~repro.sim.retry.RetryPolicy` (``retries=``/``job_timeout=``
+arguments, ``$REPRO_RETRIES``/``$REPRO_JOB_TIMEOUT`` environment
+fallbacks), crashed workers are recovered by the sweep engine, and jobs
+that exhaust their retries become :class:`~repro.sim.retry.FailedCell`
+records — raised as one :class:`~repro.sim.retry.SweepFailedError` in
+``strict`` mode (the default, preserving library fail-fast semantics)
+or accumulated on :attr:`ExperimentRunner.failed_cells` otherwise.
+Sweep-level health counters (``sweep/retries``, ``sweep/failures``,
+``sweep/recovered_workers``…) are published to
+:attr:`ExperimentRunner.registry`; they are process-local and never
+enter the result cache.
+
 Results are invalidated by bumping :data:`CACHE_VERSION` whenever the
 simulator's behaviour changes.
 """
@@ -23,17 +36,26 @@ import os
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.obs.registry import CounterRegistry
 from repro.sim.config import MachineConfig, Preset
 from repro.sim.multi_core import MixRunResult, simulate_mix
 from repro.sim.parallel import (
     MIX,
     SINGLE,
     SweepJob,
+    SweepOutcome,
+    execute_job,
     resolve_jobs,
     run_sweep,
-    simulate_job,
 )
-from repro.sim.resultcache import encode_entry, load_cache_entries
+from repro.sim.resultcache import (
+    append_cache_entries,
+    corrupt_line_count,
+    encode_entry,
+    iter_cache_entries,
+    load_cache_entries,
+)
+from repro.sim.retry import FailedCell, RetryPolicy, SweepFailedError
 from repro.sim.single_core import RunResult, simulate_trace
 from repro.workloads.mixes import MixSpec
 from repro.workloads.suite import SUITE_VERSION, TraceSuite
@@ -55,6 +77,30 @@ def default_cache_dir() -> Path:
     return Path.cwd() / ".repro_cache"
 
 
+def _owner_is_alive(shard_dir: Path) -> bool:
+    """Whether the process that owns ``<stem>.shards-<pid>`` still runs.
+
+    Shard directories encode their sweep's parent pid; one from a live
+    process (including ours) belongs to an in-flight sweep and must not
+    be salvaged.  An unparseable suffix is treated as dead — better to
+    salvage a stray directory than to leak results forever.
+    """
+    suffix = shard_dir.name.rsplit("-", 1)[-1]
+    try:
+        pid = int(suffix)
+    except ValueError:
+        return False
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
 class ExperimentRunner:
     """Caches single-trace and mix runs for one preset.
 
@@ -65,6 +111,15 @@ class ExperimentRunner:
 
     ``cache_hits`` / ``cache_misses`` count, per requested run, whether
     it was served from the (memory or disk) cache or had to be simulated.
+
+    ``retries`` / ``job_timeout`` configure the per-job
+    :class:`~repro.sim.retry.RetryPolicy` (``None`` defers to
+    ``$REPRO_RETRIES`` / ``$REPRO_JOB_TIMEOUT``; defaults: no retries,
+    no timeout).  With ``strict=True`` (default) a sweep whose jobs
+    exhaust their retries raises :class:`~repro.sim.retry
+    .SweepFailedError` after caching every successful cell; with
+    ``strict=False`` failures accumulate on ``failed_cells`` and the
+    sweep completes — the CLI's graceful-degradation mode.
     """
 
     def __init__(
@@ -74,14 +129,25 @@ class ExperimentRunner:
         use_disk_cache: bool = True,
         jobs: int | None = None,
         progress=None,
+        retries: int | None = None,
+        job_timeout: float | None = None,
+        strict: bool = True,
     ) -> None:
         self.preset = preset
         self.suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
         self.use_disk_cache = use_disk_cache
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
+        self.fault_policy = RetryPolicy.from_env(retries, job_timeout)
+        self.strict = strict
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Jobs that exhausted their retry budget (strict=False mode).
+        self.failed_cells: list[FailedCell] = []
+        #: Process-local sweep health counters (``sweep/*``); never cached.
+        self.registry = CounterRegistry()
+        #: Corrupt JSONL lines skipped while loading this runner's cache.
+        self.corrupt_lines_skipped = 0
         self._memory: dict[str, dict] = {}
         self._cache_path: Path | None = None
         if use_disk_cache:
@@ -99,7 +165,52 @@ class ExperimentRunner:
             return
         # Tolerant load: lines torn by an interrupted worker are skipped
         # (with a CorruptCacheLineWarning) instead of poisoning the cache.
+        before = corrupt_line_count(self._cache_path)
         self._memory.update(load_cache_entries(self._cache_path))
+        skipped = corrupt_line_count(self._cache_path) - before
+        if skipped:
+            self.corrupt_lines_skipped += skipped
+            self.registry.inc("sweep/corrupt_lines", skipped)
+
+    def resume_orphan_shards(self) -> list[str]:
+        """Salvage shard files a killed sweep left behind; returns their keys.
+
+        A parent SIGKILLed mid-sweep never reaches the shard merge, so
+        completed cells survive only in ``<cache>.shards-<pid>/`` files.
+        This folds every entry from shard directories whose owning
+        process is dead into the cache (memory and disk), deletes the
+        directories, and reports the recovered keys — the
+        ``repro sweep --resume`` path.  Entries already cached are not
+        duplicated.
+        """
+        if self._cache_path is None:
+            return []
+        recovered: dict[str, dict] = {}
+        orphans: list[Path] = []
+        pattern = f"{self._cache_path.stem}.shards-*"
+        for shard_dir in sorted(self._cache_path.parent.glob(pattern)):
+            if _owner_is_alive(shard_dir):
+                continue  # an in-flight sweep owns it; not ours to touch
+            orphans.append(shard_dir)
+            for shard in sorted(shard_dir.glob("shard-*.jsonl")):
+                for key, result in iter_cache_entries(shard):
+                    if key not in self._memory and key not in recovered:
+                        recovered[key] = result
+        if recovered:
+            append_cache_entries(self._cache_path, recovered.items())
+            self._memory.update(recovered)
+            self.registry.inc("sweep/resumed_cells", len(recovered))
+        for shard_dir in orphans:
+            for shard in shard_dir.glob("shard-*.jsonl"):
+                try:
+                    shard.unlink()
+                except OSError:
+                    pass
+            try:
+                shard_dir.rmdir()
+            except OSError:
+                pass
+        return sorted(recovered)
 
     def _store(self, key: str, result: dict) -> None:
         self._memory[key] = result
@@ -133,12 +244,19 @@ class ExperimentRunner:
         Pending jobs enter the cache (memory and disk) in request order
         either way, so serial and parallel sweeps produce byte-identical
         cache files.
+
+        Jobs that exhaust their retry budget are excluded from the
+        returned count; in strict mode they raise
+        :class:`~repro.sim.retry.SweepFailedError` (after every
+        successful cell is cached), otherwise they land on
+        ``failed_cells`` and the corresponding runs stay uncached.
         """
         length = self.preset.trace_length
         pending: list[SweepJob] = []
         seen: set[str] = set()
 
         def consider(key: str, job: SweepJob) -> None:
+            """Queue the cell unless memory, disk or this batch has it."""
             if key in self._memory or key in seen:
                 self.cache_hits += 1
                 return
@@ -159,24 +277,60 @@ class ExperimentRunner:
             return 0
         self.cache_misses += len(pending)
         if self.jobs > 1 and len(pending) > 1:
-            results = run_sweep(
+            outcome = run_sweep(
                 self.preset,
                 pending,
                 jobs=self.jobs,
                 cache_path=self._cache_path,
                 progress=self.progress,
+                policy=self.fault_policy,
             )
-            for job, result in zip(pending, results):
-                self._memory[job.key] = result
+            for job, result in zip(pending, outcome.results):
+                if result is not None:
+                    self._memory[job.key] = result
         else:
-            for job in pending:
-                self._store(job.key, simulate_job(job, self.preset, self.suite))
-        return len(pending)
+            # Serial path: same execution primitive (retries, watchdog,
+            # fault hooks) as the workers, one job at a time.
+            outcome = SweepOutcome(results=[None] * len(pending))
+            for index, job in enumerate(pending):
+                job_outcome = execute_job(
+                    index, job, self.preset, self.suite, self.fault_policy
+                )
+                outcome.retries += job_outcome.retries
+                if job_outcome.failure is not None:
+                    outcome.failures.append(job_outcome.failure)
+                else:
+                    outcome.results[index] = job_outcome.result
+                    self._store(job.key, job_outcome.result)
+        self._note_outcome(outcome)
+        if outcome.failures and self.strict:
+            raise SweepFailedError(list(outcome.failures))
+        return len(pending) - len(outcome.failures)
+
+    def _note_outcome(self, outcome: SweepOutcome) -> None:
+        """Fold one sweep's health counters into the runner's registry."""
+        self.failed_cells.extend(outcome.failures)
+        for name, amount in (
+            ("sweep/retries", outcome.retries),
+            ("sweep/failures", len(outcome.failures)),
+            ("sweep/recovered_workers", outcome.recovered_workers),
+            ("sweep/shard_recovered", outcome.shard_recovered),
+            ("sweep/corrupt_lines", outcome.corrupt_lines),
+        ):
+            if amount:
+                self.registry.inc(name, amount)
+        if outcome.corrupt_lines:
+            self.corrupt_lines_skipped += outcome.corrupt_lines
 
     def _single_result(self, machine: MachineConfig, trace_name: str) -> RunResult:
         """Fetch a prewarmed single run from memory (no accounting)."""
         key = self._single_key(machine, trace_name, self.preset.trace_length)
         return RunResult.from_dict(self._memory[key])
+
+    def has_cached(self, machine: MachineConfig, trace_name: str) -> bool:
+        """Whether a (machine, trace) run is already cached (no accounting)."""
+        key = self._single_key(machine, trace_name, self.preset.trace_length)
+        return key in self._memory
 
     # ------------------------------------------------------------------
     # Runs

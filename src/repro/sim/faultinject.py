@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the sweep engine.
+
+Proving the fault-tolerance layer works requires *causing* the faults it
+defends against, on demand and reproducibly, in both pool workers and
+the serial path.  This module is that switchboard: a compact spec in
+``$REPRO_FAULTS`` arms faults against specific sweep job indices, and
+the sweep engine calls the two hooks (:func:`before_attempt`,
+:func:`after_shard_write`) at the right points.
+
+Spec grammar — comma-separated ``kind:job_index:times`` triples::
+
+    REPRO_FAULTS="fail:2:1,hang:0:1,crash:3:1,corrupt:1:1"
+
+* ``fail``    — raise :class:`InjectedFault` on attempts 1..times of the
+  job (``times`` large => permanent failure; exercises retry exhaustion).
+* ``hang``    — sleep :data:`HANG_SECONDS` on attempts 1..times
+  (exercises the per-job timeout watchdog; without a timeout the sweep
+  hangs, exactly like a real wedged job).
+* ``crash``   — hard-kill the worker process (``os._exit``) before the
+  job runs (exercises pool rebuild + shard salvage).
+* ``corrupt`` — append a torn JSONL line to the worker's shard right
+  after the job's result line (exercises tolerant loading and the
+  corrupt-line accounting).
+
+``fail`` and ``hang`` count attempts within the executing process, which
+is deterministic because retries happen inside one worker.  ``crash``
+and ``corrupt`` must fire a bounded number of times *across* processes
+(a re-spawned worker must not crash forever), so they are one-shot
+through stamp files under ``$REPRO_FAULTS_DIR``; when that directory is
+unset they stay disarmed rather than risk an unbounded crash loop.
+
+Everything is driven by environment variables so tests can arm faults
+with ``monkeypatch.setenv`` and have pool workers inherit them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Environment variable holding the fault spec (see module docstring).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Directory for cross-process one-shot stamps (crash/corrupt faults).
+FAULTS_DIR_ENV = "REPRO_FAULTS_DIR"
+
+#: How long a "hang" fault sleeps; long enough that only the watchdog
+#: (or a human) ends it.
+HANG_SECONDS = 3600.0
+
+#: Recognised fault kinds.
+KINDS = ("fail", "hang", "crash", "corrupt")
+
+#: The torn line a ``corrupt`` fault appends (no closing brace, so the
+#: tolerant loader must skip and count it).
+TORN_LINE = '{"key": "torn-by-faultinject", "result": {'
+
+
+class InjectedFault(RuntimeError):
+    """The transient error raised by an armed ``fail`` fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One armed fault: ``kind`` against sweep job ``index``, ``times`` shots."""
+
+    kind: str
+    index: int
+    times: int
+
+
+def parse_faults(spec: str) -> tuple[Fault, ...]:
+    """Parse a ``kind:index:times`` comma list; raises on malformed specs."""
+    faults: list[Fault] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pieces = part.split(":")
+        if len(pieces) != 3 or pieces[0] not in KINDS:
+            raise ValueError(
+                f"malformed fault {part!r}; expected kind:job_index:times "
+                f"with kind in {KINDS}"
+            )
+        try:
+            index, times = int(pieces[1]), int(pieces[2])
+        except ValueError:
+            raise ValueError(
+                f"malformed fault {part!r}; job_index and times must be integers"
+            ) from None
+        faults.append(Fault(pieces[0], index, times))
+    return tuple(faults)
+
+
+def active_faults() -> tuple[Fault, ...]:
+    """Faults currently armed via ``$REPRO_FAULTS`` (empty when unset).
+
+    Parsed on every call — the spec is tiny and tests flip the variable
+    between sweeps with ``monkeypatch``.
+    """
+    spec = os.environ.get(FAULTS_ENV, "")
+    return parse_faults(spec) if spec.strip() else ()
+
+
+def _one_shot(fault: Fault) -> bool:
+    """True exactly ``fault.times`` times across all processes.
+
+    Uses ``O_CREAT|O_EXCL`` stamp files in ``$REPRO_FAULTS_DIR`` as the
+    atomic cross-process counter; with no stamp directory configured the
+    fault never fires (see module docstring).
+    """
+    stamp_dir = os.environ.get(FAULTS_DIR_ENV, "").strip()
+    if not stamp_dir:
+        return False
+    directory = Path(stamp_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for shot in range(1, fault.times + 1):
+        stamp = directory / f"{fault.kind}-{fault.index}-{shot}"
+        try:
+            fd = os.open(stamp, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+def before_attempt(index: int, attempt: int) -> None:
+    """Hook: called by the sweep engine before each attempt of job ``index``.
+
+    Fires any armed ``crash``, ``hang`` or ``fail`` fault targeting the
+    job, in spec order.
+    """
+    for fault in active_faults():
+        if fault.index != index:
+            continue
+        if fault.kind == "crash" and _one_shot(fault):
+            # A real worker crash: no cleanup, no exception, no shard
+            # line — the parent sees a broken pool.
+            os._exit(86)
+        if fault.kind == "hang" and attempt <= fault.times:
+            time.sleep(HANG_SECONDS)
+        if fault.kind == "fail" and attempt <= fault.times:
+            raise InjectedFault(
+                f"injected transient failure (job {index}, attempt {attempt})"
+            )
+
+
+def after_shard_write(index: int, shard_path: Path) -> None:
+    """Hook: called after job ``index``'s result line reaches its shard.
+
+    An armed ``corrupt`` fault appends a torn JSONL line, simulating a
+    worker killed mid-write with the platform's page-cache flushing half
+    a record.
+    """
+    for fault in active_faults():
+        if fault.kind == "corrupt" and fault.index == index and _one_shot(fault):
+            with shard_path.open("a") as handle:
+                handle.write(TORN_LINE + "\n")
+
+
+def corrupt_file(path: Path, line: str = TORN_LINE) -> None:
+    """Append a torn line to ``path`` directly (test helper)."""
+    with path.open("a") as handle:
+        handle.write(line + "\n")

@@ -49,16 +49,19 @@ class MixRunResult:
 
     @property
     def thread_results(self) -> list[RunResult]:
+        """Per-thread results rehydrated as RunResult objects."""
         return [RunResult.from_dict(t) for t in self.threads]
 
     @property
     def llc_hit_rate(self) -> float:
+        """Shared-LLC hit rate over all lookups."""
         lookups = self.llc_hits + self.llc_misses
         if lookups == 0:
             return 0.0
         return self.llc_hits / lookups
 
     def to_dict(self) -> dict:
+        """Plain-dict form for JSON caching."""
         return {
             "mix": self.mix,
             "machine": self.machine,
@@ -72,6 +75,7 @@ class MixRunResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MixRunResult":
+        """Rebuild from the ``to_dict`` representation."""
         return cls(**data)
 
 
@@ -130,6 +134,7 @@ def simulate_mix(
         offset = (tid + 1) * _THREAD_STRIDE
 
         def size_fn(addr: int, _data=data, _offset=offset) -> int:
+            """Compressed size of the line backing ``addr``."""
             return _data.size_of(addr - _offset)
 
         hierarchy = CacheHierarchy(llc, size_fn, hierarchy_config, memory=dram)

@@ -266,6 +266,7 @@ def run(args) -> int:
     traces = tuple(args.traces) if args.traces else DEFAULT_TRACES
 
     def progress(done: int, total: int, label: str) -> None:
+        """Render an in-place progress line on stderr."""
         print(f"\r  measured {done}/{total}  {label[:60]:<60s}", end="",
               file=sys.stderr, flush=True)
         if done == total:

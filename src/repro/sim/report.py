@@ -3,8 +3,10 @@
 Turns run results into the paper's presentation units: sorted per-trace
 ratio series (the line graphs of Figures 6-8 and 12), per-category
 averages (Figures 9-11), and summary rows with loser counts and extreme
-outliers.  Everything returns plain strings so benches can ``print`` and
-tests can assert on structure.
+outliers — plus the operational side of a sweep: failed-cell tables and
+the ``sweep/*`` health counters, so a degraded run accounts for every
+cell instead of pretending it was complete.  Everything returns plain
+strings so benches can ``print`` and tests can assert on structure.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from repro.sim.metrics import count_losers, geomean
+from repro.sim.retry import FailedCell
 from repro.sim.single_core import RunResult
 from repro.workloads.suite import CATEGORIES, all_specs
 
@@ -156,6 +159,43 @@ def observability_summary(obs: Mapping[str, Mapping]) -> str:
     if not lines:
         return "(no observability metrics published)"
     return "\n".join(lines)
+
+
+def failed_cells_table(failures: Sequence[FailedCell]) -> str:
+    """Table of sweep cells that exhausted their retry budget.
+
+    One row per :class:`~repro.sim.retry.FailedCell`: the cache key,
+    exception type, attempts made and wall time burned — the provenance
+    a degraded sweep owes the operator for every missing cell.
+    """
+    return format_table(
+        ["cell", "error", "attempts", "elapsed"],
+        [
+            [f.key, f.error, str(f.attempts), f"{f.elapsed:.2f}s"]
+            for f in failures
+        ],
+    )
+
+
+def sweep_health_summary(counters: Mapping[str, Mapping]) -> str:
+    """One line of ``sweep/*`` health counters from a serialised registry.
+
+    Accepts :meth:`~repro.obs.registry.CounterRegistry.as_dict` output;
+    counters that never fired print as 0 so the line's shape is stable.
+    """
+    names = (
+        ("retries", "sweep/retries"),
+        ("failures", "sweep/failures"),
+        ("recovered workers", "sweep/recovered_workers"),
+        ("cells salvaged from shards", "sweep/shard_recovered"),
+        ("corrupt cache lines skipped", "sweep/corrupt_lines"),
+    )
+    values = []
+    for label, name in names:
+        metric = counters.get(name)
+        value = metric["value"] if metric and metric.get("kind") == "counter" else 0
+        values.append(f"{label}: {value}")
+    return "  ".join(values)
 
 
 def traffic_summary(runs: Sequence[RunResult], baselines: Sequence[RunResult]) -> str:

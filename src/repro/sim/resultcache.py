@@ -13,6 +13,12 @@ results.  Corrupt lines are skipped and reported via
 :class:`CorruptCacheLineWarning` — once per file per process, so a file
 that is prewarmed and then merged again does not repeat the warning.
 
+Skipped lines are also *accounted*, not just warned about: every skip
+increments a per-file tally (:func:`corrupt_line_count`,
+:func:`corrupt_line_total`) that the sweep engine folds into its merge
+summary and ``repro stats``/``repro sweep`` surface to the operator —
+silent data loss is a lie a report must not tell.
+
 :func:`iter_cache_entries` is the single streaming pass over a file; both
 the prewarm load and the shard merge consume it directly, so every shard
 is read and parsed exactly once, with no intermediate per-file dict.
@@ -33,6 +39,23 @@ class CorruptCacheLineWarning(RuntimeWarning):
 #: Files already reported as corrupt (resolved paths); a process warns at
 #: most once per file however many times the file is re-read.
 _warned_corrupt: set[str] = set()
+
+#: Cumulative corrupt-line tally per resolved path, for this process.
+_corrupt_counts: dict[str, int] = {}
+
+
+def corrupt_line_count(path: Path) -> int:
+    """Corrupt lines skipped so far (this process) while reading ``path``."""
+    return _corrupt_counts.get(str(path.resolve()), 0)
+
+
+def corrupt_line_total() -> int:
+    """Corrupt lines skipped so far (this process) across every file.
+
+    Monotonic; callers that need a per-operation figure snapshot it
+    before and after (the shard merge in :mod:`repro.sim.parallel` does).
+    """
+    return sum(_corrupt_counts.values())
 
 
 def encode_entry(key: str, result: dict) -> str:
@@ -75,6 +98,7 @@ def iter_cache_entries(path: Path) -> Iterator[tuple[str, dict]]:
             yield entry["key"], entry["result"]
     if corrupt:
         resolved = str(path.resolve())
+        _corrupt_counts[resolved] = _corrupt_counts.get(resolved, 0) + corrupt
         if resolved not in _warned_corrupt:
             _warned_corrupt.add(resolved)
             warnings.warn(

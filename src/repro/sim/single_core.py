@@ -73,6 +73,7 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild from the ``to_dict`` representation."""
         return cls(**data)
 
 

@@ -82,6 +82,7 @@ class TraceSpec:
 
     @property
     def mlp_l2(self) -> float:
+        """L2-hit latency overlap factor."""
         return max(1.0, self.mlp_memory * 2.4)
 
 
@@ -110,6 +111,7 @@ def _specs() -> list[TraceSpec]:
         mlp: float,
         hot: float = 0.0,
     ) -> None:
+        """Append one TraceSpec with a fresh deterministic seed."""
         seed_counter[0] += 17
         index = sum(1 for s in specs if s.benchmark == benchmark) + 1
         mlp_cal, ipa_scale = _PATTERN_CALIBRATION[pattern]

@@ -40,6 +40,44 @@ class TestParser:
         assert args.json
         assert not args.trace_events
 
+    def test_retry_flags_everywhere(self):
+        for command in (
+            ["run", "--trace", "mcf.1"],
+            ["compare", "--trace", "mcf.1"],
+            ["stats", "--trace", "mcf.1"],
+            ["export"],
+            ["sweep"],
+        ):
+            args = build_parser().parse_args(
+                command + ["--retries", "3", "--job-timeout", "2.5"]
+            )
+            assert args.retries == 3
+            assert args.job_timeout == 2.5
+
+    def test_retry_flags_default_to_env_deferral(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.retries is None  # defer to $REPRO_RETRIES
+        assert args.job_timeout is None  # defer to $REPRO_JOB_TIMEOUT
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--preset", "test", "--trace", "mcf.1", "--trace",
+             "sjeng.1", "--resume", "--strict", "--jobs", "2"]
+        )
+        assert args.preset == "test"
+        assert args.traces == ["mcf.1", "sjeng.1"]
+        assert args.resume
+        assert args.strict
+        assert args.jobs == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.preset == "bench"
+        assert not args.resume
+        assert not args.strict
+        assert not args.all_traces
+        assert args.traces is None
+
 
 class TestCommands:
     def test_list_experiments(self, capsys):
@@ -111,6 +149,43 @@ class TestCommands:
         err = capsys.readouterr().err
         assert err.startswith("error:")
         assert "REPRO_JOBS" in err
+
+    def test_sweep_healthy(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["sweep", "--preset", "test", "--trace", "sjeng.1", "--jobs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recomputed: 2 cells" in out
+        assert "failed: 0 cells" in out
+        assert "retries: 0" in out
+        # A second run recovers everything from cache.
+        assert main(
+            ["sweep", "--preset", "test", "--trace", "sjeng.1", "--jobs", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recovered from cache: 2 cells" in out
+        assert "recomputed: 0 cells" in out
+
+    def test_sweep_resume_reports_salvage(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(
+            ["sweep", "--preset", "test", "--trace", "sjeng.1", "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "salvaged from orphan shards: 0 cells" in out
+        assert "recomputed " in out
+
+    def test_stats_reports_corrupt_line_count(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        capsys.readouterr()
+        cache_file = next(tmp_path.glob("results-v*.jsonl"))
+        with cache_file.open("a") as handle:
+            handle.write('{"torn line\n')
+        with pytest.warns(Warning):
+            assert main(["stats", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        assert "corrupt cache lines skipped: 1" in capsys.readouterr().out
 
     def test_compare_parallel_matches_serial(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))

@@ -1,0 +1,54 @@
+"""Tier-1 enforcement of the ARCHITECTURE.md module-map docs gate."""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_architecture_docs.py"
+
+
+def _run(repo_root: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--repo-root", str(repo_root)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_architecture_module_map_matches_tree():
+    proc = _run(REPO_ROOT)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "docs gate OK" in proc.stdout
+
+
+def test_gate_fails_on_undocumented_module(tmp_path):
+    shutil.copy(REPO_ROOT / "ARCHITECTURE.md", tmp_path / "ARCHITECTURE.md")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "brand_new_module.py").write_text("")
+    proc = _run(tmp_path)
+    assert proc.returncode == 1
+    assert "repro.brand_new_module" in proc.stdout
+    assert "missing from ARCHITECTURE.md" in proc.stdout
+
+
+def test_gate_fails_on_stale_doc_entry(tmp_path):
+    text = (REPO_ROOT / "ARCHITECTURE.md").read_text()
+    text = text.replace(
+        "repro.sim.retry",
+        "repro.sim.retired_module",
+    )
+    (tmp_path / "ARCHITECTURE.md").write_text(text)
+    (tmp_path / "src").symlink_to(REPO_ROOT / "src")
+    proc = _run(tmp_path)
+    assert proc.returncode == 1
+    assert "repro.sim.retired_module" in proc.stdout
+    assert "no longer exist" in proc.stdout
+
+
+def test_readme_links_architecture():
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "ARCHITECTURE.md" in readme

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Docs gate: keep ARCHITECTURE.md's module map in sync with src/repro.
+
+Extracts the dotted module names from the ``<!-- module-map:begin -->``
+block in ARCHITECTURE.md and compares them, as exact sets, with the
+modules that actually exist under ``src/repro/``.  Exits nonzero and
+prints the drift (missing / stale entries) if they differ, so CI fails
+whenever a module is added, removed or renamed without updating the
+documentation.
+
+Usage::
+
+    python tools/check_architecture_docs.py [--repo-root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+BEGIN_MARK = "<!-- module-map:begin -->"
+END_MARK = "<!-- module-map:end -->"
+# A documented entry is the leading dotted name on a line, e.g.
+# ``repro.sim.retry — retry policy ...``.
+ENTRY_RE = re.compile(r"^(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)*)\s")
+
+
+def documented_modules(architecture_md: Path) -> set[str]:
+    """Dotted module names listed in ARCHITECTURE.md's module map."""
+    text = architecture_md.read_text(encoding="utf-8")
+    try:
+        start = text.index(BEGIN_MARK) + len(BEGIN_MARK)
+        end = text.index(END_MARK, start)
+    except ValueError:
+        raise SystemExit(
+            f"{architecture_md}: missing {BEGIN_MARK}/{END_MARK} markers"
+        )
+    modules = set()
+    for line in text[start:end].splitlines():
+        match = ENTRY_RE.match(line.strip())
+        if match:
+            modules.add(match.group(1))
+    if not modules:
+        raise SystemExit(f"{architecture_md}: module map block is empty")
+    return modules
+
+
+def actual_modules(src_root: Path) -> set[str]:
+    """Dotted module names for every .py file under src/repro."""
+    package_root = src_root / "repro"
+    modules = set()
+    for path in package_root.rglob("*.py"):
+        relative = path.relative_to(src_root).with_suffix("")
+        parts = list(relative.parts)
+        if parts[-1] == "__init__":
+            parts.pop()
+        modules.add(".".join(parts))
+    return modules
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare the documented and actual module sets; 0 iff identical."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo-root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root containing ARCHITECTURE.md and src/repro",
+    )
+    args = parser.parse_args(argv)
+
+    documented = documented_modules(args.repo_root / "ARCHITECTURE.md")
+    actual = actual_modules(args.repo_root / "src")
+
+    undocumented = sorted(actual - documented)
+    stale = sorted(documented - actual)
+    if undocumented:
+        print("modules missing from ARCHITECTURE.md module map:")
+        for name in undocumented:
+            print(f"  {name}")
+    if stale:
+        print("ARCHITECTURE.md lists modules that no longer exist:")
+        for name in stale:
+            print(f"  {name}")
+    if undocumented or stale:
+        print(
+            f"\ndocs gate FAILED: {len(undocumented)} undocumented, "
+            f"{len(stale)} stale (of {len(actual)} actual modules)."
+        )
+        return 1
+    print(f"docs gate OK: ARCHITECTURE.md matches all {len(actual)} modules.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
