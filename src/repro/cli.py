@@ -11,6 +11,8 @@ Exposes the paper's experiments and some exploration helpers::
     repro export --csv fig8.csv
     repro sweep [--resume] [--strict] [--retries 2] [--job-timeout 60]
     repro perf [--repeats 3] [--output BENCH_PERF.json]
+    repro cache verify [--strict] [--cache-dir DIR]
+    repro cache migrate [--cache-dir DIR]
 
 The figure/table benches proper live in ``benchmarks/`` and run through
 pytest; the CLI is the quick interactive front end.
@@ -22,15 +24,12 @@ import argparse
 import json
 import sys
 
+from pathlib import Path
+
 from repro.power.area import paper_headline_area
 from repro.sim.config import (
     ARCH_BASE_VICTIM,
-    ARCH_DCC,
-    ARCH_SCC,
-    ARCH_TWO_TAG,
-    ARCH_TWO_TAG_MODIFIED,
-    ARCH_UNCOMPRESSED,
-    ARCH_VSC,
+    ARCH_CHOICES,
     BASE_VICTIM_2MB,
     BASELINE_2MB,
     MachineConfig,
@@ -39,21 +38,12 @@ from repro.sim.config import (
     TWO_TAG_MODIFIED_2MB,
     UNCOMPRESSED_3MB,
 )
-from repro.sim.experiment import ExperimentRunner
+from repro.sim.experiment import ExperimentRunner, default_cache_dir
+from repro.sim.locking import LOCK_TIMEOUT_ENV, LockTimeoutError
 from repro.sim.metrics import dram_read_ratio, ipc_ratio
 from repro.sim.parallel import JOBS_ENV
 from repro.sim.retry import JOB_TIMEOUT_ENV, RETRIES_ENV, SweepFailedError
 from repro.workloads.suite import all_specs, sensitive_specs
-
-_ARCH_CHOICES = (
-    ARCH_UNCOMPRESSED,
-    ARCH_BASE_VICTIM,
-    ARCH_TWO_TAG,
-    ARCH_TWO_TAG_MODIFIED,
-    ARCH_VSC,
-    ARCH_DCC,
-    ARCH_SCC,
-)
 
 
 def _cmd_list_experiments(args: argparse.Namespace) -> int:
@@ -114,17 +104,20 @@ def _runner_from_args(
         retries=getattr(args, "retries", None),
         job_timeout=getattr(args, "job_timeout", None),
         strict=strict,
+        lock_timeout=getattr(args, "lock_timeout", None),
     )
 
 
 def _machine_from_args(args: argparse.Namespace) -> MachineConfig:
+    # validate() fires at CLI time: a bad --policy fails here with a
+    # structured error instead of deep inside the first simulation.
     return MachineConfig(
         arch=args.machine,
         llc_ways=args.ways,
         llc_sets_mult=args.sets_mult,
         policy=args.policy,
         victim_policy=args.victim_policy,
-    )
+    ).validate()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -206,8 +199,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 # reported here but never enters the result cache.
                 "timers": registry.timers,
                 # Cache health: corrupt JSONL lines skipped by the
-                # tolerant loader — silent data loss made visible.
-                "cache": {"corrupt_lines_skipped": runner.corrupt_lines_skipped},
+                # tolerant loader — silent data loss made visible — plus
+                # the persistence-layer cache/* counters (lock
+                # contention, CRC rejections, legacy lines folded in).
+                "cache": {
+                    "corrupt_lines_skipped": runner.corrupt_lines_skipped,
+                    **{
+                        name: metric["value"]
+                        for name, metric in runner.registry.as_dict().items()
+                        if name.startswith("cache/")
+                        and metric.get("kind") == "counter"
+                    },
+                },
             }
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
@@ -217,6 +220,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(observability_summary(merged))
         print()
         print(f"corrupt cache lines skipped: {runner.corrupt_lines_skipped}")
+        for name, metric in runner.registry.as_dict().items():
+            if name.startswith("cache/") and metric.get("kind") == "counter":
+                label = name.removeprefix("cache/").replace("_", " ")
+                print(f"cache {label}: {metric['value']}")
         print("wall time by phase:")
     for name, seconds in registry.timers.items():
         print(f"  {name:16s} {seconds:8.3f}s")
@@ -329,6 +336,102 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_dir_from_args(args: argparse.Namespace) -> Path:
+    """The cache directory a ``repro cache`` subcommand operates on."""
+    if args.cache_dir is not None:
+        return Path(args.cache_dir)
+    return default_cache_dir()
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    """Integrity census of every cache file (CRC, structure, duplicates).
+
+    Prints one row per ``results-v*.jsonl`` file: total lines, valid
+    entries, legacy (un-checksummed) lines, CRC rejections, corrupt
+    lines and duplicate keys.  With ``--strict`` any rejected line makes
+    the exit code nonzero — the CI tripwire for silent cache rot.
+    """
+    from repro.obs.registry import CounterRegistry
+    from repro.sim.resultcache import verify_cache_dir
+
+    directory = _cache_dir_from_args(args)
+    reports = verify_cache_dir(directory)
+    if not reports:
+        print(f"no cache files under {directory}")
+        return 0
+    registry = CounterRegistry()
+    print(
+        f"{'file':34s} {'lines':>7s} {'entries':>7s} {'legacy':>6s} "
+        f"{'crc':>5s} {'corrupt':>7s} {'dups':>5s}"
+    )
+    dirty = 0
+    for report in reports:
+        registry.inc("cache/verified_lines", report.lines)
+        registry.inc("cache/crc_failures", report.crc_failures)
+        registry.inc("cache/corrupt_lines", report.corrupt_lines)
+        if not report.clean:
+            dirty += 1
+        print(
+            f"{report.path.name:34s} {report.lines:7d} {report.entries:7d} "
+            f"{report.plain_lines:6d} {report.crc_failures:5d} "
+            f"{report.corrupt_lines:7d} {report.duplicate_keys:5d}"
+        )
+    counters = registry.as_dict()
+    print(
+        f"\n{len(reports)} file(s), {dirty} with rejected lines "
+        f"(crc failures: {counters['cache/crc_failures']['value']}, "
+        f"corrupt: {counters['cache/corrupt_lines']['value']})"
+    )
+    if dirty and args.strict:
+        print("error: cache verification failed (--strict)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache_migrate(args: argparse.Namespace) -> int:
+    """Upgrade cache files to the current checksummed format, atomically.
+
+    v4 files fold into their v5 siblings (existing v5 entries win) and
+    are removed only once the replacement is durable; v5 files with
+    legacy or corrupt lines are rewritten in place; clean files are left
+    byte-untouched; pre-v4 files are reported stale and never touched.
+    """
+    from repro.sim.resultcache import migrate_cache_dir
+
+    directory = _cache_dir_from_args(args)
+    results = migrate_cache_dir(directory, lock_timeout=args.lock_timeout)
+    if not results:
+        print(f"no cache files under {directory}")
+        return 0
+    for result in results:
+        if result.action == "migrated":
+            print(
+                f"{result.source.name} -> {result.target.name}: "
+                f"{result.migrated_lines} line(s) migrated "
+                f"({result.entries} total entries)"
+            )
+        elif result.action == "rewritten":
+            print(
+                f"{result.source.name}: rewritten in place "
+                f"({result.migrated_lines} legacy line(s) upgraded, "
+                f"{result.entries} entries)"
+            )
+        elif result.action == "stale":
+            print(
+                f"{result.source.name}: stale pre-v4 format, left untouched "
+                "(results predate simulator behaviour changes)"
+            )
+        else:
+            print(f"{result.source.name}: already clean ({result.entries} entries)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Dispatch ``repro cache <action>``."""
+    handlers = {"verify": _cmd_cache_verify, "migrate": _cmd_cache_migrate}
+    return handlers[args.cache_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -349,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=helptext)
         p.add_argument("--trace", required=True)
         p.add_argument("--preset", default="bench", choices=sorted(PRESETS))
-        p.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=_ARCH_CHOICES)
+        p.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=ARCH_CHOICES)
         p.add_argument("--ways", type=int, default=16)
         p.add_argument("--sets-mult", type=float, default=1.0)
         p.add_argument("--policy", default="nru")
@@ -368,7 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace to report on (repeatable; counters merge across traces)",
     )
     p_stats.add_argument("--preset", default="bench", choices=sorted(PRESETS))
-    p_stats.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=_ARCH_CHOICES)
+    p_stats.add_argument("--machine", default=ARCH_BASE_VICTIM, choices=ARCH_CHOICES)
     p_stats.add_argument("--ways", type=int, default=16)
     p_stats.add_argument("--sets-mult", type=float, default=1.0)
     p_stats.add_argument("--policy", default="nru")
@@ -426,6 +529,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero if any cell failed after exhausting retries",
     )
     _add_jobs_argument(p_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect and maintain the on-disk result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_verify = cache_sub.add_parser(
+        "verify", help="integrity census: CRC, structure, duplicates"
+    )
+    p_verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any file contains rejected lines",
+    )
+    p_migrate = cache_sub.add_parser(
+        "migrate", help="upgrade cache files to the checksummed v5 format"
+    )
+    p_migrate.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "max seconds to wait for a cache file's lock "
+            f"(default ${LOCK_TIMEOUT_ENV} or 120)"
+        ),
+    )
+    for p in (p_verify, p_migrate):
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="cache directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
+        )
     return parser
 
 
@@ -461,6 +597,16 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
             f"(default ${JOB_TIMEOUT_ENV} or no timeout)"
         ),
     )
+    parser.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "max seconds any cache write waits for the cache lock "
+            f"(default ${LOCK_TIMEOUT_ENV} or 120; 0 = fail fast)"
+        ),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -476,10 +622,14 @@ def main(argv: list[str] | None = None) -> int:
         "perf": _cmd_perf,
         "export": _cmd_export,
         "sweep": _cmd_sweep,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)
-    except ValueError as exc:  # e.g. a malformed $REPRO_JOBS
+    except LockTimeoutError as exc:  # another process wedged the cache lock
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # e.g. a malformed $REPRO_JOBS or machine config
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except SweepFailedError as exc:  # strict-mode sweep with failed cells

@@ -19,7 +19,12 @@ from dataclasses import dataclass, replace
 
 from repro.cache.config import CacheGeometry
 from repro.cache.hierarchy import HierarchyConfig
-from repro.cache.replacement import make_policy, make_victim_policy
+from repro.cache.replacement import (
+    POLICIES,
+    VICTIM_POLICIES,
+    make_policy,
+    make_victim_policy,
+)
 from repro.core.basevictim import BaseVictimLLC
 from repro.core.interfaces import LLCArchitecture
 from repro.core.twotag import TwoTagLLC
@@ -92,6 +97,42 @@ ARCH_VSC = "vsc-2x"
 ARCH_DCC = "dcc"
 ARCH_SCC = "scc"
 
+#: Every LLC architecture :meth:`MachineConfig.build_llc` can build, in
+#: presentation order (the CLI's ``--arch`` choices).
+ARCH_CHOICES = (
+    ARCH_UNCOMPRESSED,
+    ARCH_BASE_VICTIM,
+    ARCH_TWO_TAG,
+    ARCH_TWO_TAG_MODIFIED,
+    ARCH_VSC,
+    ARCH_DCC,
+    ARCH_SCC,
+)
+
+
+class MachineConfigError(ValueError):
+    """A machine configuration field holds an invalid value.
+
+    Raised by :meth:`MachineConfig.validate` *before* any simulation or
+    cache work starts, so a typo'd sweep fails in milliseconds instead
+    of after warming half a cache.  Structured for programmatic use:
+    ``field`` names the bad attribute, ``value`` is what it held, and
+    ``choices`` lists the valid values when the field is an enumeration.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        value: object,
+        message: str,
+        choices: tuple[str, ...] = (),
+    ) -> None:
+        self.field = field
+        self.value = value
+        self.choices = choices
+        detail = f"; valid choices: {', '.join(choices)}" if choices else ""
+        super().__init__(f"machine config {field}={value!r}: {message}{detail}")
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -131,6 +172,54 @@ class MachineConfig:
         if self.prefetch_degree != 2:
             parts.append(f"pf{self.prefetch_degree}")
         return "-".join(parts)
+
+    def validate(self) -> "MachineConfig":
+        """Check every field eagerly; returns ``self`` for chaining.
+
+        :meth:`build_llc` would eventually reject an unknown architecture
+        or policy, but only deep inside the first simulation — after
+        traces were generated and the cache directory created.  The CLI
+        calls this at argument-parsing time instead, so the failure is a
+        single structured :class:`MachineConfigError` naming the bad
+        field and the valid choices.
+        """
+        if self.arch not in ARCH_CHOICES:
+            raise MachineConfigError(
+                "arch", self.arch, "unknown LLC architecture", ARCH_CHOICES
+            )
+        if self.policy not in POLICIES:
+            raise MachineConfigError(
+                "policy",
+                self.policy,
+                "unknown replacement policy",
+                tuple(sorted(POLICIES)),
+            )
+        if self.victim_policy not in VICTIM_POLICIES:
+            raise MachineConfigError(
+                "victim_policy",
+                self.victim_policy,
+                "unknown victim-cache policy",
+                tuple(sorted(VICTIM_POLICIES)),
+            )
+        if not isinstance(self.llc_ways, int) or self.llc_ways <= 0:
+            raise MachineConfigError(
+                "llc_ways", self.llc_ways, "must be a positive integer"
+            )
+        if self.llc_sets_mult <= 0:
+            raise MachineConfigError(
+                "llc_sets_mult", self.llc_sets_mult, "must be positive"
+            )
+        if self.extra_llc_latency < 0:
+            raise MachineConfigError(
+                "extra_llc_latency", self.extra_llc_latency, "must be >= 0"
+            )
+        if not isinstance(self.prefetch_degree, int) or self.prefetch_degree < 0:
+            raise MachineConfigError(
+                "prefetch_degree",
+                self.prefetch_degree,
+                "must be a non-negative integer",
+            )
+        return self
 
     def with_capacity(self, ways: int, sets_mult: float) -> "MachineConfig":
         """Same machine at a different LLC capacity."""

@@ -26,8 +26,17 @@ Sweep-level health counters (``sweep/retries``, ``sweep/failures``,
 :attr:`ExperimentRunner.registry`; they are process-local and never
 enter the result cache.
 
-Results are invalidated by bumping :data:`CACHE_VERSION` whenever the
-simulator's behaviour changes.
+Results are invalidated by bumping
+:data:`~repro.sim.resultcache.CACHE_VERSION` whenever the simulator's
+behaviour (or the on-disk format) changes.  The v4 -> v5 bump was
+format-only, so a ``results-v4-*.jsonl`` cache left by an older build
+is read transparently (and ``repro cache migrate`` upgrades it).
+
+The persistence layer is multi-process safe: every disk write happens
+under the cache's advisory lock (:mod:`repro.sim.locking`), sweep
+merges fold into — never clobber — whatever concurrent writers already
+persisted, and lock/integrity health is published as ``cache/*``
+counters alongside the ``sweep/*`` ones.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.obs.registry import CounterRegistry
+from repro.sim import locking
 from repro.sim.config import MachineConfig, Preset
 from repro.sim.multi_core import MixRunResult, simulate_mix
 from repro.sim.parallel import (
@@ -49,21 +59,22 @@ from repro.sim.parallel import (
     run_sweep,
 )
 from repro.sim.resultcache import (
+    CACHE_VERSION,
+    LEGACY_CACHE_VERSION,
     append_cache_entries,
+    cache_file_name,
     corrupt_line_count,
-    encode_entry,
+    crc_failure_count,
     iter_cache_entries,
     load_cache_entries,
+    merge_cache_entries,
 )
 from repro.sim.retry import FailedCell, RetryPolicy, SweepFailedError
 from repro.sim.single_core import RunResult, simulate_trace
 from repro.workloads.mixes import MixSpec
 from repro.workloads.suite import SUITE_VERSION, TraceSuite
 
-#: Bump to invalidate previously cached results when simulator behaviour
-#: changes; the workload suite carries its own version
-#: (:data:`repro.workloads.suite.SUITE_VERSION`) folded into every key.
-CACHE_VERSION = 4
+__all__ = ["CACHE_VERSION", "ExperimentRunner", "default_cache_dir"]
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -120,6 +131,10 @@ class ExperimentRunner:
     .SweepFailedError` after caching every successful cell; with
     ``strict=False`` failures accumulate on ``failed_cells`` and the
     sweep completes — the CLI's graceful-degradation mode.
+
+    ``lock_timeout`` bounds how long any cache write waits for the
+    advisory cache lock (``None`` defers to ``$REPRO_LOCK_TIMEOUT``;
+    exhaustion raises :class:`~repro.sim.locking.LockTimeoutError`).
     """
 
     def __init__(
@@ -132,6 +147,7 @@ class ExperimentRunner:
         retries: int | None = None,
         job_timeout: float | None = None,
         strict: bool = True,
+        lock_timeout: float | None = None,
     ) -> None:
         self.preset = preset
         self.suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
@@ -140,20 +156,24 @@ class ExperimentRunner:
         self.progress = progress
         self.fault_policy = RetryPolicy.from_env(retries, job_timeout)
         self.strict = strict
+        self.lock_timeout = lock_timeout
         self.cache_hits = 0
         self.cache_misses = 0
         #: Jobs that exhausted their retry budget (strict=False mode).
         self.failed_cells: list[FailedCell] = []
-        #: Process-local sweep health counters (``sweep/*``); never cached.
+        #: Process-local sweep health counters (``sweep/*``, ``cache/*``);
+        #: never cached.
         self.registry = CounterRegistry()
         #: Corrupt JSONL lines skipped while loading this runner's cache.
         self.corrupt_lines_skipped = 0
         self._memory: dict[str, dict] = {}
         self._cache_path: Path | None = None
+        self._lock_waits_seen = locking.lock_wait_total()
+        self._lock_timeouts_seen = locking.lock_timeout_total()
         if use_disk_cache:
             directory = cache_dir or default_cache_dir()
             directory.mkdir(parents=True, exist_ok=True)
-            self._cache_path = directory / f"results-v{CACHE_VERSION}-{preset.name}.jsonl"
+            self._cache_path = directory / cache_file_name(preset.name)
             self._load_disk_cache()
 
     # ------------------------------------------------------------------
@@ -166,11 +186,52 @@ class ExperimentRunner:
         # Tolerant load: lines torn by an interrupted worker are skipped
         # (with a CorruptCacheLineWarning) instead of poisoning the cache.
         before = corrupt_line_count(self._cache_path)
+        before_crc = crc_failure_count(self._cache_path)
         self._memory.update(load_cache_entries(self._cache_path))
         skipped = corrupt_line_count(self._cache_path) - before
+        crc_failed = crc_failure_count(self._cache_path) - before_crc
         if skipped:
             self.corrupt_lines_skipped += skipped
             self.registry.inc("sweep/corrupt_lines", skipped)
+        if crc_failed:
+            self.registry.inc("cache/crc_failures", crc_failed)
+        self._load_legacy_cache()
+
+    def _load_legacy_cache(self) -> None:
+        """Fold in a v4-format cache file left by an older build.
+
+        The v4 -> v5 bump changed only the line format, so v4 results
+        remain valid: entries not shadowed by the v5 file are read
+        straight into memory (``cache/migrated_lines`` counts them) and
+        keep working without any operator action.  ``repro cache
+        migrate`` performs the durable upgrade.
+        """
+        assert self._cache_path is not None
+        legacy = self._cache_path.parent / cache_file_name(
+            self.preset.name, LEGACY_CACHE_VERSION
+        )
+        if not legacy.exists():
+            return
+        migrated = 0
+        for key, result in iter_cache_entries(legacy):
+            if key not in self._memory:
+                self._memory[key] = result
+                migrated += 1
+        if migrated:
+            self.registry.inc("cache/migrated_lines", migrated)
+
+    def _sync_lock_stats(self) -> None:
+        """Fold new lock contention events into the ``cache/*`` counters."""
+        waits = locking.lock_wait_total()
+        timeouts = locking.lock_timeout_total()
+        if waits > self._lock_waits_seen:
+            self.registry.inc("cache/lock_waits", waits - self._lock_waits_seen)
+            self._lock_waits_seen = waits
+        if timeouts > self._lock_timeouts_seen:
+            self.registry.inc(
+                "cache/lock_timeouts", timeouts - self._lock_timeouts_seen
+            )
+            self._lock_timeouts_seen = timeouts
 
     def resume_orphan_shards(self) -> list[str]:
         """Salvage shard files a killed sweep left behind; returns their keys.
@@ -197,9 +258,17 @@ class ExperimentRunner:
                     if key not in self._memory and key not in recovered:
                         recovered[key] = result
         if recovered:
-            append_cache_entries(self._cache_path, recovered.items())
+            # Fold-in merge (not append): if a concurrent process resumed
+            # the same orphans first, its entries win and nothing is
+            # duplicated.
+            merge_cache_entries(
+                self._cache_path,
+                recovered.items(),
+                lock_timeout=self.lock_timeout,
+            )
             self._memory.update(recovered)
             self.registry.inc("sweep/resumed_cells", len(recovered))
+            self._sync_lock_stats()
         for shard_dir in orphans:
             for shard in shard_dir.glob("shard-*.jsonl"):
                 try:
@@ -215,8 +284,12 @@ class ExperimentRunner:
     def _store(self, key: str, result: dict) -> None:
         self._memory[key] = result
         if self._cache_path is not None:
-            with self._cache_path.open("a") as handle:
-                handle.write(encode_entry(key, result) + "\n")
+            # Locked single-line append: serialises against concurrent
+            # appenders and sweep merges sharing this cache directory.
+            append_cache_entries(
+                self._cache_path, [(key, result)], lock_timeout=self.lock_timeout
+            )
+            self._sync_lock_stats()
 
     @staticmethod
     def _single_key(machine: MachineConfig, trace_name: str, length: int) -> str:
@@ -276,32 +349,38 @@ class ExperimentRunner:
         if not pending:
             return 0
         self.cache_misses += len(pending)
-        if self.jobs > 1 and len(pending) > 1:
-            outcome = run_sweep(
-                self.preset,
-                pending,
-                jobs=self.jobs,
-                cache_path=self._cache_path,
-                progress=self.progress,
-                policy=self.fault_policy,
-            )
-            for job, result in zip(pending, outcome.results):
-                if result is not None:
-                    self._memory[job.key] = result
-        else:
-            # Serial path: same execution primitive (retries, watchdog,
-            # fault hooks) as the workers, one job at a time.
-            outcome = SweepOutcome(results=[None] * len(pending))
-            for index, job in enumerate(pending):
-                job_outcome = execute_job(
-                    index, job, self.preset, self.suite, self.fault_policy
+        try:
+            if self.jobs > 1 and len(pending) > 1:
+                outcome = run_sweep(
+                    self.preset,
+                    pending,
+                    jobs=self.jobs,
+                    cache_path=self._cache_path,
+                    progress=self.progress,
+                    policy=self.fault_policy,
+                    lock_timeout=self.lock_timeout,
                 )
-                outcome.retries += job_outcome.retries
-                if job_outcome.failure is not None:
-                    outcome.failures.append(job_outcome.failure)
-                else:
-                    outcome.results[index] = job_outcome.result
-                    self._store(job.key, job_outcome.result)
+                for job, result in zip(pending, outcome.results):
+                    if result is not None:
+                        self._memory[job.key] = result
+            else:
+                # Serial path: same execution primitive (retries, watchdog,
+                # fault hooks) as the workers, one job at a time.
+                outcome = SweepOutcome(results=[None] * len(pending))
+                for index, job in enumerate(pending):
+                    job_outcome = execute_job(
+                        index, job, self.preset, self.suite, self.fault_policy
+                    )
+                    outcome.retries += job_outcome.retries
+                    if job_outcome.failure is not None:
+                        outcome.failures.append(job_outcome.failure)
+                    else:
+                        outcome.results[index] = job_outcome.result
+                        self._store(job.key, job_outcome.result)
+        finally:
+            # Even a lock timeout or sweep abort leaves the contention
+            # counters truthful for the health report.
+            self._sync_lock_stats()
         self._note_outcome(outcome)
         if outcome.failures and self.strict:
             raise SweepFailedError(list(outcome.failures))
@@ -316,6 +395,7 @@ class ExperimentRunner:
             ("sweep/recovered_workers", outcome.recovered_workers),
             ("sweep/shard_recovered", outcome.shard_recovered),
             ("sweep/corrupt_lines", outcome.corrupt_lines),
+            ("cache/crc_failures", outcome.crc_failures),
         ):
             if amount:
                 self.registry.inc(name, amount)

@@ -21,13 +21,22 @@ Spec grammar — comma-separated ``kind:job_index:times`` triples::
 * ``corrupt`` — append a torn JSONL line to the worker's shard right
   after the job's result line (exercises tolerant loading and the
   corrupt-line accounting).
+* ``torn-write`` — append a CRC-suffixed line whose checksum does not
+  match its payload, simulating a write torn mid-line by a crash or a
+  bit flipped at rest (exercises the v5 checksum detection path, which
+  must catch it *before* JSON parsing is even attempted).
+* ``lock-holder-dies`` — hard-kill the process (``os._exit``) right
+  after it acquires a cache lock, while still holding it (exercises
+  kernel ``flock`` auto-release plus stale owner-metadata detection in
+  :mod:`repro.sim.locking`).
 
 ``fail`` and ``hang`` count attempts within the executing process, which
-is deterministic because retries happen inside one worker.  ``crash``
-and ``corrupt`` must fire a bounded number of times *across* processes
-(a re-spawned worker must not crash forever), so they are one-shot
-through stamp files under ``$REPRO_FAULTS_DIR``; when that directory is
-unset they stay disarmed rather than risk an unbounded crash loop.
+is deterministic because retries happen inside one worker.  ``crash``,
+``corrupt``, ``torn-write`` and ``lock-holder-dies`` must fire a bounded
+number of times *across* processes (a re-spawned worker must not crash
+forever), so they are one-shot through stamp files under
+``$REPRO_FAULTS_DIR``; when that directory is unset they stay disarmed
+rather than risk an unbounded crash loop.
 
 Everything is driven by environment variables so tests can arm faults
 with ``monkeypatch.setenv`` and have pool workers inherit them.
@@ -51,11 +60,19 @@ FAULTS_DIR_ENV = "REPRO_FAULTS_DIR"
 HANG_SECONDS = 3600.0
 
 #: Recognised fault kinds.
-KINDS = ("fail", "hang", "crash", "corrupt")
+KINDS = ("fail", "hang", "crash", "corrupt", "torn-write", "lock-holder-dies")
 
 #: The torn line a ``corrupt`` fault appends (no closing brace, so the
 #: tolerant loader must skip and count it).
 TORN_LINE = '{"key": "torn-by-faultinject", "result": {'
+
+#: The line a ``torn-write`` fault appends: structurally a valid v5
+#: CRC-suffixed cache line, but the checksum does not match the payload
+#: — the loader must reject it on the CRC alone.
+TORN_V5_LINE = '{"key": "torn-by-faultinject", "result": {}}#00000000'
+
+#: Exit code used when a ``lock-holder-dies`` fault kills the process.
+LOCK_HOLDER_EXIT = 87
 
 
 class InjectedFault(RuntimeError):
@@ -153,12 +170,34 @@ def after_shard_write(index: int, shard_path: Path) -> None:
 
     An armed ``corrupt`` fault appends a torn JSONL line, simulating a
     worker killed mid-write with the platform's page-cache flushing half
-    a record.
+    a record.  An armed ``torn-write`` fault appends a CRC-suffixed line
+    whose checksum is wrong, simulating a torn v5 write or at-rest bit
+    rot that only the checksum can catch.
     """
     for fault in active_faults():
-        if fault.kind == "corrupt" and fault.index == index and _one_shot(fault):
+        if fault.index != index:
+            continue
+        if fault.kind == "corrupt" and _one_shot(fault):
             with shard_path.open("a") as handle:
                 handle.write(TORN_LINE + "\n")
+        if fault.kind == "torn-write" and _one_shot(fault):
+            with shard_path.open("a") as handle:
+                handle.write(TORN_V5_LINE + "\n")
+
+
+def on_lock_acquired(lock_path: Path) -> None:
+    """Hook: called by :mod:`repro.sim.locking` after every acquisition.
+
+    An armed ``lock-holder-dies`` fault hard-kills the process while it
+    still holds the lock — the kernel must release the ``flock`` and the
+    next acquirer must detect the dead owner's metadata as stale.  The
+    spec's job index is ignored (locks are not tied to jobs); firing is
+    bounded by the cross-process one-shot stamps.
+    """
+    del lock_path  # the fault targets whichever lock is taken next
+    for fault in active_faults():
+        if fault.kind == "lock-holder-dies" and _one_shot(fault):
+            os._exit(LOCK_HOLDER_EXIT)
 
 
 def corrupt_file(path: Path, line: str = TORN_LINE) -> None:

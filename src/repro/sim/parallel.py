@@ -11,11 +11,15 @@ experiment cache depends on:
   parallel sweep is bit-identical to a serial one (locked down by
   ``tests/sim/test_parallel.py``), *even when jobs are retried, workers
   crash or shards are salvaged* (``tests/sim/test_faults.py``).
-* **Single-writer files** — each worker process appends finished results
+* **Cooperating writers** — each worker process appends finished results
   to its own JSONL *shard* (``<cache>.shards-<pid>/shard-<worker pid>
   .jsonl``); no two processes ever write one file.  On completion the
-  parent merges the shards into the main ``results-v*.jsonl`` cache in
-  canonical job order and removes them.
+  parent folds the shards into the main ``results-v*.jsonl`` cache in
+  canonical job order via :func:`~repro.sim.resultcache
+  .merge_cache_entries` — an advisory-locked, re-read-then-atomic-replace
+  merge — so any number of overlapping sweeps sharing one cache
+  directory cooperate instead of clobbering each other (existing keys
+  always win, new keys land in submission order).
 * **Crash tolerance** — shards are flushed per job, so results survive a
   killed sweep; the tolerant loader in :mod:`repro.sim.resultcache`
   skips (and counts) any line torn by the interruption.
@@ -57,10 +61,11 @@ from repro.sim import faultinject
 from repro.sim.config import MachineConfig, Preset
 from repro.sim.multi_core import simulate_mix
 from repro.sim.resultcache import (
-    append_cache_entries,
     corrupt_line_total,
+    crc_failure_total,
     encode_entry,
     iter_cache_entries,
+    merge_cache_entries,
 )
 from repro.sim.retry import FailedCell, JobOutcome, RetryPolicy, deadline
 from repro.sim.single_core import simulate_trace
@@ -120,11 +125,15 @@ class SweepOutcome:
 
     ``results`` is in submission order; an entry is ``None`` exactly
     when the matching job appears in ``failures``.  The counters feed
-    the ``sweep/*`` observability metrics: ``retries`` (re-attempts
-    across all jobs), ``recovered_workers`` (pool rebuilds after worker
-    crashes), ``shard_recovered`` (results salvaged from a dead pool's
-    shards instead of recomputed), and ``corrupt_lines`` (JSONL lines
-    skipped while merging this sweep's shards).
+    the ``sweep/*`` and ``cache/*`` observability metrics: ``retries``
+    (re-attempts across all jobs), ``recovered_workers`` (pool rebuilds
+    after worker crashes), ``shard_recovered`` (results salvaged from a
+    dead pool's shards instead of recomputed), ``corrupt_lines`` (JSONL
+    lines skipped while merging this sweep's shards),
+    ``crc_failures`` (the subset of skipped lines whose CRC32 suffix
+    did not match their payload — torn writes or at-rest bit rot), and
+    ``lock_waits`` (backoff sleeps performed while waiting for the
+    cache lock during the merge).
     """
 
     results: list[dict | None] = field(default_factory=list)
@@ -133,6 +142,8 @@ class SweepOutcome:
     recovered_workers: int = 0
     shard_recovered: int = 0
     corrupt_lines: int = 0
+    crc_failures: int = 0
+    lock_waits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -256,11 +267,13 @@ def run_sweep(
     progress: ProgressFn | None = None,
     chunksize: int | None = None,
     policy: RetryPolicy | None = None,
+    lock_timeout: float | None = None,
 ) -> SweepOutcome:
     """Simulate ``jobs_list`` across ``jobs`` workers; results in job order.
 
-    When ``cache_path`` is given, the workers' shard files are merged
-    into it (appended in ``jobs_list`` order, deduplicated by key) after
+    When ``cache_path`` is given, the workers' shard files are folded
+    into it (in ``jobs_list`` order, deduplicated by key, under the
+    cache's advisory lock with ``lock_timeout`` bounding the wait) after
     the pool drains, then deleted.  Keys in ``jobs_list`` must be unique.
 
     The sweep survives worker faults: per-job retries/timeouts are
@@ -338,8 +351,8 @@ def run_sweep(
 
         if shard_dir is not None:
             assert cache_path is not None  # shard_dir implies a cache file
-            outcome.corrupt_lines += _merge_shards(
-                cache_path, shard_dir, jobs_list, outcome.results
+            _merge_shards(
+                cache_path, shard_dir, jobs_list, outcome, lock_timeout
             )
     finally:
         if shard_dir is not None:
@@ -379,31 +392,40 @@ def _merge_shards(
     cache_path: Path,
     shard_dir: Path,
     jobs_list: Sequence[SweepJob],
-    results: Sequence[dict | None],
-) -> int:
+    outcome: SweepOutcome,
+    lock_timeout: float | None,
+) -> None:
     """Fold worker shards into the main cache file in job order.
 
     The shards are authoritative (they are what survived on disk); any
     job whose shard line was lost falls back to the in-memory result.
     Failed jobs (result ``None`` and no shard line) are skipped — a
-    failure must never fabricate a cache entry.  Returns the number of
-    corrupt shard lines skipped during the merge, for the sweep report.
+    failure must never fabricate a cache entry.  The fold itself runs
+    under the cache's advisory lock and lands via atomic replace
+    (:func:`~repro.sim.resultcache.merge_cache_entries`): entries
+    already in the cache — e.g. written by an overlapping sweep — win,
+    so concurrent same-matrix sweeps converge on a byte-identical file.
+    Corrupt/CRC/lock-wait tallies land on ``outcome``.
     """
-    before = corrupt_line_total()
+    corrupt_before = corrupt_line_total()
+    crc_before = crc_failure_total()
     sharded: dict[str, dict] = {}
     for shard in sorted(shard_dir.glob("shard-*.jsonl")):
         # One streaming pass per shard — no intermediate per-shard dict.
         for key, result in iter_cache_entries(shard):
             sharded[key] = result
-    append_cache_entries(
+    stats = merge_cache_entries(
         cache_path,
         (
             (job.key, merged)
             for index, job in enumerate(jobs_list)
-            if (merged := sharded.get(job.key, results[index])) is not None
+            if (merged := sharded.get(job.key, outcome.results[index])) is not None
         ),
+        lock_timeout=lock_timeout,
     )
-    return corrupt_line_total() - before
+    outcome.corrupt_lines += corrupt_line_total() - corrupt_before
+    outcome.crc_failures += crc_failure_total() - crc_before
+    outcome.lock_waits += stats.lock_waits
 
 
 def _remove_shards(shard_dir: Path) -> None:

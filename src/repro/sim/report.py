@@ -178,10 +178,13 @@ def failed_cells_table(failures: Sequence[FailedCell]) -> str:
 
 
 def sweep_health_summary(counters: Mapping[str, Mapping]) -> str:
-    """One line of ``sweep/*`` health counters from a serialised registry.
+    """One line of sweep/cache health counters from a serialised registry.
 
     Accepts :meth:`~repro.obs.registry.CounterRegistry.as_dict` output;
     counters that never fired print as 0 so the line's shape is stable.
+    Covers the fault-tolerance counters (``sweep/*``) and the
+    persistence-layer ones (``cache/*``: lock contention, checksum
+    rejections, legacy lines folded in).
     """
     names = (
         ("retries", "sweep/retries"),
@@ -189,6 +192,10 @@ def sweep_health_summary(counters: Mapping[str, Mapping]) -> str:
         ("recovered workers", "sweep/recovered_workers"),
         ("cells salvaged from shards", "sweep/shard_recovered"),
         ("corrupt cache lines skipped", "sweep/corrupt_lines"),
+        ("lock waits", "cache/lock_waits"),
+        ("lock timeouts", "cache/lock_timeouts"),
+        ("CRC failures", "cache/crc_failures"),
+        ("migrated lines", "cache/migrated_lines"),
     )
     values = []
     for label, name in names:

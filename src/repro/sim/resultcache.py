@@ -1,35 +1,78 @@
-"""Result-cache JSONL file helpers.
+"""Result-cache JSONL file helpers (format v5: checksummed, lock-merged).
 
 The experiment runner and the parallel sweep engine share one on-disk
 format: JSON-lines files where every line is ``{"key": ..., "result":
-...}``.  This module owns encoding, tolerant loading and the single-writer
-append used when merging per-worker shards, so the main cache file and the
-worker shards can never drift apart.
+...}`` followed by a CRC32 suffix (``#xxxxxxxx`` over the JSON payload).
+This module owns encoding, tolerant loading, the locked append used for
+single-run stores and the atomic fold-in merge used by sweeps, so the
+main cache file and the worker shards can never drift apart — and no
+two processes can tear each other's writes.
+
+**Format v5** (this version): ``<canonical JSON>#<crc32 hex8>``.  The
+checksum turns silent corruption — a bit flipped at rest, a line torn
+mid-write whose remnant still parses — into a *detected*, counted,
+skipped line.  **Format v4** (plain JSON lines, no checksum) is read
+transparently; :func:`migrate_cache_dir` (surfaced as ``repro cache
+migrate``) upgrades whole files atomically.  The two are unambiguous:
+a JSON object line always ends with ``}``, never with ``#`` + 8 hex
+digits.
 
 Loading is *tolerant*: a worker interrupted mid-write (Ctrl-C, OOM kill,
 crashed pool) leaves a truncated final line behind, and a cache that
 refuses to load because of one torn line would throw away hours of sweep
 results.  Corrupt lines are skipped and reported via
-:class:`CorruptCacheLineWarning` — once per file per process, so a file
-that is prewarmed and then merged again does not repeat the warning.
+:class:`CorruptCacheLineWarning` — once per file per process — and
+*accounted* (:func:`corrupt_line_count`, :func:`corrupt_line_total`,
+:func:`crc_failure_count`, :func:`crc_failure_total`) so the sweep
+engine and ``repro stats`` surface every skip to the operator: silent
+data loss is a lie a report must not tell.
 
-Skipped lines are also *accounted*, not just warned about: every skip
-increments a per-file tally (:func:`corrupt_line_count`,
-:func:`corrupt_line_total`) that the sweep engine folds into its merge
-summary and ``repro stats``/``repro sweep`` surface to the operator —
-silent data loss is a lie a report must not tell.
+Write primitives and their concurrency contracts:
 
-:func:`iter_cache_entries` is the single streaming pass over a file; both
-the prewarm load and the shard merge consume it directly, so every shard
-is read and parsed exactly once, with no intermediate per-file dict.
+* :func:`append_cache_entries` — append under the cache's advisory lock
+  (:mod:`repro.sim.locking`); used for incremental single-run stores.
+  A crash mid-append leaves a torn tail the CRC detects.
+* :func:`merge_cache_entries` — the sweep merge: under the lock, fold
+  new entries into whatever the file holds *now* (existing keys win —
+  a second writer folds in, never clobbers), then rewrite atomically
+  via temp file + ``fsync`` + ``os.replace``.  Two overlapping sweeps
+  over the same matrix produce a cache byte-identical to a clean
+  serial run.
+* :func:`write_cache_entries` — the atomic rewrite primitive (no lock;
+  callers hold it), also used by migration so an interrupted migrate
+  leaves the original file intact.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
 import warnings
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
+
+from repro.sim.locking import FileLock
+
+#: Cache format version: bumped whenever simulator behaviour *or* the
+#: on-disk format changes.  v5 is a format-only bump over v4 (per-line
+#: CRC32), so v4 results remain behaviourally valid and are read
+#: transparently / migrated; versions before 4 predate simulator
+#: behaviour changes and are never migrated.
+CACHE_VERSION = 5
+
+#: The newest prior version whose *results* are still valid (the v4 ->
+#: v5 bump changed only the line format, not the simulator).
+LEGACY_CACHE_VERSION = 4
+
+#: A v5 line ends with ``#`` + 8 lowercase hex digits (the CRC32 of the
+#: JSON payload before it).  A plain-JSON v4 line ends with ``}``.
+_CRC_SUFFIX_RE = re.compile(r"#([0-9a-f]{8})$")
+
+#: Cache file naming scheme shared by the runner and the cache tools.
+_CACHE_FILE_RE = re.compile(r"^results-v(\d+)-(.+)\.jsonl$")
 
 
 class CorruptCacheLineWarning(RuntimeWarning):
@@ -40,8 +83,13 @@ class CorruptCacheLineWarning(RuntimeWarning):
 #: most once per file however many times the file is re-read.
 _warned_corrupt: set[str] = set()
 
-#: Cumulative corrupt-line tally per resolved path, for this process.
+#: Cumulative skipped-line tally per resolved path, for this process
+#: (structural corruption and CRC failures combined).
 _corrupt_counts: dict[str, int] = {}
+
+#: Cumulative CRC-mismatch tally per resolved path (subset of the
+#: corrupt tally: lines the checksum — not the JSON parser — rejected).
+_crc_counts: dict[str, int] = {}
 
 
 def corrupt_line_count(path: Path) -> int:
@@ -58,52 +106,107 @@ def corrupt_line_total() -> int:
     return sum(_corrupt_counts.values())
 
 
+def crc_failure_count(path: Path) -> int:
+    """CRC-rejected lines so far (this process) while reading ``path``."""
+    return _crc_counts.get(str(path.resolve()), 0)
+
+
+def crc_failure_total() -> int:
+    """CRC-rejected lines so far (this process) across every file."""
+    return sum(_crc_counts.values())
+
+
+def cache_file_name(preset_name: str, version: int = CACHE_VERSION) -> str:
+    """Canonical cache file name for a preset at a format version."""
+    return f"results-v{version}-{preset_name}.jsonl"
+
+
+def _payload_crc(payload: str) -> str:
+    """CRC32 of a line's JSON payload, as 8 lowercase hex digits."""
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
 def encode_entry(key: str, result: dict) -> str:
-    """One cache line (without trailing newline) for ``key``/``result``.
+    """One v5 cache line (without trailing newline) for ``key``/``result``.
 
     Keys are sorted so the encoding is canonical: observability metrics
     travel inside ``result`` as nested dicts, and byte-identity between
-    serial and parallel sweeps must not depend on insertion order.
+    serial and parallel sweeps must not depend on insertion order.  The
+    trailing ``#crc32`` covers the JSON payload, so bit rot and torn
+    writes are detected on load rather than silently accepted.
     """
-    return json.dumps({"key": key, "result": result}, sort_keys=True)
+    payload = json.dumps({"key": key, "result": result}, sort_keys=True)
+    return f"{payload}#{_payload_crc(payload)}"
+
+
+def _decode_line(line: str) -> tuple[str, str | None, dict | None]:
+    """Classify one stripped, non-empty line.
+
+    Returns ``(status, key, result)`` where status is ``"ok"`` (a valid
+    v5 or legacy v4 entry), ``"crc"`` (v5-shaped but checksum mismatch)
+    or ``"corrupt"`` (unparseable or structurally wrong).
+    """
+    match = _CRC_SUFFIX_RE.search(line)
+    if match is not None:
+        payload = line[: match.start()]
+        if _payload_crc(payload) != match.group(1):
+            return "crc", None, None
+    else:
+        payload = line  # legacy v4: no checksum to verify
+    try:
+        entry = json.loads(payload)
+    except json.JSONDecodeError:
+        return "corrupt", None, None
+    if (
+        not isinstance(entry, dict)
+        or not isinstance(entry.get("key"), str)
+        or not isinstance(entry.get("result"), dict)
+    ):
+        return "corrupt", None, None
+    return "ok", entry["key"], entry["result"]
 
 
 def iter_cache_entries(path: Path) -> Iterator[tuple[str, dict]]:
     """Stream ``(key, result)`` pairs from a JSONL cache file, one pass.
 
-    Blank lines are ignored; truncated or structurally wrong lines are
-    skipped and reported with one :class:`CorruptCacheLineWarning` per
-    file per process.  A missing file yields nothing.
+    Accepts v5 (checksummed) and v4 (plain) lines interchangeably.
+    Blank lines are ignored; truncated, structurally wrong or
+    CRC-rejected lines are skipped, counted, and reported with one
+    :class:`CorruptCacheLineWarning` per file per process.  A missing
+    file yields nothing.
     """
     if not path.exists():
         return
     corrupt = 0
+    crc_failed = 0
     with path.open() as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
+            status, key, result = _decode_line(line)
+            if status == "ok":
+                assert key is not None and result is not None
+                yield key, result
+            elif status == "crc":
+                crc_failed += 1
+            else:
                 corrupt += 1
-                continue
-            if (
-                not isinstance(entry, dict)
-                or not isinstance(entry.get("key"), str)
-                or not isinstance(entry.get("result"), dict)
-            ):
-                corrupt += 1
-                continue
-            yield entry["key"], entry["result"]
-    if corrupt:
+    if corrupt or crc_failed:
         resolved = str(path.resolve())
-        _corrupt_counts[resolved] = _corrupt_counts.get(resolved, 0) + corrupt
+        skipped = corrupt + crc_failed
+        _corrupt_counts[resolved] = _corrupt_counts.get(resolved, 0) + skipped
+        if crc_failed:
+            _crc_counts[resolved] = _crc_counts.get(resolved, 0) + crc_failed
         if resolved not in _warned_corrupt:
             _warned_corrupt.add(resolved)
+            detail = (
+                f" ({crc_failed} failed the CRC check)" if crc_failed else ""
+            )
             warnings.warn(
-                f"{path}: skipped {corrupt} corrupt cache line(s); "
-                "likely a simulation interrupted mid-write",
+                f"{path}: skipped {skipped} corrupt cache line(s){detail}; "
+                "likely a simulation interrupted mid-write or at-rest "
+                "corruption",
                 CorruptCacheLineWarning,
                 stacklevel=2,
             )
@@ -119,15 +222,320 @@ def load_cache_entries(path: Path) -> dict[str, dict]:
     return dict(iter_cache_entries(path))
 
 
-def append_cache_entries(path: Path, items: Iterable[tuple[str, dict]]) -> int:
-    """Append ``(key, result)`` pairs to ``path``; returns lines written.
+def append_cache_entries(
+    path: Path,
+    items: Iterable[tuple[str, dict]],
+    *,
+    lock_timeout: float | None = None,
+) -> int:
+    """Append ``(key, result)`` v5 lines to ``path``; returns lines written.
 
-    This is the only merge/write primitive: exactly one process may call
-    it for a given file (workers write private shards, the parent merges).
+    The append happens under ``path``'s advisory lock, so concurrent
+    appenders and mergers serialise instead of interleaving bytes.  A
+    crash mid-append can still tear the final line — which the CRC then
+    detects on the next load.
     """
     written = 0
-    with path.open("a") as handle:
-        for key, result in items:
-            handle.write(encode_entry(key, result) + "\n")
-            written += 1
+    with FileLock.for_target(path, timeout=lock_timeout):
+        with path.open("a") as handle:
+            for key, result in items:
+                handle.write(encode_entry(key, result) + "\n")
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
     return written
+
+
+def write_cache_entries(path: Path, items: Iterable[tuple[str, dict]]) -> int:
+    """Atomically replace ``path`` with the given entries; returns count.
+
+    Writes a temp file in the same directory, ``fsync``\\ s it, then
+    ``os.replace``\\ s it over the target — readers observe either the
+    old file or the new one, never a half-written hybrid, and a crash
+    at any point leaves the original intact.  Callers that race other
+    writers must hold the cache lock; this primitive itself does not
+    take it (migration and merge both call it with the lock held).
+    """
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    written = 0
+    try:
+        with tmp.open("w") as handle:
+            for key, result in items:
+                handle.write(encode_entry(key, result) + "\n")
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    _fsync_dir(path.parent)
+    return written
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (makes renames durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class MergeStats:
+    """What one locked fold-in merge did.
+
+    ``new_entries`` were appended by this merge; ``existing_entries``
+    were already present (and won over any incoming duplicate);
+    ``corrupt_lines`` / ``crc_failures`` count lines the tolerant read
+    of the *existing* file skipped (and the rewrite scrubbed);
+    ``lock_waits`` counts backoff sleeps while acquiring the cache lock.
+    """
+
+    new_entries: int
+    existing_entries: int
+    corrupt_lines: int
+    crc_failures: int
+    lock_waits: int
+
+
+def merge_cache_entries(
+    path: Path,
+    items: Iterable[tuple[str, dict]],
+    *,
+    lock_timeout: float | None = None,
+) -> MergeStats:
+    """Fold ``items`` into ``path`` under its lock, atomically.
+
+    The cooperative multi-writer merge: whatever the file holds *at
+    merge time* is re-read under the exclusive lock and kept — existing
+    keys win over incoming ones, so a second sweep folds its results in
+    without ever clobbering the first's.  New keys append in ``items``
+    order, which keeps a fresh cache byte-identical to a serial run.
+    The rewrite is atomic (temp file + ``fsync`` + ``os.replace``) and
+    scrubs any corrupt or checksum-failed lines it skipped (they are
+    counted in the returned :class:`MergeStats`).
+
+    When the file is already clean, fully v5 and contains every
+    incoming key, its bytes are left untouched.
+    """
+    lock = FileLock.for_target(path, timeout=lock_timeout)
+    with lock:
+        before_corrupt = corrupt_line_total()
+        before_crc = crc_failure_total()
+        order: list[str] = []
+        values: dict[str, dict] = {}
+        rewrite_needed = False
+        if path.exists():
+            with path.open() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        rewrite_needed = True  # scrub blank lines too
+                        continue
+                    status, key, result = _decode_line(line)
+                    if status != "ok":
+                        rewrite_needed = True  # scrub, but count via iter logic
+                        _account_skip(path, status)
+                        continue
+                    assert key is not None and result is not None
+                    if key in values:
+                        rewrite_needed = True  # dedup repeated keys
+                    else:
+                        order.append(key)
+                    values[key] = result
+                    if not _CRC_SUFFIX_RE.search(line):
+                        rewrite_needed = True  # upgrade legacy v4 lines
+        existing = len(order)
+        new = 0
+        for key, result in items:
+            if key not in values:
+                order.append(key)
+                values[key] = result
+                new += 1
+        if new or rewrite_needed:
+            write_cache_entries(path, ((key, values[key]) for key in order))
+    return MergeStats(
+        new_entries=new,
+        existing_entries=existing,
+        corrupt_lines=corrupt_line_total() - before_corrupt,
+        crc_failures=crc_failure_total() - before_crc,
+        lock_waits=lock.waits,
+    )
+
+
+def _account_skip(path: Path, status: str) -> None:
+    """Count one skipped line against ``path`` (merge-path accounting).
+
+    Mirrors :func:`iter_cache_entries`'s tallies so merges and plain
+    loads feed the same ``repro stats`` counters, but warns lazily (the
+    once-per-file warning still fires at most once per process).
+    """
+    resolved = str(path.resolve())
+    _corrupt_counts[resolved] = _corrupt_counts.get(resolved, 0) + 1
+    if status == "crc":
+        _crc_counts[resolved] = _crc_counts.get(resolved, 0) + 1
+    if resolved not in _warned_corrupt:
+        _warned_corrupt.add(resolved)
+        warnings.warn(
+            f"{path}: skipped corrupt cache line(s) during merge; "
+            "the atomic rewrite scrubbed them",
+            CorruptCacheLineWarning,
+            stacklevel=3,
+        )
+
+
+# ----------------------------------------------------------------------
+# Offline integrity tooling: `repro cache verify` / `repro cache migrate`.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheFileReport:
+    """Integrity census of one cache file (``repro cache verify``)."""
+
+    path: Path
+    lines: int = 0
+    entries: int = 0
+    plain_lines: int = 0
+    crc_failures: int = 0
+    corrupt_lines: int = 0
+    duplicate_keys: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing in the file was rejected."""
+        return self.crc_failures == 0 and self.corrupt_lines == 0
+
+
+def scan_cache_file(path: Path) -> CacheFileReport:
+    """Full integrity scan of one cache file (no warnings, no tallies).
+
+    Counts total lines, valid entries, legacy (un-checksummed) v4
+    lines, CRC rejections, structurally corrupt lines and duplicate
+    keys — the per-file census ``repro cache verify`` reports.
+    """
+    lines = entries = plain = crc_failed = corrupt = duplicates = 0
+    seen: set[str] = set()
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            lines += 1
+            status, key, _ = _decode_line(line)
+            if status == "crc":
+                crc_failed += 1
+            elif status == "corrupt":
+                corrupt += 1
+            else:
+                assert key is not None
+                entries += 1
+                if not _CRC_SUFFIX_RE.search(line):
+                    plain += 1
+                if key in seen:
+                    duplicates += 1
+                seen.add(key)
+    return CacheFileReport(
+        path=path,
+        lines=lines,
+        entries=entries,
+        plain_lines=plain,
+        crc_failures=crc_failed,
+        corrupt_lines=corrupt,
+        duplicate_keys=duplicates,
+    )
+
+
+def cache_files(directory: Path) -> list[tuple[Path, int]]:
+    """``(path, format version)`` for every cache file in ``directory``."""
+    out = []
+    for path in sorted(directory.glob("results-v*.jsonl")):
+        match = _CACHE_FILE_RE.match(path.name)
+        if match:
+            out.append((path, int(match.group(1))))
+    return out
+
+
+def verify_cache_dir(directory: Path) -> list[CacheFileReport]:
+    """Scan every cache file under ``directory``; returns per-file reports."""
+    return [scan_cache_file(path) for path, _ in cache_files(directory)]
+
+
+@dataclass(frozen=True)
+class MigrateResult:
+    """What ``repro cache migrate`` did to one cache file.
+
+    ``action`` is ``"migrated"`` (a legacy-version file upgraded to the
+    current name and format), ``"rewritten"`` (a current-version file
+    re-encoded in place to scrub plain or corrupt lines), ``"clean"``
+    (already fully v5, untouched) or ``"stale"`` (a pre-v4 file whose
+    results predate simulator behaviour changes — never migrated).
+    """
+
+    source: Path
+    target: Path
+    action: str
+    entries: int = 0
+    migrated_lines: int = 0
+
+
+def migrate_cache_file(
+    path: Path, version: int, *, lock_timeout: float | None = None
+) -> MigrateResult:
+    """Upgrade one cache file to format v5, atomically.
+
+    * A ``v4`` file's entries are folded into its v5 sibling (existing
+      v5 entries win), written atomically; the v4 original is removed
+      only after the replacement succeeds, so an interrupted migration
+      leaves it intact.
+    * A ``v5`` file containing legacy plain lines (or corrupt lines) is
+      rewritten in place under its lock; already-clean files are left
+      byte-untouched.
+    * Files older than v4 hold results from older simulator behaviour
+      and are reported ``stale``, never rewritten.
+    """
+    if version < LEGACY_CACHE_VERSION:
+        return MigrateResult(source=path, target=path, action="stale")
+    if version == LEGACY_CACHE_VERSION:
+        match = _CACHE_FILE_RE.match(path.name)
+        assert match is not None  # caller found it via cache_files()
+        target = path.with_name(cache_file_name(match.group(2)))
+        entries = list(iter_cache_entries(path))
+        stats = merge_cache_entries(target, entries, lock_timeout=lock_timeout)
+        path.unlink()  # only after the v5 replacement is durable
+        return MigrateResult(
+            source=path,
+            target=target,
+            action="migrated",
+            entries=stats.existing_entries + stats.new_entries,
+            migrated_lines=stats.new_entries,
+        )
+    report = scan_cache_file(path)
+    if report.clean and report.plain_lines == 0 and report.duplicate_keys == 0:
+        return MigrateResult(
+            source=path, target=path, action="clean", entries=report.entries
+        )
+    stats = merge_cache_entries(path, (), lock_timeout=lock_timeout)
+    return MigrateResult(
+        source=path,
+        target=path,
+        action="rewritten",
+        entries=stats.existing_entries,
+        migrated_lines=report.plain_lines,
+    )
+
+
+def migrate_cache_dir(
+    directory: Path, *, lock_timeout: float | None = None
+) -> list[MigrateResult]:
+    """Migrate every cache file under ``directory``; returns what happened."""
+    return [
+        migrate_cache_file(path, version, lock_timeout=lock_timeout)
+        for path, version in cache_files(directory)
+    ]

@@ -8,10 +8,21 @@ from a Pin/DynamoRIO capture).  The format is deliberately simple:
   :class:`~repro.workloads.trace.TraceMeta` fields,
 * the record count (u64),
 * three packed arrays written back to back: kinds (``b``), line
-  addresses (``q``), instruction deltas (``i``).
+  addresses (``q``), instruction deltas (``i``),
+* **v2 only**: a CRC32 footer (u32) over every preceding byte of the
+  file, so at-rest bit rot anywhere — header, metadata or records —
+  is *detected* instead of silently simulated.
 
 Arrays are stored in machine byte order with an explicit little-endian
 marker; readers byteswap when needed, so files travel across hosts.
+The CRC footer is computed over the on-disk (little-endian) bytes, so
+it also survives the trip.
+
+:func:`read_trace` accepts both versions; v1 files simply have no
+checksum to verify.  Either way the reader demands the file end exactly
+where the format says it does — trailing garbage (a concatenated
+second file, a partially overwritten longer file) raises
+:class:`TraceFormatError` rather than being ignored.
 """
 
 from __future__ import annotations
@@ -19,13 +30,17 @@ from __future__ import annotations
 import json
 import struct
 import sys
+import zlib
 from array import array
 from pathlib import Path
 
 from repro.workloads.trace import Trace, TraceMeta
 
 _MAGIC = b"RPTR"
-_VERSION = 1
+#: Current format version (v2 = v1 plus the CRC32 footer).
+_VERSION = 2
+#: Oldest version still readable (no footer).
+_LEGACY_VERSION = 1
 _LITTLE = sys.byteorder == "little"
 
 
@@ -33,62 +48,97 @@ class TraceFormatError(ValueError):
     """Raised when a trace file is malformed or unsupported."""
 
 
+class _CrcWriter:
+    """File-handle wrapper that CRCs every byte it forwards."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self.crc = 0
+
+    def write(self, data: bytes) -> None:
+        self.crc = zlib.crc32(data, self.crc)
+        self._handle.write(data)
+
+
 def write_trace(trace: Trace, path: str | Path) -> None:
-    """Serialise a trace to ``path``."""
+    """Serialise a trace to ``path`` (current format: v2, checksummed)."""
     meta_json = json.dumps(trace.meta.__dict__).encode("utf-8")
     kinds = trace.kinds if _LITTLE else _byteswapped(trace.kinds)
     addrs = trace.addrs if _LITTLE else _byteswapped(trace.addrs)
     deltas = trace.deltas if _LITTLE else _byteswapped(trace.deltas)
     with open(path, "wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(struct.pack("<HI", _VERSION, len(meta_json)))
-        handle.write(meta_json)
-        handle.write(struct.pack("<Q", len(trace)))
-        kinds.tofile(handle)
-        addrs.tofile(handle)
-        deltas.tofile(handle)
+        out = _CrcWriter(handle)
+        out.write(_MAGIC)
+        out.write(struct.pack("<HI", _VERSION, len(meta_json)))
+        out.write(meta_json)
+        out.write(struct.pack("<Q", len(trace)))
+        out.write(kinds.tobytes())
+        out.write(addrs.tobytes())
+        out.write(deltas.tobytes())
+        handle.write(struct.pack("<I", out.crc & 0xFFFFFFFF))
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Load a trace written by :func:`write_trace`."""
-    with open(path, "rb") as handle:
-        magic = handle.read(4)
-        if magic != _MAGIC:
-            raise TraceFormatError(f"{path}: not a trace file (magic {magic!r})")
-        header = handle.read(6)
-        if len(header) != 6:
-            raise TraceFormatError(f"{path}: truncated header")
-        version, meta_len = struct.unpack("<HI", header)
-        if version != _VERSION:
-            raise TraceFormatError(
-                f"{path}: unsupported version {version} (expected {_VERSION})"
-            )
-        meta_json = handle.read(meta_len)
-        if len(meta_json) != meta_len:
-            raise TraceFormatError(f"{path}: truncated metadata")
-        try:
-            meta = TraceMeta(**json.loads(meta_json))
-        except (TypeError, json.JSONDecodeError) as exc:
-            raise TraceFormatError(f"{path}: bad metadata: {exc}") from exc
-        count_raw = handle.read(8)
-        if len(count_raw) != 8:
-            raise TraceFormatError(f"{path}: truncated record count")
-        (count,) = struct.unpack("<Q", count_raw)
+    """Load a trace written by :func:`write_trace` (v1 or v2).
 
-        kinds = array("b")
-        addrs = array("q")
-        deltas = array("i")
-        try:
-            kinds.fromfile(handle, count)
-            addrs.fromfile(handle, count)
-            deltas.fromfile(handle, count)
-        except (EOFError, ValueError) as exc:
-            # EOFError: clean truncation; ValueError: torn final item.
-            raise TraceFormatError(f"{path}: truncated records") from exc
-        if not _LITTLE:
-            kinds = _byteswapped(kinds)
-            addrs = _byteswapped(addrs)
-            deltas = _byteswapped(deltas)
+    Truncation anywhere, trailing bytes past the end of the format, and
+    (for v2) any checksum mismatch all raise :class:`TraceFormatError`.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    crc = 0
+
+    def take(count: int, what: str) -> bytes:
+        nonlocal offset, crc
+        chunk = data[offset : offset + count]
+        if len(chunk) != count:
+            raise TraceFormatError(f"{path}: truncated {what}")
+        offset += count
+        crc = zlib.crc32(chunk, crc)
+        return chunk
+
+    offset = 0
+    magic = take(4, "magic")
+    if magic != _MAGIC:
+        raise TraceFormatError(f"{path}: not a trace file (magic {magic!r})")
+    version, meta_len = struct.unpack("<HI", take(6, "header"))
+    if version not in (_LEGACY_VERSION, _VERSION):
+        raise TraceFormatError(
+            f"{path}: unsupported version {version} (expected <= {_VERSION})"
+        )
+    meta_json = take(meta_len, "metadata")
+    try:
+        meta = TraceMeta(**json.loads(meta_json))
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(f"{path}: bad metadata: {exc}") from exc
+    (count,) = struct.unpack("<Q", take(8, "record count"))
+
+    kinds = array("b")
+    addrs = array("q")
+    deltas = array("i")
+    kinds.frombytes(take(count * kinds.itemsize, "records"))
+    addrs.frombytes(take(count * addrs.itemsize, "records"))
+    deltas.frombytes(take(count * deltas.itemsize, "records"))
+    if version >= _VERSION:
+        footer = data[offset : offset + 4]
+        if len(footer) != 4:
+            raise TraceFormatError(f"{path}: truncated checksum footer")
+        (stored,) = struct.unpack("<I", footer)
+        if stored != (crc & 0xFFFFFFFF):
+            raise TraceFormatError(
+                f"{path}: checksum mismatch (stored {stored:08x}, "
+                f"computed {crc & 0xFFFFFFFF:08x}); the file is corrupt"
+            )
+        offset += 4
+    if offset != len(data):
+        raise TraceFormatError(
+            f"{path}: {len(data) - offset} trailing byte(s) after the "
+            "trace payload; refusing a file the format does not account for"
+        )
+    if not _LITTLE:
+        kinds = _byteswapped(kinds)
+        addrs = _byteswapped(addrs)
+        deltas = _byteswapped(deltas)
     return Trace(meta, kinds=kinds, addrs=addrs, deltas=deltas)
 
 

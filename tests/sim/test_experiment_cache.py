@@ -20,14 +20,14 @@ class TestCacheKeys:
     def test_cache_file_embeds_cache_version(self, tmp_path):
         runner = ExperimentRunner(TEST, cache_dir=tmp_path)
         runner.run_single(BASELINE_2MB, "sjeng.1")
-        files = list(tmp_path.iterdir())
+        files = list(tmp_path.glob("results-*.jsonl"))
         assert len(files) == 1
         assert f"v{CACHE_VERSION}" in files[0].name
 
     def test_corrupt_cache_lines_are_skipped_with_a_warning(self, tmp_path):
         runner = ExperimentRunner(TEST, cache_dir=tmp_path)
         result = runner.run_single(BASELINE_2MB, "sjeng.1")
-        path = next(tmp_path.iterdir())
+        path = next(tmp_path.glob("results-*.jsonl"))
         with path.open("a") as handle:
             handle.write("{torn json\n")
         with pytest.warns(CorruptCacheLineWarning, match="1 corrupt"):
@@ -70,10 +70,18 @@ class TestCacheKeys:
         runner.run_single(BASELINE_2MB, "sjeng.1")
         assert not (tmp_path / ".repro_cache").exists()
 
-    def test_cache_entries_are_valid_json(self, tmp_path):
+    def test_cache_entries_are_checksummed_json(self, tmp_path):
+        """Every v5 line is canonical JSON plus a matching CRC32 suffix."""
+        import zlib
+
         runner = ExperimentRunner(TEST, cache_dir=tmp_path)
         runner.run_single(BASELINE_2MB, "sjeng.1")
-        path = next(tmp_path.iterdir())
+        path = next(tmp_path.glob("results-*.jsonl"))
         for line in path.read_text().splitlines():
-            entry = json.loads(line)
+            payload, _, crc = line.rpartition("#")
+            assert crc == f"{zlib.crc32(payload.encode()) & 0xFFFFFFFF:08x}"
+            entry = json.loads(payload)
             assert set(entry) == {"key", "result"}
+            # Canonical encoding: byte-identity across serial/parallel
+            # sweeps depends on sorted keys.
+            assert payload == json.dumps(entry, sort_keys=True)

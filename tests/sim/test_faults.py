@@ -180,6 +180,20 @@ class TestCorruptShards:
         assert _counter(runner, "sweep/corrupt_lines") == 1
         assert runner.corrupt_lines_skipped == 1
 
+    def test_torn_write_is_caught_by_crc_and_harmless(
+        self, tmp_path, monkeypatch, clean_reference
+    ):
+        """A checksum-failed shard line is detected, counted, skipped."""
+        results, cache_bytes = clean_reference
+        _arm(monkeypatch, tmp_path, "torn-write:0:1")
+        runner = ExperimentRunner(TEST, cache_dir=tmp_path / "torn-v5", jobs=2)
+        with pytest.warns(RuntimeWarning, match="CRC"):
+            assert _sweep(runner) == results
+        assert runner._cache_path.read_bytes() == cache_bytes
+        assert _counter(runner, "cache/crc_failures") == 1
+        # CRC failures are a subset of the corrupt-line tally.
+        assert _counter(runner, "sweep/corrupt_lines") == 1
+
     def test_corrupt_main_cache_lines_are_accounted_on_load(self, tmp_path):
         donor = ExperimentRunner(TEST, cache_dir=tmp_path, jobs=1)
         donor.run_single(BASELINE_2MB, "sjeng.1")

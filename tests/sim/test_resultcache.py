@@ -1,0 +1,222 @@
+"""Unit tests for the v5 checksummed result-cache format.
+
+The persistence contract under test: every line carries a CRC32 the
+loader verifies (bit rot becomes a *detected*, counted skip), merges
+fold into existing files under a lock via atomic replace (an interrupted
+merge leaves the original intact), and v4 caches keep working — read
+transparently, upgraded losslessly by migration.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.sim.resultcache import (
+    CACHE_VERSION,
+    CorruptCacheLineWarning,
+    LEGACY_CACHE_VERSION,
+    cache_file_name,
+    crc_failure_count,
+    encode_entry,
+    iter_cache_entries,
+    load_cache_entries,
+    merge_cache_entries,
+    migrate_cache_dir,
+    migrate_cache_file,
+    scan_cache_file,
+    verify_cache_dir,
+    write_cache_entries,
+)
+
+
+def _write_v5(path, entries):
+    with path.open("w") as handle:
+        for key, result in entries:
+            handle.write(encode_entry(key, result) + "\n")
+
+
+class TestLineFormat:
+    def test_encode_round_trips_through_iter(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        entries = [("a", {"ipc": 1.5}), ("b", {"ipc": 0.5, "obs": {"x": 1}})]
+        _write_v5(path, entries)
+        assert list(iter_cache_entries(path)) == entries
+
+    def test_v4_plain_lines_read_transparently(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text(json.dumps({"key": "old", "result": {"ipc": 2.0}}) + "\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CorruptCacheLineWarning)
+            assert load_cache_entries(path) == {"old": {"ipc": 2.0}}
+
+    def test_flipped_bit_is_detected_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        _write_v5(path, [("a", {"ipc": 1.5}), ("b", {"ipc": 0.5})])
+        raw = bytearray(path.read_bytes())
+        raw[14] ^= 0x08  # flip one payload bit in the first line
+        path.write_bytes(bytes(raw))
+        before = crc_failure_count(path)
+        with pytest.warns(CorruptCacheLineWarning, match="CRC"):
+            entries = load_cache_entries(path)
+        assert entries == {"b": {"ipc": 0.5}}  # survivor intact
+        assert crc_failure_count(path) - before == 1
+
+    def test_flipped_bit_in_crc_suffix_is_detected(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        line = encode_entry("a", {"ipc": 1.5})
+        digit = "0" if line[-1] != "0" else "1"
+        path.write_text(line[:-1] + digit + "\n")
+        with pytest.warns(CorruptCacheLineWarning):
+            assert load_cache_entries(path) == {}
+
+
+class TestMerge:
+    def test_merge_into_missing_file_equals_plain_write(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        entries = [("k1", {"v": 1}), ("k2", {"v": 2})]
+        stats = merge_cache_entries(a, entries)
+        write_cache_entries(b, entries)
+        assert a.read_bytes() == b.read_bytes()
+        assert stats.new_entries == 2 and stats.existing_entries == 0
+
+    def test_existing_keys_win_and_bytes_are_stable(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        merge_cache_entries(path, [("k1", {"v": 1}), ("k2", {"v": 2})])
+        first = path.read_bytes()
+        stats = merge_cache_entries(
+            path, [("k1", {"v": 999}), ("k2", {"v": 2})]
+        )
+        assert path.read_bytes() == first  # never clobbered, never rewritten
+        assert stats.new_entries == 0 and stats.existing_entries == 2
+
+    def test_new_keys_append_in_items_order(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        merge_cache_entries(path, [("k1", {"v": 1})])
+        merge_cache_entries(path, [("k3", {"v": 3}), ("k2", {"v": 2})])
+        assert [key for key, _ in iter_cache_entries(path)] == ["k1", "k3", "k2"]
+
+    def test_merge_scrubs_corrupt_lines_and_counts_them(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        _write_v5(path, [("k1", {"v": 1})])
+        with path.open("a") as handle:
+            handle.write('{"torn": \n')
+        with pytest.warns(CorruptCacheLineWarning):
+            stats = merge_cache_entries(path, [("k2", {"v": 2})])
+        assert stats.corrupt_lines == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CorruptCacheLineWarning)
+            assert load_cache_entries(path) == {"k1": {"v": 1}, "k2": {"v": 2}}
+
+    def test_merge_upgrades_legacy_lines_in_place(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text(json.dumps({"key": "old", "result": {"v": 0}}) + "\n")
+        merge_cache_entries(path, [("new", {"v": 1})])
+        for line in path.read_text().splitlines():
+            assert line.rpartition("#")[2].isalnum() and len(line.rpartition("#")[2]) == 8
+
+    def test_interrupted_rewrite_leaves_original_intact(self, tmp_path, monkeypatch):
+        import repro.sim.resultcache as rc
+
+        path = tmp_path / "cache.jsonl"
+        _write_v5(path, [("k1", {"v": 1})])
+        original = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash before replace")
+
+        monkeypatch.setattr(rc.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="injected"):
+            merge_cache_entries(path, [("k2", {"v": 2})])
+        monkeypatch.undo()
+        assert path.read_bytes() == original  # target untouched
+        assert not list(tmp_path.glob("*.tmp-*"))  # temp file cleaned up
+
+
+class TestVerifyAndMigrate:
+    def test_scan_reports_every_category(self, tmp_path):
+        path = tmp_path / cache_file_name("test")
+        _write_v5(path, [("k1", {"v": 1}), ("k1", {"v": 1})])  # duplicate
+        bad_crc = encode_entry("k2", {"v": 2})
+        digit = "0" if bad_crc[-1] != "0" else "1"
+        with path.open("a") as handle:
+            handle.write(json.dumps({"key": "legacy", "result": {}}) + "\n")
+            handle.write('{"torn": \n')
+            handle.write(bad_crc[:-1] + digit + "\n")  # checksum mismatch
+        report = scan_cache_file(path)
+        assert report.lines == 5
+        assert report.entries == 3
+        assert report.plain_lines == 1
+        assert report.corrupt_lines == 1
+        assert report.crc_failures == 1
+        assert report.duplicate_keys == 1
+        assert not report.clean
+
+    def test_migrate_v4_file_to_v5_sibling(self, tmp_path):
+        legacy = tmp_path / cache_file_name("test", LEGACY_CACHE_VERSION)
+        entries = {"k1": {"v": 1}, "k2": {"v": 2}}
+        legacy.write_text(
+            "".join(
+                json.dumps({"key": key, "result": result}) + "\n"
+                for key, result in entries.items()
+            )
+        )
+        [result] = migrate_cache_dir(tmp_path)
+        assert result.action == "migrated"
+        assert result.migrated_lines == 2
+        assert not legacy.exists()
+        target = tmp_path / cache_file_name("test")
+        assert load_cache_entries(target) == entries
+        assert scan_cache_file(target).clean
+
+    def test_migrate_keeps_existing_v5_entries_over_v4(self, tmp_path):
+        legacy = tmp_path / cache_file_name("test", LEGACY_CACHE_VERSION)
+        legacy.write_text(json.dumps({"key": "k", "result": {"v": "old"}}) + "\n")
+        current = tmp_path / cache_file_name("test")
+        _write_v5(current, [("k", {"v": "new"})])
+        migrate_cache_dir(tmp_path)
+        assert load_cache_entries(current) == {"k": {"v": "new"}}
+
+    def test_migrate_is_idempotent_on_clean_files(self, tmp_path):
+        path = tmp_path / cache_file_name("test")
+        _write_v5(path, [("k1", {"v": 1})])
+        before = path.read_bytes()
+        [result] = migrate_cache_dir(tmp_path)
+        assert result.action == "clean"
+        assert path.read_bytes() == before
+
+    def test_interrupted_migration_leaves_v4_intact(self, tmp_path, monkeypatch):
+        import repro.sim.resultcache as rc
+
+        legacy = tmp_path / cache_file_name("test", LEGACY_CACHE_VERSION)
+        legacy.write_text(json.dumps({"key": "k", "result": {"v": 1}}) + "\n")
+        original = legacy.read_bytes()
+        monkeypatch.setattr(
+            rc.os, "replace", lambda src, dst: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            migrate_cache_file(legacy, LEGACY_CACHE_VERSION)
+        monkeypatch.undo()
+        assert legacy.read_bytes() == original
+
+    def test_pre_v4_files_are_stale_and_untouched(self, tmp_path):
+        ancient = tmp_path / cache_file_name("test", 2)
+        ancient.write_text(json.dumps({"key": "k", "result": {}}) + "\n")
+        [result] = migrate_cache_dir(tmp_path)
+        assert result.action == "stale"
+        assert ancient.exists()
+
+    def test_verify_dir_covers_every_versioned_file(self, tmp_path):
+        _write_v5(tmp_path / cache_file_name("test"), [("k", {"v": 1})])
+        (tmp_path / cache_file_name("bench", LEGACY_CACHE_VERSION)).write_text(
+            json.dumps({"key": "k", "result": {}}) + "\n"
+        )
+        reports = verify_cache_dir(tmp_path)
+        assert len(reports) == 2
+        assert all(report.clean for report in reports)
+
+    def test_current_version_constants(self):
+        assert CACHE_VERSION == 5
+        assert LEGACY_CACHE_VERSION == 4

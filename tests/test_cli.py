@@ -195,3 +195,140 @@ class TestCommands:
         assert main(["compare", "--trace", "sjeng.1", "--preset", "test", "--jobs", "2"]) == 0
         parallel_out = capsys.readouterr().out
         assert parallel_out == serial_out
+
+
+class TestLockAndValidationFlags:
+    def test_lock_timeout_flag_everywhere(self):
+        for command in (
+            ["run", "--trace", "mcf.1"],
+            ["compare", "--trace", "mcf.1"],
+            ["stats", "--trace", "mcf.1"],
+            ["export"],
+            ["sweep"],
+            ["cache", "migrate"],
+        ):
+            args = build_parser().parse_args(command + ["--lock-timeout", "5"])
+            assert args.lock_timeout == 5.0
+
+    def test_lock_timeout_defaults_to_env_deferral(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.lock_timeout is None  # defer to $REPRO_LOCK_TIMEOUT
+
+    def test_cache_subcommand_parses(self):
+        args = build_parser().parse_args(["cache", "verify", "--strict"])
+        assert args.command == "cache"
+        assert args.cache_command == "verify"
+        assert args.strict
+        args = build_parser().parse_args(
+            ["cache", "migrate", "--cache-dir", "/tmp/x"]
+        )
+        assert args.cache_command == "migrate"
+        assert args.cache_dir == "/tmp/x"
+
+    def test_cache_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_unknown_policy_is_a_structured_cli_error(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["run", "--trace", "sjeng.1", "--preset", "test", "--policy", "mru"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "policy" in err and "'mru'" in err
+        assert "valid choices" in err and "nru" in err
+
+    def test_unknown_victim_policy_is_rejected_eagerly(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(
+            ["run", "--trace", "sjeng.1", "--preset", "test",
+             "--victim-policy", "bogus"]
+        )
+        assert code == 2
+        assert "victim_policy" in capsys.readouterr().err
+
+
+class TestCacheCommands:
+    @staticmethod
+    def _seed_cache(tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        return next(tmp_path.glob("results-v*.jsonl"))
+
+    def test_verify_clean_cache(self, capsys, tmp_path, monkeypatch):
+        self._seed_cache(tmp_path, monkeypatch)
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results-v5-test.jsonl" in out
+        assert "0 with rejected lines" in out
+
+    def test_verify_strict_fails_on_flipped_bit(self, capsys, tmp_path, monkeypatch):
+        cache_file = self._seed_cache(tmp_path, monkeypatch)
+        raw = bytearray(cache_file.read_bytes())
+        raw[20] ^= 0x04
+        cache_file.write_bytes(bytes(raw))
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert main(
+            ["cache", "verify", "--cache-dir", str(tmp_path), "--strict"]
+        ) == 1
+        assert "verification failed" in capsys.readouterr().err
+
+    def test_verify_empty_directory(self, capsys, tmp_path):
+        assert main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert "no cache files" in capsys.readouterr().out
+
+    def test_migrate_upgrades_v4_and_is_idempotent(self, capsys, tmp_path, monkeypatch):
+        import json as _json
+
+        from repro.sim.resultcache import load_cache_entries
+
+        cache_file = self._seed_cache(tmp_path, monkeypatch)
+        entries = load_cache_entries(cache_file)
+        legacy = tmp_path / "results-v4-test.jsonl"
+        legacy.write_text(
+            "".join(
+                _json.dumps({"key": key, "result": result}) + "\n"
+                for key, result in entries.items()
+            )
+        )
+        cache_file.unlink()  # only the v4 file remains
+        capsys.readouterr()
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results-v4-test.jsonl -> results-v5-test.jsonl" in out
+        assert not legacy.exists()
+        assert load_cache_entries(tmp_path / "results-v5-test.jsonl") == entries
+        # Second migrate: everything already clean.
+        assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        assert "already clean" in capsys.readouterr().out
+
+    def test_v4_cache_is_read_transparently_without_migration(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """An un-migrated v4 cache still serves hits (counted as migrated
+        lines in the health counters)."""
+        import json as _json
+
+        from repro.sim.resultcache import load_cache_entries
+
+        cache_file = self._seed_cache(tmp_path, monkeypatch)
+        entries = load_cache_entries(cache_file)
+        legacy = tmp_path / "results-v4-test.jsonl"
+        legacy.write_text(
+            "".join(
+                _json.dumps({"key": key, "result": result}) + "\n"
+                for key, result in entries.items()
+            )
+        )
+        cache_file.unlink()
+        capsys.readouterr()
+        assert main(
+            ["stats", "--trace", "sjeng.1", "--preset", "test", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["cache/migrated_lines"] >= 1
+        # Served from the legacy file: no new v5 file full of recomputes.
+        assert legacy.exists()

@@ -88,3 +88,100 @@ class TestErrorHandling:
         path.write_bytes(bytes(data))
         with pytest.raises(TraceFormatError):
             read_trace(path)
+
+    def test_trailing_garbage_rejected(self, tmp_path):
+        """Bytes past the end of the format are an error, not ignored."""
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        path.write_bytes(path.read_bytes() + b"\x00")
+        with pytest.raises(TraceFormatError, match="trailing"):
+            read_trace(path)
+
+    def test_concatenated_file_rejected(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data + data)  # e.g. a botched `cat a b > a`
+        with pytest.raises(TraceFormatError, match="trailing"):
+            read_trace(path)
+
+
+class TestCorruptionFuzz:
+    def test_truncation_at_every_offset_is_detected(self, tmp_path):
+        """No prefix of a trace file may load as a valid trace.
+
+        Exhaustive over every byte offset: the file is small, and a
+        single undetected truncation point would mean silently
+        simulating a shorter workload than the metadata claims.
+        """
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        data = path.read_bytes()
+        victim = tmp_path / "cut.rptr"
+        for cut in range(len(data)):
+            victim.write_bytes(data[:cut])
+            with pytest.raises(TraceFormatError):
+                read_trace(victim)
+
+    def test_flipped_bit_anywhere_never_passes_silently(self, tmp_path):
+        """The v2 CRC footer catches single-bit rot at any offset.
+
+        Flipping one bit must either raise (checksum/structure) or —
+        never — yield a trace that reads back successfully while
+        differing from the original.
+        """
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        victim = tmp_path / "flip.rptr"
+        step = 7  # every 7th byte keeps the sweep fast but offset-diverse
+        for offset in range(0, len(data), step):
+            flipped = bytearray(data)
+            flipped[offset] ^= 0x10
+            victim.write_bytes(bytes(flipped))
+            with pytest.raises(TraceFormatError):
+                read_trace(victim)
+
+
+class TestLegacyV1:
+    @staticmethod
+    def _write_v1(trace, path):
+        """A v1 writer: the current format minus the CRC footer."""
+        import json
+        import struct
+
+        meta_json = json.dumps(trace.meta.__dict__).encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(b"RPTR")
+            handle.write(struct.pack("<HI", 1, len(meta_json)))
+            handle.write(meta_json)
+            handle.write(struct.pack("<Q", len(trace)))
+            trace.kinds.tofile(handle)
+            trace.addrs.tofile(handle)
+            trace.deltas.tofile(handle)
+
+    def test_v1_files_still_load(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "old.rptr"
+        self._write_v1(trace, path)
+        loaded = read_trace(path)
+        assert loaded.meta == trace.meta
+        assert list(loaded.addrs) == list(trace.addrs)
+
+    def test_v1_trailing_garbage_still_rejected(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "old.rptr"
+        self._write_v1(trace, path)
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(TraceFormatError, match="trailing"):
+            read_trace(path)
+
+    def test_current_files_are_v2(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.rptr"
+        write_trace(trace, path)
+        assert path.read_bytes()[4] == 2  # version field
