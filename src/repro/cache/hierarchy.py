@@ -180,9 +180,10 @@ class CacheHierarchy:
         way = cset.lookup.get(addr)
         if way is not None:
             if l2._lru_inline:
-                state = cset.policy_state
-                state.clock += 1
-                state.stamps[way] = state.clock
+                index = cset.index
+                clock = l2.clocks[index] + 1
+                l2.clocks[index] = clock
+                l2.stamps[cset.base + way] = clock
             else:
                 l2.policy.on_hit(cset.policy_state, way)
             l2.stat_hits += 1
@@ -277,32 +278,34 @@ class CacheHierarchy:
         # victim travels as two locals instead of an EvictedLine.
         l1 = self.l1
         cset = l1._sets[addr & l1._set_mask]
-        valid = cset.valid
-        tags = cset.tags
-        dirty_bits = cset.dirty
+        valid = l1.valid
+        tags = l1.tags
+        dirty_bits = l1.dirty
+        stamps = l1.stamps
+        base = cset.base
+        ways = l1.ways
         victim_dirty = False
         victim_addr = 0
-        if cset.valid_count == len(valid):
-            state = cset.policy_state
-            stamps = state.stamps
-            way = stamps.index(min(stamps))
-            victim_addr = tags[way]
-            victim_dirty = dirty_bits[way]
+        if cset.valid_count == ways:
+            seg = stamps[base : base + ways]
+            slot = base + seg.index(min(seg))
+            victim_addr = tags[slot]
+            victim_dirty = dirty_bits[slot]
             del cset.lookup[victim_addr]
             l1.stat_evictions += 1
             if victim_dirty:
                 l1.stat_writebacks += 1
         else:
-            way = valid.index(False)
+            slot = valid.index(False, base, base + ways)
             cset.valid_count += 1
-            state = cset.policy_state
-            stamps = state.stamps
-        tags[way] = addr
-        valid[way] = True
-        dirty_bits[way] = is_write
-        cset.lookup[addr] = way
-        state.clock += 1
-        stamps[way] = state.clock
+        tags[slot] = addr
+        valid[slot] = True
+        dirty_bits[slot] = is_write
+        cset.lookup[addr] = slot - base
+        index = cset.index
+        clock = l1.clocks[index] + 1
+        l1.clocks[index] = clock
+        stamps[slot] = clock
         if victim_dirty:
             # Dirty L1 victim merges into the (inclusive) L2.
             if not self.l2.probe(victim_addr, is_write=True):
@@ -314,34 +317,39 @@ class CacheHierarchy:
         # always-LRU L2, caller-established miss, victim kept in locals.
         l2 = self.l2
         cset = l2._sets[addr & l2._set_mask]
-        valid = cset.valid
-        tags = cset.tags
-        dirty_bits = cset.dirty
-        if cset.valid_count < len(valid):
-            way = valid.index(False)
+        valid = l2.valid
+        tags = l2.tags
+        dirty_bits = l2.dirty
+        stamps = l2.stamps
+        clocks = l2.clocks
+        base = cset.base
+        ways = l2.ways
+        index = cset.index
+        if cset.valid_count < ways:
+            slot = valid.index(False, base, base + ways)
             cset.valid_count += 1
-            tags[way] = addr
-            valid[way] = True
-            dirty_bits[way] = dirty
-            cset.lookup[addr] = way
-            state = cset.policy_state
-            state.clock += 1
-            state.stamps[way] = state.clock
+            tags[slot] = addr
+            valid[slot] = True
+            dirty_bits[slot] = dirty
+            cset.lookup[addr] = slot - base
+            clock = clocks[index] + 1
+            clocks[index] = clock
+            stamps[slot] = clock
             return
-        state = cset.policy_state
-        stamps = state.stamps
-        way = stamps.index(min(stamps))
-        victim_addr = tags[way]
-        victim_dirty = dirty_bits[way]
+        seg = stamps[base : base + ways]
+        slot = base + seg.index(min(seg))
+        victim_addr = tags[slot]
+        victim_dirty = dirty_bits[slot]
         del cset.lookup[victim_addr]
         l2.stat_evictions += 1
         if victim_dirty:
             l2.stat_writebacks += 1
-        tags[way] = addr
-        dirty_bits[way] = dirty
-        cset.lookup[addr] = way
-        state.clock += 1
-        stamps[way] = state.clock
+        tags[slot] = addr
+        dirty_bits[slot] = dirty
+        cset.lookup[addr] = slot - base
+        clock = clocks[index] + 1
+        clocks[index] = clock
+        stamps[slot] = clock
 
         # L1 must not outlive its L2 copy (inclusive pair).  l1.invalidate,
         # inlined (always-LRU L1, same as _fill_l1).
@@ -350,11 +358,12 @@ class CacheHierarchy:
         l1way = l1set.lookup.pop(victim_addr, None)
         was_dirty = victim_dirty
         if l1way is not None:
-            was_dirty = was_dirty or l1set.dirty[l1way]
-            l1set.valid[l1way] = False
-            l1set.dirty[l1way] = False
+            l1slot = l1set.base + l1way
+            was_dirty = was_dirty or l1.dirty[l1slot]
+            l1.valid[l1slot] = False
+            l1.dirty[l1slot] = False
             l1set.valid_count -= 1
-            l1set.policy_state.stamps[l1way] = 0
+            l1.stamps[l1slot] = 0
         if was_dirty:
             stats = self.stats
             stats.writebacks_to_llc += 1
@@ -431,20 +440,22 @@ class CacheHierarchy:
                 present = dirty = False
             else:
                 present = True
-                dirty = cset.dirty[way]
-                cset.valid[way] = False
-                cset.dirty[way] = False
+                slot = cset.base + way
+                dirty = l1.dirty[slot]
+                l1.valid[slot] = False
+                l1.dirty[slot] = False
                 cset.valid_count -= 1
-                cset.policy_state.stamps[way] = 0
+                l1.stamps[slot] = 0
             cset = l2._sets[addr & l2._set_mask]
             way = cset.lookup.pop(addr, None)
             if way is not None:
                 present = True
-                dirty = dirty or cset.dirty[way]
-                cset.valid[way] = False
-                cset.dirty[way] = False
+                slot = cset.base + way
+                dirty = dirty or l2.dirty[slot]
+                l2.valid[slot] = False
+                l2.dirty[slot] = False
                 cset.valid_count -= 1
-                cset.policy_state.stamps[way] = 0
+                l2.stamps[slot] = 0
             if present:
                 self.stats.back_invalidations += 1
             if dirty and not wrote_back:

@@ -1,4 +1,4 @@
-"""Uncompressed set-associative cache.
+"""Uncompressed set-associative cache over flat columnar storage.
 
 This is the substrate used for the private L1/L2 caches, for the
 uncompressed-LLC baseline, and as the lockstep *shadow cache* that the test
@@ -9,6 +9,19 @@ The cache is line-granular and trace-driven: addresses are line numbers
 (byte address >> log2(line size)).  It separates ``probe`` (lookup + policy
 update on hit) from ``fill`` (allocation + victim eviction) so a hierarchy
 can thread misses through lower levels before filling.
+
+Storage layout (PR 6): one flat column per field across *all* sets —
+``tags``/``valid``/``dirty`` always, plus ``stamps``/``clocks`` for the
+inline LRU policy and ``referenced``/``hands`` for the inline NRU policy.
+Way ``w`` of set ``s`` lives at index ``s * ways + w``; each
+:class:`_Set` handle carries that base offset next to its lookup dict.
+The columns are plain Python lists, deliberately: CPython indexes lists
+2-4x faster than ``array.array``/NumPy scalars, and the scalar engines
+touch these columns on every access, while the batch engine's vectorised
+probe snapshots a whole column with a single C call
+(``numpy.array(cache.tags)``) once per chunk — see
+:mod:`repro.sim.batch`.  Replacement policies outside the two inline
+fast paths keep their opaque per-set state objects, unchanged.
 """
 
 from __future__ import annotations
@@ -29,17 +42,20 @@ class EvictedLine(NamedTuple):
 
 
 class _Set:
-    """One cache set: per-way tag/valid/dirty plus policy state."""
+    """Per-set handle: lookup dict plus this set's offset into the columns."""
 
-    __slots__ = ("tags", "valid", "dirty", "policy_state", "lookup", "valid_count")
+    __slots__ = ("index", "base", "lookup", "policy_state", "valid_count")
 
-    def __init__(self, ways: int, policy_state: object) -> None:
-        self.tags = [0] * ways
-        self.valid = [False] * ways
-        self.dirty = [False] * ways
-        self.policy_state = policy_state
+    def __init__(self, index: int, base: int, policy_state: object) -> None:
+        self.index = index
+        #: Flat-column offset of way 0: ``index * ways``.
+        self.base = base
         #: addr -> way, kept in sync with tags/valid for O(1) lookup.
         self.lookup: dict[int, int] = {}
+        #: Opaque per-set state for non-inline policies; None for the
+        #: inline LRU/NRU paths, whose state lives in the flat columns
+        #: (a single source of truth — a stale reader fails loudly).
+        self.policy_state = policy_state
         self.valid_count = 0
 
 
@@ -56,17 +72,39 @@ class SetAssociativeCache:
         self.policy = policy
         self.name = name
         ways = geometry.associativity
-        self._sets = [
-            _Set(ways, policy.make_set_state(ways, index))
-            for index in range(geometry.num_sets)
-        ]
-        self._set_mask = geometry.num_sets - 1
+        num_sets = geometry.num_sets
+        self.ways = ways
+        self._set_mask = num_sets - 1
         #: The private L1/L2 caches are always LRU and the default LLC
         #: policy is NRU; for exactly those policy classes, probe/fill
-        #: apply the touch inline instead of through a method call per
-        #: access.  Any other policy (or subclass) takes the generic path.
+        #: apply the touch inline on the flat columns instead of through
+        #: a method call per access.  Any other policy (or subclass)
+        #: takes the generic path over per-set state objects.
         self._lru_inline = type(policy) is LRUPolicy
         self._nru_inline = type(policy) is NRUPolicy
+        inline = self._lru_inline or self._nru_inline
+
+        total = num_sets * ways
+        self.tags = [0] * total
+        self.valid = [False] * total
+        self.dirty = [False] * total
+        #: LRU columns (inline path only): per-way timestamps and a
+        #: per-set clock.
+        self.stamps = [0] * total if self._lru_inline else None
+        self.clocks = [0] * num_sets if self._lru_inline else None
+        #: NRU columns (inline path only): per-way referenced bits and a
+        #: per-set rotating hand.
+        self.referenced = [False] * total if self._nru_inline else None
+        self.hands = [0] * num_sets if self._nru_inline else None
+
+        self._sets = [
+            _Set(
+                index,
+                index * ways,
+                None if inline else policy.make_set_state(ways, index),
+            )
+            for index in range(num_sets)
+        ]
         self.stat_hits = 0
         self.stat_misses = 0
         self.stat_evictions = 0
@@ -84,15 +122,16 @@ class SetAssociativeCache:
             self.stat_misses += 1
             return False
         if self._lru_inline:
-            state = cset.policy_state
-            state.clock += 1
-            state.stamps[way] = state.clock
+            index = cset.index
+            clock = self.clocks[index] + 1
+            self.clocks[index] = clock
+            self.stamps[cset.base + way] = clock
         elif self._nru_inline:
-            cset.policy_state.referenced[way] = True
+            self.referenced[cset.base + way] = True
         else:
             self.policy.on_hit(cset.policy_state, way)
         if is_write:
-            cset.dirty[way] = True
+            self.dirty[cset.base + way] = True
         self.stat_hits += 1
         return True
 
@@ -107,54 +146,58 @@ class SetAssociativeCache:
         lookup = cset.lookup
         if addr in lookup:
             raise ValueError(f"{self.name}: fill of already-present line {addr:#x}")
-        tags = cset.tags
-        dirty_bits = cset.dirty
+        base = cset.base
+        ways = self.ways
+        tags = self.tags
+        dirty_bits = self.dirty
+        valid = self.valid
         victim: EvictedLine | None = None
-        valid = cset.valid
-        if cset.valid_count == len(valid):
+        if cset.valid_count == ways:
             if self._lru_inline:
                 # Inline LRUPolicy.choose_victim: oldest stamp, first
                 # way on ties (index() returns the first minimum).
-                stamps = cset.policy_state.stamps
-                way = stamps.index(min(stamps))
+                seg = self.stamps[base : base + ways]
+                way = seg.index(min(seg))
             elif self._nru_inline:
                 # Inline NRUPolicy.choose_victim: first clear referenced
                 # bit from the rotating hand, with the classic reset when
                 # every bit is set.
-                state = cset.policy_state
-                referenced = state.referenced
-                ways = len(referenced)
-                hand = state.hand
+                referenced = self.referenced
+                index = cset.index
+                hand = self.hands[index]
                 try:
-                    way = referenced.index(False, hand)
+                    way = referenced.index(False, base + hand, base + ways) - base
                 except ValueError:
                     try:
-                        way = referenced.index(False, 0, hand)
+                        way = referenced.index(False, base, base + hand) - base
                     except ValueError:
-                        for w in range(ways):
+                        for w in range(base, base + ways):
                             referenced[w] = False
                         way = hand
-                state.hand = way + 1 if way + 1 < ways else 0
+                self.hands[index] = way + 1 if way + 1 < ways else 0
             else:
                 way = self.policy.choose_victim(cset.policy_state)
-            victim = EvictedLine(tags[way], dirty_bits[way])
-            del lookup[tags[way]]
+            slot = base + way
+            victim = EvictedLine(tags[slot], dirty_bits[slot])
+            del lookup[tags[slot]]
             self.stat_evictions += 1
             if victim.dirty:
                 self.stat_writebacks += 1
         else:
-            way = valid.index(False)
+            way = valid.index(False, base, base + ways) - base
+            slot = base + way
             cset.valid_count += 1
-        tags[way] = addr
-        valid[way] = True
-        dirty_bits[way] = dirty
+        tags[slot] = addr
+        valid[slot] = True
+        dirty_bits[slot] = dirty
         lookup[addr] = way
         if self._lru_inline:
-            state = cset.policy_state
-            state.clock += 1
-            state.stamps[way] = state.clock
+            index = cset.index
+            clock = self.clocks[index] + 1
+            self.clocks[index] = clock
+            self.stamps[slot] = clock
         elif self._nru_inline:
-            cset.policy_state.referenced[way] = True
+            self.referenced[slot] = True
         else:
             self.policy.on_fill(cset.policy_state, way)
         return victim
@@ -172,16 +215,17 @@ class SetAssociativeCache:
         way = cset.lookup.pop(addr, None)
         if way is None:
             return False, False
-        was_dirty = cset.dirty[way]
-        cset.valid[way] = False
-        cset.dirty[way] = False
+        slot = cset.base + way
+        was_dirty = self.dirty[slot]
+        self.valid[slot] = False
+        self.dirty[slot] = False
         cset.valid_count -= 1
         if self._lru_inline:
             # Inlined LRUPolicy.on_invalidate: free ways age to stamp 0.
-            cset.policy_state.stamps[way] = 0
+            self.stamps[slot] = 0
         elif self._nru_inline:
             # Inlined NRUPolicy.on_invalidate.
-            cset.policy_state.referenced[way] = False
+            self.referenced[slot] = False
         else:
             self.policy.on_invalidate(cset.policy_state, way)
         return True, was_dirty
@@ -193,7 +237,7 @@ class SetAssociativeCache:
         if way is not None:
             if self._nru_inline:
                 # Inlined NRUPolicy.on_hint: clear the referenced bit.
-                cset.policy_state.referenced[way] = False
+                self.referenced[cset.base + way] = False
             else:
                 self.policy.on_hint(cset.policy_state, way)
 
@@ -217,7 +261,7 @@ class SetAssociativeCache:
         """True iff ``addr`` is cached and modified."""
         cset = self._sets[addr & self._set_mask]
         way = cset.lookup.get(addr)
-        return way is not None and cset.dirty[way]
+        return way is not None and self.dirty[cset.base + way]
 
     def resident_lines(self) -> Iterator[int]:
         """All currently cached line addresses."""
@@ -226,20 +270,16 @@ class SetAssociativeCache:
 
     def set_contents(self, set_index: int) -> list[int]:
         """Valid line addresses in one set (order is way order)."""
-        cset = self._sets[set_index]
-        return [cset.tags[w] for w in range(len(cset.tags)) if cset.valid[w]]
+        base = set_index * self.ways
+        return [
+            self.tags[base + w]
+            for w in range(self.ways)
+            if self.valid[base + w]
+        ]
 
     def occupancy(self) -> int:
         """Number of valid lines."""
         return sum(len(cset.lookup) for cset in self._sets)
-
-    @staticmethod
-    def _free_way(cset: _Set) -> int | None:
-        valid = cset.valid
-        for way in range(len(valid)):
-            if not valid[way]:
-                return way
-        return None
 
     def __repr__(self) -> str:
         return (

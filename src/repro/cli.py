@@ -13,6 +13,7 @@ Exposes the paper's experiments and some exploration helpers::
     repro perf [--repeats 3] [--output BENCH_PERF.json]
     repro cache verify [--strict] [--cache-dir DIR]
     repro cache migrate [--cache-dir DIR]
+    repro trace migrate FILE [FILE ...]
 
 The figure/table benches proper live in ``benchmarks/`` and run through
 pytest; the CLI is the quick interactive front end.
@@ -22,11 +23,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from pathlib import Path
 
 from repro.power.area import paper_headline_area
+from repro.sim.engine import ENGINE_ENV, ENGINES, resolve_engine
 from repro.sim.config import (
     ARCH_BASE_VICTIM,
     ARCH_CHOICES,
@@ -309,7 +312,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cell in recomputed:
             print(f"      recomputed {cell}")
     print(f"  failed: {len(failures)} cells")
-    print("  " + sweep_health_summary(runner.registry.as_dict()))
+    print(
+        "  "
+        + sweep_health_summary(
+            runner.registry.as_dict(), engine=resolve_engine(None)
+        )
+    )
     if failures:
         print()
         print(failed_cells_table(failures))
@@ -430,6 +438,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     """Dispatch ``repro cache <action>``."""
     handlers = {"verify": _cmd_cache_verify, "migrate": _cmd_cache_migrate}
     return handlers[args.cache_command](args)
+
+
+def _cmd_trace_migrate(args: argparse.Namespace) -> int:
+    """Upgrade trace files to the columnar v3 format, atomically.
+
+    Each file is verified under its own format before the in-place
+    rewrite; already-v3 files are reported and left untouched.  A
+    malformed file stops the run with a structured error (exit 2 via the
+    TraceFormatError -> ValueError path), leaving every original intact.
+    """
+    from repro.workloads.traceio import migrate_trace
+
+    for path in args.paths:
+        try:
+            report = migrate_trace(path)
+        except OSError as exc:
+            print(f"error: {path}: {exc.strerror or exc}", file=sys.stderr)
+            return 2
+        if report.migrated:
+            print(
+                f"{report.path}: v{report.from_version} -> v3 "
+                f"({report.records} records)"
+            )
+        else:
+            print(f"{report.path}: already v3 ({report.records} records)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Dispatch ``repro trace <action>``."""
+    handlers = {"migrate": _cmd_trace_migrate}
+    return handlers[args.trace_command](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -562,11 +602,36 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="cache directory (default: $REPRO_CACHE_DIR or ./.repro_cache)",
         )
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect and maintain on-disk trace files"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_migrate = trace_sub.add_parser(
+        "migrate",
+        help="upgrade trace files in place to the columnar v3 format",
+    )
+    p_trace_migrate.add_argument(
+        "paths",
+        nargs="+",
+        metavar="FILE",
+        help="trace files to upgrade (verified, rewritten atomically)",
+    )
     return parser
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     """Attach the sweep-execution flags (--jobs/--retries/--job-timeout)."""
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "simulation inner loop; exported as $"
+            f"{ENGINE_ENV} so sweep workers inherit it "
+            f"(default ${ENGINE_ENV} or batch; results are engine-independent)"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -612,6 +677,11 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # --engine is exported to the environment (not threaded through call
+    # signatures) so parallel sweep workers — fork or spawn — inherit it.
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ[ENGINE_ENV] = engine
     handlers = {
         "list-experiments": _cmd_list_experiments,
         "list-traces": _cmd_list_traces,
@@ -623,6 +693,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

@@ -49,10 +49,15 @@ class UncompressedLLC(LLCArchitecture):
         if kind == _WRITEBACK:
             if way is not None:
                 if cache._nru_inline:
-                    cset.policy_state.referenced[way] = True
+                    cache.referenced[cset.base + way] = True
+                elif cache._lru_inline:
+                    index = cset.index
+                    clock = cache.clocks[index] + 1
+                    cache.clocks[index] = clock
+                    cache.stamps[cset.base + way] = clock
                 else:
                     cache.policy.on_hit(cset.policy_state, way)
-                cset.dirty[way] = True
+                cache.dirty[cset.base + way] = True
                 cache.stat_hits += 1
                 result.hit = True
                 result.data_writes = 1
@@ -71,11 +76,16 @@ class UncompressedLLC(LLCArchitecture):
                 return result
         elif way is not None:
             if cache._nru_inline:
-                cset.policy_state.referenced[way] = True
+                cache.referenced[cset.base + way] = True
+            elif cache._lru_inline:
+                index = cset.index
+                clock = cache.clocks[index] + 1
+                cache.clocks[index] = clock
+                cache.stamps[cset.base + way] = clock
             else:
                 cache.policy.on_hit(cset.policy_state, way)
             if is_write:
-                cset.dirty[way] = True
+                cache.dirty[cset.base + way] = True
             cache.stat_hits += 1
             result.hit = True
             result.data_reads = 1
@@ -90,27 +100,29 @@ class UncompressedLLC(LLCArchitecture):
             # cache.fill, inlined for the default NRU LLC: the miss above
             # established the line is absent, and the victim never needs
             # an EvictedLine.
-            valid = cset.valid
-            tags = cset.tags
-            dirty_bits = cset.dirty
-            if cset.valid_count == len(valid):
+            valid = cache.valid
+            tags = cache.tags
+            dirty_bits = cache.dirty
+            base = cset.base
+            ways = cache.ways
+            if cset.valid_count == ways:
                 # Inlined NRUPolicy.choose_victim (see cache.fill).
-                state = cset.policy_state
-                referenced = state.referenced
-                ways = len(referenced)
-                hand = state.hand
+                referenced = cache.referenced
+                index = cset.index
+                hand = cache.hands[index]
                 try:
-                    way = referenced.index(False, hand)
+                    way = referenced.index(False, base + hand, base + ways) - base
                 except ValueError:
                     try:
-                        way = referenced.index(False, 0, hand)
+                        way = referenced.index(False, base, base + hand) - base
                     except ValueError:
-                        for w in range(ways):
+                        for w in range(base, base + ways):
                             referenced[w] = False
                         way = hand
-                state.hand = way + 1 if way + 1 < ways else 0
-                victim_addr = tags[way]
-                victim_dirty = dirty_bits[way]
+                cache.hands[index] = way + 1 if way + 1 < ways else 0
+                slot = base + way
+                victim_addr = tags[slot]
+                victim_dirty = dirty_bits[slot]
                 del cset.lookup[victim_addr]
                 cache.stat_evictions += 1
                 if victim_dirty:
@@ -118,13 +130,14 @@ class UncompressedLLC(LLCArchitecture):
                     result.memory_writes = 1
                 result.invalidates.append((victim_addr, victim_dirty))
             else:
-                way = valid.index(False)
+                slot = valid.index(False, base, base + ways)
+                way = slot - base
                 cset.valid_count += 1
-            tags[way] = addr
-            valid[way] = True
-            dirty_bits[way] = is_write
+            tags[slot] = addr
+            valid[slot] = True
+            dirty_bits[slot] = is_write
             cset.lookup[addr] = way
-            cset.policy_state.referenced[way] = True
+            cache.referenced[slot] = True
         else:
             victim = cache.fill(addr, dirty=is_write)
             if victim is not None:
@@ -149,7 +162,7 @@ class UncompressedLLC(LLCArchitecture):
         way = cset.lookup.get(addr)
         if way is not None:
             if cache._nru_inline:
-                cset.policy_state.referenced[way] = False
+                cache.referenced[cset.base + way] = False
             else:
                 cache.policy.on_hint(cset.policy_state, way)
 

@@ -1,0 +1,269 @@
+"""Chunked batch access engine: vectorised L1 hit runs, scalar miss tail.
+
+The single-core inner loop spends most of its instructions deciding, one
+access at a time, that an address is an L1 hit and touching the LRU
+state.  This engine processes the trace in chunks: at each chunk start
+it snapshots the L1's flat tag/valid columns (two ``numpy.array`` calls
+— the columnar layout from :mod:`repro.cache.setassoc` exists for
+exactly this) and resolves the whole chunk's hit/way predictions with
+one vectorised probe.  Predictions stay exact precisely until the first
+predicted miss: L1 hits never change cache *membership*, so the leading
+run of predicted hits is applied wholesale with NumPy; everything from
+the first miss to the chunk end goes through the scalar fast-path body
+unchanged (misses mutate L1 membership, which invalidates the rest of
+the snapshot).  The next chunk re-snapshots.
+
+The vector apply reproduces the scalar loop bit-for-bit:
+
+* cycles accumulate through a seeded ``cumsum`` — a *sequential* IEEE
+  float64 fold, element-identical to the scalar ``cycles += delta *
+  base_cpi`` chain (``np.sum``'s pairwise reduction would not be);
+* exact LRU state: within a run each set's clock advances once per
+  touch, so a touch's stamp is ``clock_before[set] + rank-within-set``;
+  the final stamp of each (set, way) is its last touch's stamp, and
+  per-set clocks advance by per-set touch counts (``bincount``);
+* ``data.on_write`` fires per store, in trace order, with plain-int
+  addresses (NumPy integer scalars are kept out of all model state —
+  they would silently slow every later scalar touch);
+* victim-occupancy samples falling inside a run all observe the same
+  value, since a pure L1-hit run cannot change LLC state.
+
+Byte-identity against the traced reference loop — results and
+serialised observations — is enforced by the differential fuzz oracle
+in ``tests/sim/test_batch_equivalence.py``.
+
+NumPy is an optional dependency here: without it (or with a non-LRU
+L1) ``simulate_trace`` degrades to the scalar fast engine.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import L2, LLC
+
+try:  # NumPy is optional; the engine reports itself unavailable without it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    np = None  # type: ignore[assignment]
+
+#: Default accesses per chunk.  Large enough to amortise the snapshot +
+#: probe (~one numpy call per column plus one 8-way compare per access),
+#: small enough that a miss-heavy trace wastes little prediction work.
+DEFAULT_CHUNK = 4096
+
+#: First probe segment length.  Predictions past the first miss are
+#: discarded, so the probe grows geometrically from this floor instead
+#: of paying for the whole chunk up front — a miss-heavy chunk probes
+#: ~this many accesses, a fully-hitting chunk probes ~2x its length.
+PROBE_MIN = 512
+
+
+def available() -> bool:
+    """True when the batch engine can run in this interpreter."""
+    return np is not None
+
+
+def run_batch_loop(
+    deltas,
+    addrs,
+    kinds,
+    hierarchy,
+    core,
+    on_write,
+    victim_occupancy,
+    sample_every: int,
+    next_sample: int,
+    occupancy,
+    chunk_size: int | None = None,
+) -> None:
+    """Run one trace through the hierarchy in vectorised chunks.
+
+    Mutates ``hierarchy``/``core``/``occupancy`` exactly like the scalar
+    fast loop in :func:`repro.sim.single_core.simulate_trace`, including
+    the post-loop flush of locally batched counters.  ``next_sample`` is
+    ``-1`` when the LLC has no victim cache to sample.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    length = len(addrs)
+
+    l1 = hierarchy.l1
+    l1_sets = l1._sets
+    l1_mask = l1._set_mask
+    num_sets = l1_mask + 1
+    ways = l1.ways
+    l1_tags = l1.tags
+    l1_valid = l1.valid
+    l1_stamps = l1.stamps
+    l1_clocks = l1.clocks
+    l1_dirty = l1.dirty
+    after_l1_miss = hierarchy.access_after_l1_miss
+    base_cpi = core.base_cpi
+    l2_stall = core.l2_stall
+    llc_exposed = core.llc_exposed
+    mlp_llc = core.mlp_llc
+    mlp_memory = core.mlp_memory
+    cycles = core.cycles
+    instructions = core.instructions
+    stall_cycles = core.stall_cycles
+    l1_hits = 0
+    samples: list[int] = []
+
+    # Zero-copy views over the trace's packed array.array columns.
+    np_addrs = np.frombuffer(addrs, dtype=np.int64)
+    np_deltas = np.frombuffer(deltas, dtype=np.int32)
+    np_kinds = np.frombuffer(kinds, dtype=np.int8)
+
+    lo = 0
+    while lo < length:
+        hi = lo + chunk_size
+        if hi > length:
+            hi = length
+        # Snapshot probe: predictions are exact up to the first predicted
+        # miss (see module docstring).  Probed in geometrically growing
+        # segments so only consumed predictions are paid for.
+        tags2d = np.array(l1_tags, dtype=np.int64).reshape(num_sets, ways)
+        valid2d = np.array(l1_valid, dtype=bool).reshape(num_sets, ways)
+        run_len = 0
+        part_sets: list = []
+        part_ways: list = []
+        seg_lo = lo
+        seg = PROBE_MIN
+        while True:
+            seg_hi = seg_lo + seg
+            if seg_hi > hi:
+                seg_hi = hi
+            a = np_addrs[seg_lo:seg_hi]
+            sidx = a & l1_mask
+            eq = (tags2d[sidx] == a[:, None]) & valid2d[sidx]
+            seg_hit = eq.any(axis=1)
+            if seg_hit.all():
+                part_sets.append(sidx)
+                part_ways.append(eq.argmax(axis=1))
+                run_len += seg_hi - seg_lo
+                seg_lo = seg_hi
+                if seg_lo >= hi:
+                    break
+                seg *= 2
+            else:
+                k = int(np.argmax(~seg_hit))
+                if k:
+                    part_sets.append(sidx[:k])
+                    part_ways.append(eq[:k].argmax(axis=1))
+                    run_len += k
+                break
+        m = lo + run_len
+
+        if run_len:
+            # ---- vector-apply the leading hit run [lo, m) ----
+            if len(part_sets) == 1:
+                r_set = part_sets[0]
+                r_way = part_ways[0]
+            else:
+                r_set = np.concatenate(part_sets)
+                r_way = np.concatenate(part_ways)
+            r_flat = r_set * ways + r_way
+
+            # Exact LRU stamps: rank of each touch within its set's
+            # ordered touches (stable sort keeps trace order per set).
+            order = np.argsort(r_set, kind="stable")
+            s_sorted = r_set[order]
+            group_start = np.searchsorted(s_sorted, s_sorted, side="left")
+            ranks = np.empty(run_len, dtype=np.int64)
+            ranks[order] = np.arange(run_len, dtype=np.int64) - group_start + 1
+            clocks_np = np.array(l1_clocks, dtype=np.int64)
+            stamp_vals = clocks_np[r_set] + ranks
+
+            # Each (set, way)'s final stamp is its *last* touch's stamp.
+            order2 = np.argsort(r_flat, kind="stable")
+            f_sorted = r_flat[order2]
+            last = np.empty(run_len, dtype=bool)
+            last[-1] = True
+            np.not_equal(f_sorted[1:], f_sorted[:-1], out=last[:-1])
+            wb_pos = order2[last]
+            for flat, stamp in zip(
+                r_flat[wb_pos].tolist(), stamp_vals[wb_pos].tolist()
+            ):
+                l1_stamps[flat] = stamp
+
+            counts = np.bincount(r_set, minlength=num_sets)
+            touched = np.flatnonzero(counts)
+            for index, count in zip(touched.tolist(), counts[touched].tolist()):
+                l1_clocks[index] += count
+
+            # Stores: dirty bits (order-free) and on_write (in order).
+            wr_rel = np.flatnonzero(np_kinds[lo:m] == 1)
+            if wr_rel.size:
+                for flat in np.unique(r_flat[wr_rel]).tolist():
+                    l1_dirty[flat] = True
+                for j in wr_rel.tolist():
+                    on_write(addrs[lo + j])
+
+            d_run = np_deltas[lo:m]
+            instructions += int(d_run.sum(dtype=np.int64))
+            # Seeded sequential cumsum == the scalar float fold.
+            buf = np.empty(run_len + 1, dtype=np.float64)
+            buf[0] = cycles
+            np.multiply(d_run, base_cpi, out=buf[1:])
+            cycles = float(buf.cumsum()[-1])
+            l1_hits += run_len
+
+            if 0 <= next_sample < m:
+                value = victim_occupancy()
+                while next_sample < m:
+                    samples.append(value)
+                    next_sample += sample_every
+
+        # ---- scalar fast-path tail [m, hi): first miss onwards ----
+        for i in range(m, hi):
+            addr = addrs[i]
+            delta = deltas[i]
+            instructions += delta
+            cycles += delta * base_cpi
+            is_write = kinds[i] == 1
+            if is_write:
+                on_write(addr)
+            cset = l1_sets[addr & l1_mask]
+            way = cset.lookup.get(addr)
+            if way is not None:
+                index = cset.index
+                clock = l1_clocks[index] + 1
+                l1_clocks[index] = clock
+                l1_stamps[cset.base + way] = clock
+                if is_write:
+                    l1_dirty[cset.base + way] = True
+                l1_hits += 1
+            else:
+                hierarchy.now = cycles
+                outcome = after_l1_miss(addr, is_write)
+                level = outcome.level
+                if level == L2:
+                    stall = l2_stall
+                elif level == LLC:
+                    stall = (llc_exposed + outcome.extra_llc_cycles) / mlp_llc
+                else:
+                    stall = (
+                        llc_exposed
+                        + outcome.extra_llc_cycles
+                        + outcome.dram_latency
+                    ) / mlp_memory
+                cycles += stall
+                stall_cycles += stall
+            if i == next_sample:
+                samples.append(victim_occupancy())
+                next_sample += sample_every
+
+        lo = hi
+
+    # Flush the locally batched state, exactly like the fast loop.
+    core.cycles = cycles
+    core.instructions = instructions
+    core.stall_cycles = stall_cycles
+    stats = hierarchy.stats
+    stats.accesses += length
+    stats.l1_hits += l1_hits
+    l1.stat_hits += l1_hits
+    l1.stat_misses += length - l1_hits
+    for value in samples:
+        occupancy.observe(value)

@@ -1,0 +1,57 @@
+"""Simulation engine selection.
+
+``simulate_trace`` carries three equivalent inner loops (engines):
+
+``traced``
+    The reference loop — one ``hierarchy.access`` per demand access,
+    per-access counter updates, one tracer record per access.  Always
+    used when a tracer is active.
+``fast``
+    PR 3's profile-guided scalar loop: the L1 hit path inlined to a
+    dict lookup plus the LRU touch, counters batched in locals.
+``batch``
+    PR 6's chunked engine (:mod:`repro.sim.batch`): one vectorised
+    probe against an L1 snapshot per chunk resolves the leading run of
+    hits with NumPy, then the scalar fast path handles the miss tail.
+
+All three are proven byte-identical — results *and* serialised
+observations — by ``tests/sim/test_engine_equivalence.py`` and the
+differential fuzz oracle in ``tests/sim/test_batch_equivalence.py``.
+
+Selection order: explicit argument > ``$REPRO_ENGINE`` > ``batch``.
+The CLI's ``--engine`` writes the environment variable so parallel
+sweep workers (fork or spawn, see :mod:`repro.sim.parallel`) inherit
+the choice.  An engine that cannot run in the current configuration
+degrades silently (batch -> fast without NumPy or a non-LRU L1;
+fast -> traced with a non-LRU L1): the engines are interchangeable by
+construction, so degradation affects speed only, never results.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the engine for a whole process tree.
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Valid engine names, fastest first.
+ENGINES = ("batch", "fast", "traced")
+
+DEFAULT_ENGINE = "batch"
+
+
+def resolve_engine(explicit: str | None = None) -> str:
+    """Resolve the requested engine name: explicit > env > default.
+
+    Raises :class:`ValueError` for unknown names from either source so a
+    typo in ``--engine``/``$REPRO_ENGINE`` fails the run instead of
+    silently simulating with the default.
+    """
+    requested = explicit
+    if requested is None:
+        requested = os.environ.get(ENGINE_ENV, "").strip() or DEFAULT_ENGINE
+    if requested not in ENGINES:
+        raise ValueError(
+            f"unknown engine {requested!r}; expected one of {', '.join(ENGINES)}"
+        )
+    return requested

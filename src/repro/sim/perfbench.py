@@ -34,6 +34,7 @@ from typing import Sequence
 
 from repro.obs.registry import CounterRegistry
 from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB, MachineConfig, Preset
+from repro.sim.engine import ENGINE_ENV, ENGINES, resolve_engine
 from repro.sim.single_core import simulate_trace
 from repro.workloads.suite import TraceSuite
 
@@ -71,15 +72,22 @@ def measure_matrix(
     trace_names: Sequence[str] = DEFAULT_TRACES,
     repeats: int = 3,
     progress=None,
+    engine: str | None = None,
 ) -> dict:
     """Measure accesses/sec for every (machine, trace) cell.
 
     Returns a plain-dict payload (see module docstring) ready for JSON
     serialisation.  ``progress``, if given, is called as
     ``progress(done, total, label)`` after each cell.
+
+    ``engine`` selects the inner loop (``None`` = ``$REPRO_ENGINE`` or
+    the default); the *requested* engine name is recorded in the payload
+    so :func:`check_regression` can refuse cross-engine comparisons — a
+    perf regression must never hide behind an engine switch.
     """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    engine_name = resolve_engine(engine)
     suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
     entries: list[dict] = []
     total = len(machines) * len(trace_names)
@@ -97,7 +105,8 @@ def measure_matrix(
                 registry = CounterRegistry()
                 started = time.perf_counter()
                 result = simulate_trace(
-                    trace, data, machine, preset, registry=registry
+                    trace, data, machine, preset, registry=registry,
+                    engine=engine_name,
                 )
                 elapsed = time.perf_counter() - started
                 accesses = result.accesses
@@ -129,6 +138,7 @@ def measure_matrix(
         "trace_length": preset.trace_length,
         "repeats": repeats,
         "jobs": 1,
+        "engine": engine_name,
         "host": host_meta(),
         "entries": entries,
         "aggregate": {
@@ -144,6 +154,15 @@ def aggregate_rate(payload: dict) -> float:
     return float(payload["aggregate"]["accesses_per_sec"])
 
 
+def payload_engine(payload: dict) -> str:
+    """Engine a measurement payload was taken with.
+
+    Payloads written before the engine field existed were all measured
+    with the scalar fast loop, so a missing key reads as ``"fast"``.
+    """
+    return payload.get("engine", "fast")
+
+
 def check_regression(
     current: dict,
     baseline: dict,
@@ -154,8 +173,22 @@ def check_regression(
     Returns a list of human-readable problems (empty = gate passes).
     Only the aggregate rate is gated — per-cell rates are far noisier —
     but cells slower than the allowance are reported as context.
+
+    Payloads measured with different engines are never compared: the
+    gate refuses outright, so a regression in one engine cannot hide
+    behind a faster engine's baseline (or vice versa).
     """
     problems: list[str] = []
+    current_engine = payload_engine(current)
+    baseline_engine = payload_engine(baseline)
+    if current_engine != baseline_engine:
+        problems.append(
+            f"engine mismatch: measurement used {current_engine!r} but the "
+            f"baseline was taken with {baseline_engine!r}; re-baseline or "
+            f"re-measure with the same engine (cross-engine throughput "
+            f"comparisons are refused)"
+        )
+        return problems
     floor = aggregate_rate(baseline) * (1.0 - max_regression)
     rate = aggregate_rate(current)
     if rate < floor:
@@ -207,7 +240,8 @@ def format_report(payload: dict) -> str:
     """Human-readable table of one measurement payload."""
     lines = [
         f"preset: {payload['preset']}   trace length: {payload['trace_length']}"
-        f"   repeats: {payload['repeats']}   jobs: {payload['jobs']}",
+        f"   repeats: {payload['repeats']}   jobs: {payload['jobs']}"
+        f"   engine: {payload_engine(payload)}",
         f"{'machine':40s} {'trace':12s} {'acc/sec':>12s} {'seconds':>9s}",
     ]
     for entry in payload["entries"]:
@@ -235,6 +269,13 @@ def add_arguments(parser) -> None:
         help=f"trace to measure (repeatable; default: {', '.join(DEFAULT_TRACES)})",
     )
     parser.add_argument("--repeats", type=int, default=3, metavar="N")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=f"inner loop to measure (default: ${ENGINE_ENV} or batch); "
+        "recorded in the payload so the gate refuses cross-engine comparisons",
+    )
     parser.add_argument(
         "--output", metavar="PATH", help="write the measurement payload as JSON"
     )
@@ -273,7 +314,11 @@ def run(args) -> int:
             print(file=sys.stderr)
 
     payload = measure_matrix(
-        preset, trace_names=traces, repeats=args.repeats, progress=progress
+        preset,
+        trace_names=traces,
+        repeats=args.repeats,
+        progress=progress,
+        engine=args.engine,
     )
     print(format_report(payload))
 

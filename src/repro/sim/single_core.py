@@ -12,6 +12,8 @@ from dataclasses import asdict, dataclass, field
 
 from repro.cache.hierarchy import L1, L2, LLC, CacheHierarchy
 from repro.compression.stats import publish_codec_histograms
+from repro.sim import batch
+from repro.sim.engine import resolve_engine
 from repro.memory.dram import DRAMModel
 from repro.obs.registry import CounterRegistry
 from repro.obs.tracing import TraceRecorder
@@ -98,6 +100,8 @@ def simulate_trace(
     preset: Preset,
     tracer: TraceRecorder | None = None,
     registry: CounterRegistry | None = None,
+    engine: str | None = None,
+    chunk_size: int | None = None,
 ) -> RunResult:
     """Run one trace through one machine configuration.
 
@@ -106,6 +110,13 @@ def simulate_trace(
     simulation state.  ``registry`` lets a caller keep the run's
     :class:`CounterRegistry` afterwards — the perf bench reads the
     ``phase/*`` timers, which never serialise into ``RunResult.obs``.
+
+    ``engine`` picks the inner loop (see :mod:`repro.sim.engine`);
+    ``None`` means ``$REPRO_ENGINE`` or the default.  An active tracer
+    always forces the traced reference loop.  ``chunk_size`` is the
+    batch engine's chunk length (tests exercise boundary cases with it).
+    The engine choice never appears in the result: all engines are
+    byte-identical, so a cached result is engine-independent.
     """
     llc = machine.build_llc(preset)
     dram = DRAMModel()
@@ -142,20 +153,45 @@ def simulate_trace(
     next_sample = sample_every - 1 if victim_occupancy is not None else -1
     occupancy = registry.histogram("llc/victim_occupancy")
 
-    # Two equivalent inner loops.  The traced loop is the reference: one
-    # hierarchy.access per demand access, per-access counter updates, one
-    # tracer.record per access.  The fast loop is the profile-guided
-    # version of the same computation: the L1 hit path (the overwhelming
-    # majority of accesses) is inlined down to a dict lookup plus the LRU
-    # timestamp touch, core timing runs on hoisted locals, and per-access
-    # counters accumulate in local ints flushed into HierarchyStats and
-    # the registry after the loop.  tests/sim/test_engine_equivalence.py
-    # proves the two produce byte-identical RunResults and observations.
+    # Three equivalent inner loops (see repro.sim.engine).  The traced
+    # loop is the reference: one hierarchy.access per demand access,
+    # per-access counter updates, one tracer.record per access.  The
+    # fast loop is the profile-guided scalar version of the same
+    # computation: the L1 hit path (the overwhelming majority of
+    # accesses) is inlined down to a dict lookup plus the LRU timestamp
+    # touch, core timing runs on hoisted locals, and per-access counters
+    # accumulate in local ints flushed into HierarchyStats and the
+    # registry after the loop.  The batch loop (repro.sim.batch)
+    # vector-resolves each chunk's leading run of L1 hits and hands the
+    # miss tail to the scalar body.  tests/sim/test_engine_equivalence
+    # .py and tests/sim/test_batch_equivalence.py prove all three
+    # produce byte-identical RunResults and observations.
     l1 = hierarchy.l1
-    fast_loop = tracer is None and l1._lru_inline
+    if tracer is not None:
+        engine_name = "traced"
+    else:
+        engine_name = resolve_engine(engine)
+        if engine_name == "batch" and not (l1._lru_inline and batch.available()):
+            engine_name = "fast"
+        if engine_name == "fast" and not l1._lru_inline:
+            engine_name = "traced"
 
     with registry.timer("phase/simulate"):
-        if not fast_loop:
+        if engine_name == "batch":
+            batch.run_batch_loop(
+                deltas,
+                addrs,
+                kinds,
+                hierarchy,
+                core,
+                on_write,
+                victim_occupancy,
+                sample_every,
+                next_sample,
+                occupancy,
+                chunk_size=chunk_size,
+            )
+        elif engine_name == "traced":
             for i in range(length):
                 advance(deltas[i])
                 hierarchy.now = core.cycles
@@ -174,6 +210,9 @@ def simulate_trace(
         else:
             l1_sets = l1._sets
             l1_mask = l1._set_mask
+            l1_stamps = l1.stamps
+            l1_clocks = l1.clocks
+            l1_dirty = l1.dirty
             after_l1_miss = hierarchy.access_after_l1_miss
             base_cpi = core.base_cpi
             l2_stall = core.l2_stall
@@ -198,12 +237,14 @@ def simulate_trace(
                 cset = l1_sets[addr & l1_mask]
                 way = cset.lookup.get(addr)
                 if way is not None:
-                    # Inlined l1.probe hit: LRU touch plus the dirty bit.
-                    state = cset.policy_state
-                    state.clock += 1
-                    state.stamps[way] = state.clock
+                    # Inlined l1.probe hit: LRU touch plus the dirty bit,
+                    # on the cache's flat columns.
+                    index = cset.index
+                    clock = l1_clocks[index] + 1
+                    l1_clocks[index] = clock
+                    l1_stamps[cset.base + way] = clock
                     if is_write:
-                        cset.dirty[way] = True
+                        l1_dirty[cset.base + way] = True
                     l1_hits += 1
                 else:
                     hierarchy.now = cycles

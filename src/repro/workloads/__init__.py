@@ -19,7 +19,16 @@ from repro.workloads.suite import (
     TraceSuite,
 )
 from repro.workloads.trace import LOAD, STORE, Trace, TraceMeta
-from repro.workloads.traceio import read_trace, TraceFormatError, write_trace
+from repro.workloads.traceio import (
+    migrate_trace,
+    MigrationReport,
+    open_trace_columns,
+    read_trace,
+    trace_file_version,
+    TraceFormatError,
+    write_trace,
+    write_trace_v2,
+)
 
 __all__ = [
     "all_specs",
@@ -45,6 +54,11 @@ __all__ = [
     "TraceMeta",
     "TraceSpec",
     "TraceSuite",
+    "migrate_trace",
+    "MigrationReport",
+    "open_trace_columns",
     "read_trace",
+    "trace_file_version",
     "write_trace",
+    "write_trace_v2",
 ]

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import os
 
 import pytest
 
@@ -166,6 +167,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovered from cache: 2 cells" in out
         assert "recomputed: 0 cells" in out
+
+    def test_sweep_health_line_records_engine(self, capsys, tmp_path, monkeypatch):
+        """--engine exports $REPRO_ENGINE (inherited by sweep workers) and
+        the health line records the resolved engine, so sweep logs can
+        never be silently compared across engines."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert main(
+            [
+                "sweep", "--preset", "test", "--trace", "sjeng.1",
+                "--jobs", "1", "--engine", "traced",
+            ]
+        ) == 0
+        assert "engine: traced" in capsys.readouterr().out
+        assert os.environ["REPRO_ENGINE"] == "traced"
 
     def test_sweep_resume_reports_salvage(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

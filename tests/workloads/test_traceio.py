@@ -180,8 +180,8 @@ class TestLegacyV1:
         with pytest.raises(TraceFormatError, match="trailing"):
             read_trace(path)
 
-    def test_current_files_are_v2(self, tmp_path):
+    def test_current_files_are_v3(self, tmp_path):
         trace = small_trace()
         path = tmp_path / "t.rptr"
         write_trace(trace, path)
-        assert path.read_bytes()[4] == 2  # version field
+        assert path.read_bytes()[4] == 3  # version field
