@@ -10,6 +10,9 @@ Exposes the paper's experiments and some exploration helpers::
     repro area
     repro export --csv fig8.csv
     repro sweep [--resume] [--strict] [--retries 2] [--job-timeout 60]
+    repro serve [--preset test] [--socket PATH | --tcp HOST:PORT] [--jobs 4]
+    repro submit --trace mcf.1 [--sweep] [--wait] [--json]
+    repro serve-status [--json]
     repro perf [--repeats 3] [--output BENCH_PERF.json]
     repro cache verify [--strict] [--cache-dir DIR]
     repro cache migrate [--cache-dir DIR]
@@ -215,6 +218,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     },
                 },
             }
+            serve_stats = _serve_stats_snapshot()
+            if serve_stats is not None:
+                payload["serve"] = serve_stats
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         print(f"machine: {machine.label}")
@@ -227,6 +233,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             if name.startswith("cache/") and metric.get("kind") == "counter":
                 label = name.removeprefix("cache/").replace("_", " ")
                 print(f"cache {label}: {metric['value']}")
+        serve_stats = _serve_stats_snapshot()
+        if serve_stats is not None:
+            for name in sorted(serve_stats.get("counters", {})):
+                metric = serve_stats["counters"][name]
+                if name.startswith("serve/") and metric.get("kind") == "counter":
+                    label = name.removeprefix("serve/").replace("_", " ")
+                    print(f"serve {label}: {metric['value']}")
         print("wall time by phase:")
     for name, seconds in registry.timers.items():
         print(f"  {name:16s} {seconds:8.3f}s")
@@ -323,6 +336,200 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(failed_cells_table(failures))
         if args.strict:
             return 1
+    return 0
+
+
+def _serve_stats_snapshot() -> dict | None:
+    """The last server's ``serve-stats.json`` snapshot, if one exists."""
+    from repro.serve.stats import load_serve_stats
+
+    return load_serve_stats(default_cache_dir())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived experiment service until SIGTERM/SIGINT drain.
+
+    Clients connect over the unix socket (default: ``serve.sock`` next
+    to the result cache, or ``$REPRO_SERVE_SOCKET``) or TCP with
+    ``--tcp host:port``, submit (machine, trace) jobs or whole sweeps,
+    and stream back progress and results; the scheduler dedupes against
+    the result cache and in-flight work and batches the remainder onto
+    the worker pool.  Startup errors (a live server already on the
+    socket, an unbindable address) exit 2 with a one-line message; a
+    stale socket left by a killed server is reclaimed automatically.
+    """
+    import asyncio
+
+    from repro.serve.server import ExperimentServer, ServeError, parse_tcp
+
+    try:
+        server = ExperimentServer(
+            args.preset,
+            socket_path=Path(args.socket) if args.socket else None,
+            tcp=parse_tcp(args.tcp) if args.tcp else None,
+            jobs=args.jobs,
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            lock_timeout=args.lock_timeout,
+            max_queue=args.max_queue,
+            client_quota=args.client_quota,
+        )
+        return asyncio.run(server.run())
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:  # e.g. --tcp port already bound
+        print(f"error: cannot start server: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+
+
+def _submit_jobs_from_args(args: argparse.Namespace) -> list[dict]:
+    """Wire-format job list for ``repro submit``.
+
+    ``--sweep`` mirrors ``repro sweep``'s matrix — the (baseline,
+    base-victim) machine pair per trace — so a served sweep dedupes
+    against, and converges with, the classic offline one.  Otherwise
+    the single machine described by the ``--machine``/``--ways``/...
+    flags runs each trace.
+    """
+    from repro.serve.protocol import machine_to_wire
+
+    if args.sweep:
+        machines = [BASELINE_2MB, BASE_VICTIM_2MB]
+    else:
+        machines = [_machine_from_args(args)]
+    return [
+        {"trace": trace, "machine": machine_to_wire(machine)}
+        for machine in machines
+        for trace in args.traces
+    ]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit jobs to a running server; optionally wait for results.
+
+    Exit codes: 0 all jobs resolved (or accepted, without ``--wait``),
+    1 the submission was rejected or any job failed, 2 the server was
+    unreachable (missing/stale socket — one clean line, no traceback).
+    """
+    from repro.serve.client import Address, ServeClient, ServeClientError
+
+    jobs = _submit_jobs_from_args(args)
+    request_id = f"submit-{os.getpid()}"
+    summary: dict = {"id": request_id, "jobs": len(jobs)}
+    results: dict[str, dict] = {}
+    failures: list[dict] = []
+    try:
+        with ServeClient(
+            Address.from_args(args.socket, args.tcp), timeout=args.timeout
+        ) as client:
+            client.request(
+                {
+                    "op": "submit",
+                    "id": request_id,
+                    "jobs": jobs,
+                    "wait": bool(args.wait),
+                }
+            )
+            for event in client.events():
+                kind = event.get("event")
+                if kind == "accepted":
+                    summary["accepted"] = event
+                    if not args.json:
+                        print(
+                            f"accepted {event['jobs']} job(s): "
+                            f"{event['cache_hits']} cache hit(s), "
+                            f"{event['deduped']} deduped, "
+                            f"{event['enqueued']} enqueued",
+                            file=sys.stderr,
+                        )
+                    if not args.wait:
+                        break
+                elif kind == "rejected":
+                    summary["rejected"] = event
+                    print(
+                        f"error: submission rejected ({event.get('reason')}): "
+                        f"{event.get('detail')}",
+                        file=sys.stderr,
+                    )
+                    if args.json:
+                        print(json.dumps(summary, indent=2, sort_keys=True))
+                    return 1
+                elif kind == "progress":
+                    print(
+                        f"\r  {event.get('done')}/{event.get('total')} "
+                        f"{str(event.get('key'))[:60]:<60s}",
+                        end="",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                elif kind == "result":
+                    results[event["key"]] = event
+                elif kind == "failed":
+                    failures.append(event)
+                elif kind == "done":
+                    summary["done"] = event
+                    break
+                elif kind == "error":
+                    print(f"error: {event.get('message')}", file=sys.stderr)
+                    return 1
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.wait and summary.get("done") and not args.json:
+        print(file=sys.stderr)  # terminate the progress line
+        done = summary["done"]
+        print(
+            f"done: {done['completed']}/{done['jobs']} job(s) completed, "
+            f"{done['failed']} failed"
+        )
+        for key in sorted(results):
+            event = results[key]
+            ipc = event["result"].get("ipc")
+            ipc_text = f"  IPC={ipc:.4f}" if isinstance(ipc, float) else ""
+            print(f"  {event['machine']} x {event['trace']}{ipc_text}")
+    if args.json:
+        summary["results"] = {
+            key: event["result"] for key, event in sorted(results.items())
+        }
+        summary["failures"] = failures
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    for failure in failures:
+        print(
+            f"failed: {failure.get('key')}: {failure.get('error')}: "
+            f"{failure.get('message')}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    """Query a running server's live counters and queue state."""
+    from repro.serve.client import Address, ServeClient, ServeClientError
+
+    try:
+        with ServeClient(
+            Address.from_args(args.socket, args.tcp), timeout=args.timeout
+        ) as client:
+            client.request({"op": "status"})
+            status = client.next_event()
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"server pid {status.get('pid')}  preset={status.get('preset')}  "
+        f"jobs={status.get('jobs')}  draining={status.get('draining')}"
+    )
+    print(
+        f"queue depth: {status.get('queue_depth')}  "
+        f"in-flight jobs: {status.get('inflight_jobs')}"
+    )
+    for name in sorted(status.get("counters", {})):
+        label = name.removeprefix("serve/").replace("_", " ")
+        print(f"  {label:24s} {status['counters'][name]}")
     return 0
 
 
@@ -617,6 +824,114 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="trace files to upgrade (verified, rewritten atomically)",
     )
+
+    from repro.serve.scheduler import DEFAULT_CLIENT_QUOTA, DEFAULT_MAX_QUEUE
+    from repro.serve.server import SOCKET_ENV
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment service (deduplicating job scheduler)",
+    )
+    p_serve.add_argument("--preset", default="bench", choices=sorted(PRESETS))
+    p_serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help=(
+            "unix socket to listen on "
+            f"(default ${SOCKET_ENV} or serve.sock in the cache directory)"
+        ),
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on TCP instead of a unix socket",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_MAX_QUEUE,
+        metavar="N",
+        help=(
+            "admission control: reject submissions once this many jobs "
+            f"are queued (default {DEFAULT_MAX_QUEUE})"
+        ),
+    )
+    p_serve.add_argument(
+        "--client-quota",
+        type=int,
+        default=DEFAULT_CLIENT_QUOTA,
+        metavar="N",
+        help=(
+            "max unresolved jobs per client connection "
+            f"(default {DEFAULT_CLIENT_QUOTA})"
+        ),
+    )
+    _add_jobs_argument(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to a running `repro serve` server"
+    )
+    p_submit.add_argument(
+        "--trace",
+        action="append",
+        required=True,
+        dest="traces",
+        metavar="NAME",
+        help="trace to run (repeatable)",
+    )
+    p_submit.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the sweep machine pair (baseline + base-victim) per trace",
+    )
+    p_submit.add_argument(
+        "--machine", default=ARCH_BASE_VICTIM, choices=ARCH_CHOICES
+    )
+    p_submit.add_argument("--ways", type=int, default=16)
+    p_submit.add_argument("--sets-mult", type=float, default=1.0)
+    p_submit.add_argument("--policy", default="nru")
+    p_submit.add_argument("--victim-policy", default="ecm")
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream progress and block until every job resolves",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+
+    p_serve_status = sub.add_parser(
+        "serve-status", help="query a running server's counters and queue"
+    )
+    p_serve_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    for p in (p_submit, p_serve_status):
+        p.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help=(
+                "server unix socket "
+                f"(default ${SOCKET_ENV} or serve.sock in the cache directory)"
+            ),
+        )
+        p.add_argument(
+            "--tcp",
+            default=None,
+            metavar="HOST:PORT",
+            help="connect over TCP instead of a unix socket",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="socket timeout while talking to the server (default: none)",
+        )
     return parser
 
 
@@ -694,6 +1009,9 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "cache": _cmd_cache,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "serve-status": _cmd_serve_status,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,58 @@
+"""The ``serve-stats.json`` snapshot bridging the server and ``repro stats``.
+
+The server is a separate long-lived process, so its ``serve/*``
+counters are not visible to a later ``repro stats`` invocation the way
+a runner's own counters are.  The bridge is a tiny JSON snapshot in the
+cache directory: the server rewrites it atomically after every batch
+and once more at drain, and ``repro stats`` (and tests, and the CI
+smoke jobs) read it back.  Live counters are always available over the
+socket via ``repro serve-status``; the file is the *post-mortem* view —
+what the server did, readable after it exited.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Snapshot file name inside the cache directory.
+STATS_FILE_NAME = "serve-stats.json"
+
+
+def serve_stats_path(cache_dir: Path) -> Path:
+    """Where the snapshot lives for a given cache directory."""
+    return cache_dir / STATS_FILE_NAME
+
+
+def write_serve_stats(cache_dir: Path, payload: dict) -> Path:
+    """Atomically (re)write the snapshot; returns its path.
+
+    Temp file + ``os.replace`` in the same directory, mirroring the
+    result cache's write discipline: readers observe either the old
+    snapshot or the new one, never a torn hybrid.
+    """
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = serve_stats_path(cache_dir)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def load_serve_stats(cache_dir: Path) -> dict | None:
+    """Read the snapshot back; ``None`` if absent or unreadable.
+
+    A corrupt snapshot is treated as absent — it is an observability
+    artifact, never load-bearing state, so tolerating rot beats
+    failing a stats report over it.
+    """
+    path = serve_stats_path(cache_dir)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None

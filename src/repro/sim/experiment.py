@@ -402,6 +402,24 @@ class ExperimentRunner:
         if outcome.corrupt_lines:
             self.corrupt_lines_skipped += outcome.corrupt_lines
 
+    @property
+    def cache_path(self) -> Path | None:
+        """The on-disk cache file this runner reads and writes (if any)."""
+        return self._cache_path
+
+    def job_key(self, machine: MachineConfig, trace_name: str) -> str:
+        """Public cache key for one (machine, trace) run at this preset.
+
+        The key the experiment service dedupes on: identical keys mean
+        identical simulations, so a submission matching a cached or
+        in-flight key never reaches a worker.
+        """
+        return self._single_key(machine, trace_name, self.preset.trace_length)
+
+    def cached_payload(self, key: str) -> dict | None:
+        """The cached serialised result for ``key``, or ``None`` (no accounting)."""
+        return self._memory.get(key)
+
     def _single_result(self, machine: MachineConfig, trace_name: str) -> RunResult:
         """Fetch a prewarmed single run from memory (no accounting)."""
         key = self._single_key(machine, trace_name, self.preset.trace_length)

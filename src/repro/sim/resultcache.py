@@ -369,6 +369,56 @@ def merge_cache_entries(
     )
 
 
+def canonicalize_cache_file(
+    path: Path, *, lock_timeout: float | None = None
+) -> int:
+    """Rewrite ``path`` with entries sorted by key; returns the entry count.
+
+    The experiment service's determinism primitive: a server interleaves
+    batches from many clients, so its cache file would otherwise end up
+    ordered by *arrival*, which is not reproducible.  Sorting by key
+    (under the cache's advisory lock, via the atomic
+    :func:`write_cache_entries` rewrite) makes the bytes a pure function
+    of the entry set — any mix of concurrent clients converges on the
+    cache a clean serial run of the union of their jobs would leave.
+
+    Idempotent and conservative: an already-sorted, fully-v5, duplicate-
+    free file is left byte-untouched; duplicates resolve last-wins (the
+    append-path semantics); corrupt or CRC-failed lines are scrubbed and
+    counted like every other tolerant read.  A missing file is a no-op.
+    """
+    lock = FileLock.for_target(path, timeout=lock_timeout)
+    with lock:
+        if not path.exists():
+            return 0
+        order: list[str] = []
+        values: dict[str, dict] = {}
+        rewrite_needed = False
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    rewrite_needed = True
+                    continue
+                status, key, result = _decode_line(line)
+                if status != "ok":
+                    rewrite_needed = True
+                    _account_skip(path, status)
+                    continue
+                assert key is not None and result is not None
+                if key in values:
+                    rewrite_needed = True  # last-wins dedupe forces a rewrite
+                else:
+                    order.append(key)
+                values[key] = result
+                if not _CRC_SUFFIX_RE.search(line):
+                    rewrite_needed = True  # upgrade legacy v4 lines
+        ordered = sorted(values)
+        if rewrite_needed or order != ordered:
+            write_cache_entries(path, ((key, values[key]) for key in ordered))
+    return len(values)
+
+
 def _account_skip(path: Path, status: str) -> None:
     """Count one skipped line against ``path`` (merge-path accounting).
 

@@ -1,0 +1,159 @@
+"""Unit tests for the serve wire protocol.
+
+Every way a confused or hostile peer can hand us a line we must not act
+on — oversized, non-UTF-8, non-JSON, wrong shape, unknown fields, bad
+machine configs — must raise ProtocolError at the boundary, before any
+simulation state is touched.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    MAX_JOBS_PER_SUBMIT,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    machine_to_wire,
+    parse_machine,
+    parse_submit,
+)
+from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB
+
+TRACES = frozenset({"sjeng.1", "mcf.1"})
+
+
+class TestFrames:
+    def test_roundtrip_is_canonical(self):
+        frame = encode_frame({"b": 1, "a": [2, 3]})
+        assert frame.endswith(b"\n")
+        assert frame == b'{"a": [2, 3], "b": 1}\n'
+        assert decode_frame(frame) == {"a": [2, 3], "b": 1}
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"pad": "x" * MAX_FRAME_BYTES})
+
+    def test_oversized_decode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(b"x" * (MAX_FRAME_BYTES + 1))
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"",
+            b"\n",
+            b"   \n",
+            b"\xff\xfe garbage",
+            b"{not json}\n",
+            b"[1, 2, 3]\n",
+            b'"just a string"\n',
+            b"42\n",
+        ],
+    )
+    def test_malformed_frames_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            decode_frame(raw)
+
+    def test_str_input_accepted(self):
+        assert decode_frame('{"op": "status"}') == {"op": "status"}
+
+
+class TestMachineSpec:
+    def test_default_is_validated_base_victim(self):
+        machine = parse_machine(None)
+        assert machine.arch == "base-victim"
+
+    def test_roundtrip_through_wire_form(self):
+        for machine in (BASELINE_2MB, BASE_VICTIM_2MB):
+            assert parse_machine(machine_to_wire(machine)) == machine
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown machine field"):
+            parse_machine({"waze": 16})
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"ways": "sixteen"},
+            {"ways": True},
+            {"sets_mult": "1.0"},
+            {"arch": 7},
+            "base-victim",
+        ],
+    )
+    def test_wrong_types_rejected(self, spec):
+        with pytest.raises(ProtocolError):
+            parse_machine(spec)
+
+    def test_invalid_config_rejected_eagerly(self):
+        # A structurally fine spec with a semantically bad value must
+        # fail here, not inside a worker process.
+        with pytest.raises(ProtocolError):
+            parse_machine({"policy": "definitely-not-a-policy"})
+
+
+class TestSubmit:
+    def _frame(self, **overrides):
+        frame = {
+            "op": "submit",
+            "id": "req-1",
+            "jobs": [{"trace": "sjeng.1"}],
+            "wait": True,
+        }
+        frame.update(overrides)
+        return frame
+
+    def test_valid_submit_parses(self):
+        request = parse_submit(self._frame(), TRACES)
+        assert request.request_id == "req-1"
+        assert request.wait is True
+        assert [job.trace for job in request.jobs] == ["sjeng.1"]
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            parse_submit(self._frame(id=""), TRACES)
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown trace"):
+            parse_submit(
+                self._frame(jobs=[{"trace": "no-such-trace"}]), TRACES
+            )
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_submit(self._frame(jobs=[]), TRACES)
+
+    def test_non_bool_wait_rejected(self):
+        with pytest.raises(ProtocolError, match="wait"):
+            parse_submit(self._frame(wait="yes"), TRACES)
+
+    def test_unknown_job_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job field"):
+            parse_submit(
+                self._frame(jobs=[{"trace": "sjeng.1", "preset": "test"}]),
+                TRACES,
+            )
+
+    def test_too_many_jobs_rejected(self):
+        jobs = [{"trace": "sjeng.1"}] * (MAX_JOBS_PER_SUBMIT + 1)
+        with pytest.raises(ProtocolError, match="per-request limit"):
+            parse_submit(self._frame(jobs=jobs), TRACES)
+
+    def test_job_wire_roundtrip(self):
+        request = parse_submit(
+            self._frame(
+                jobs=[{"trace": "mcf.1", "machine": {"arch": "uncompressed"}}]
+            ),
+            TRACES,
+        )
+        wire = request.jobs[0].to_wire()
+        assert wire["trace"] == "mcf.1"
+        assert json.loads(json.dumps(wire)) == wire  # JSON-serialisable
+        reparsed = protocol.parse_job(wire, TRACES)
+        assert reparsed == request.jobs[0]

@@ -1,0 +1,202 @@
+"""In-process server tests: protocol errors, disconnects, stale sockets.
+
+These run the real ExperimentServer inside the test's event loop and
+talk to it over a real unix socket — but without subprocesses, so
+failure modes (oversized frames, mid-stream disconnects) can be staged
+byte by byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket as socketlib
+
+import pytest
+
+from repro.serve.protocol import MAX_FRAME_BYTES
+from repro.sim.config import BASE_VICTIM_2MB
+from repro.serve.server import (
+    ExperimentServer,
+    ServeError,
+    parse_tcp,
+    reclaim_stale_socket,
+)
+
+TIMEOUT = 120.0
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=TIMEOUT))
+
+
+class _Harness:
+    """One live in-process server plus client plumbing."""
+
+    def __init__(self, tmp_path):
+        self.socket_path = tmp_path / "serve.sock"
+        self.server = ExperimentServer(
+            "test",
+            socket_path=self.socket_path,
+            cache_dir=tmp_path / "cache",
+            jobs=1,
+        )
+        self._task: asyncio.Task | None = None
+
+    async def __aenter__(self):
+        self._task = asyncio.create_task(self.server.run())
+        while not self.socket_path.exists():
+            await asyncio.sleep(0.01)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self.server.scheduler.drain()
+        assert await self._task == 0
+
+    async def connect(self):
+        return await asyncio.open_unix_connection(
+            str(self.socket_path), limit=MAX_FRAME_BYTES + 4096
+        )
+
+    async def send(self, writer, raw: bytes):
+        writer.write(raw)
+        await writer.drain()
+
+    async def event(self, reader) -> dict:
+        line = await reader.readline()
+        assert line, "server closed the stream before replying"
+        return json.loads(line)
+
+
+class TestProtocolViolations:
+    def test_malformed_frame_gets_error_event_and_close(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b"{this is not json}\n")
+                error = await h.event(reader)
+                assert error["event"] == "error"
+                assert "JSON" in error["message"]
+                assert await reader.readline() == b""  # connection closed
+                writer.close()
+                # The server survives: a fresh connection still works.
+                reader2, writer2 = await h.connect()
+                await h.send(writer2, b'{"op": "status"}\n')
+                status = await h.event(reader2)
+                assert status["event"] == "status"
+                writer2.close()
+                counters = status["counters"]
+                assert counters["serve/protocol_errors"] == 1
+
+        _run(scenario())
+
+    def test_oversized_frame_gets_error_event(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b"x" * (MAX_FRAME_BYTES + 4096))
+                error = await h.event(reader)
+                assert error["event"] == "error"
+                assert "limit" in error["message"]
+                writer.close()
+
+        _run(scenario())
+
+    def test_unknown_op_gets_error_event(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b'{"op": "dance"}\n')
+                error = await h.event(reader)
+                assert error["event"] == "error"
+                assert "unknown op" in error["message"]
+                writer.close()
+
+        _run(scenario())
+
+    def test_invalid_job_gets_error_event(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                frame = {
+                    "op": "submit",
+                    "id": "r1",
+                    "jobs": [{"trace": "no-such-trace"}],
+                }
+                await h.send(writer, json.dumps(frame).encode() + b"\n")
+                error = await h.event(reader)
+                assert error["event"] == "error"
+                assert "unknown trace" in error["message"]
+                writer.close()
+
+        _run(scenario())
+
+
+class TestDisconnect:
+    def test_mid_stream_disconnect_leaves_server_healthy(self, tmp_path):
+        """A client that vanishes mid-submit detaches; its job still runs."""
+
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                frame = {
+                    "op": "submit",
+                    "id": "r1",
+                    "jobs": [{"trace": "sjeng.1"}],
+                    "wait": True,
+                }
+                await h.send(writer, json.dumps(frame).encode() + b"\n")
+                accepted = await h.event(reader)
+                assert accepted["event"] == "accepted"
+                writer.close()  # vanish before any result arrives
+
+                # The server keeps serving other clients...
+                reader2, writer2 = await h.connect()
+                await h.send(writer2, b'{"op": "status"}\n')
+                assert (await h.event(reader2))["event"] == "status"
+                writer2.close()
+
+                # ...and the orphaned job still completes into the cache.
+                while not h.server.scheduler.idle:
+                    await asyncio.sleep(0.05)
+            key = h.server.runner.job_key(BASE_VICTIM_2MB, "sjeng.1")
+            assert h.server.runner.cached_payload(key) is not None
+
+        _run(scenario())
+
+
+class TestStaleSocket:
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        path = tmp_path / "stale.sock"
+        listener = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.close()  # dead server: file remains, nothing accepts
+        assert path.exists()
+        assert reclaim_stale_socket(path) is True
+        assert not path.exists()
+
+    def test_missing_socket_is_a_noop(self, tmp_path):
+        assert reclaim_stale_socket(tmp_path / "absent.sock") is False
+
+    def test_live_server_is_never_clobbered(self, tmp_path):
+        path = tmp_path / "live.sock"
+        listener = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        listener.bind(str(path))
+        listener.listen(1)
+        try:
+            with pytest.raises(ServeError, match="already listening"):
+                reclaim_stale_socket(path)
+            assert path.exists()
+        finally:
+            listener.close()
+
+
+class TestParseTcp:
+    def test_valid_specs(self):
+        assert parse_tcp("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        assert parse_tcp("[::1]:8123") == ("::1", 8123)
+
+    @pytest.mark.parametrize("spec", ["8123", "host:", "host:abc", ":8123"])
+    def test_invalid_specs(self, spec):
+        with pytest.raises(ServeError):
+            parse_tcp(spec)

@@ -220,3 +220,59 @@ class TestVerifyAndMigrate:
     def test_current_version_constants(self):
         assert CACHE_VERSION == 5
         assert LEGACY_CACHE_VERSION == 4
+
+
+class TestCanonicalize:
+    """`canonicalize_cache_file`: the serve scheduler's byte-determinism pass."""
+
+    def test_sorts_entries_by_key(self, tmp_path):
+        from repro.sim.resultcache import canonicalize_cache_file
+
+        path = tmp_path / cache_file_name("test")
+        _write_v5(path, [("k3", {"v": 3}), ("k1", {"v": 1}), ("k2", {"v": 2})])
+        assert canonicalize_cache_file(path) == 3
+        assert [key for key, _ in iter_cache_entries(path)] == ["k1", "k2", "k3"]
+
+    def test_arrival_order_never_changes_final_bytes(self, tmp_path):
+        """The invariant serve relies on: bytes are a function of the set."""
+        from itertools import permutations
+
+        from repro.sim.resultcache import canonicalize_cache_file
+
+        entries = [("k1", {"v": 1}), ("k2", {"v": 2}), ("k3", {"v": 3})]
+        images = set()
+        for index, order in enumerate(permutations(entries)):
+            path = tmp_path / f"cache-{index}.jsonl"
+            for entry in order:
+                merge_cache_entries(path, [entry])  # one arrival at a time
+            canonicalize_cache_file(path)
+            images.add(path.read_bytes())
+        assert len(images) == 1
+
+    def test_sorted_clean_file_is_not_rewritten(self, tmp_path):
+        from repro.sim.resultcache import canonicalize_cache_file
+
+        path = tmp_path / cache_file_name("test")
+        _write_v5(path, [("k1", {"v": 1}), ("k2", {"v": 2})])
+        stamp = path.stat().st_mtime_ns
+        assert canonicalize_cache_file(path) == 2
+        assert path.stat().st_mtime_ns == stamp  # idempotent: no rewrite
+
+    def test_scrubs_duplicates_and_legacy_lines(self, tmp_path):
+        from repro.sim.resultcache import canonicalize_cache_file
+
+        path = tmp_path / cache_file_name("test")
+        _write_v5(path, [("k2", {"v": 2}), ("k2", {"v": "dupe"})])
+        with path.open("a") as handle:
+            handle.write(json.dumps({"key": "k1", "result": {"v": 1}}) + "\n")
+        assert canonicalize_cache_file(path) == 2
+        report = scan_cache_file(path)
+        assert report.clean and report.duplicate_keys == 0
+        # Duplicates resolve last-wins, matching the append-path
+        # semantics a crashed-and-rerun writer produces.
+        assert load_cache_entries(path) == {"k1": {"v": 1}, "k2": {"v": "dupe"}}
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        from repro.sim.resultcache import canonicalize_cache_file
+
+        assert canonicalize_cache_file(tmp_path / "absent.jsonl") == 0

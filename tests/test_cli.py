@@ -80,6 +80,83 @@ class TestParser:
         assert args.traces is None
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.preset == "bench"
+        assert args.socket is None and args.tcp is None
+        assert args.max_queue == 1024
+        assert args.client_quota == 256
+        assert args.jobs is None  # defer to $REPRO_JOBS / serial default
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--preset",
+                "test",
+                "--tcp",
+                "127.0.0.1:9000",
+                "--max-queue",
+                "8",
+                "--client-quota",
+                "2",
+                "--jobs",
+                "4",
+            ]
+        )
+        assert args.tcp == "127.0.0.1:9000"
+        assert args.max_queue == 8
+        assert args.client_quota == 2
+
+    def test_submit_traces_accumulate(self):
+        args = build_parser().parse_args(
+            ["submit", "--trace", "mcf.1", "--trace", "lbm.1", "--sweep", "--wait"]
+        )
+        assert args.traces == ["mcf.1", "lbm.1"]
+        assert args.sweep and args.wait and not args.json
+
+    def test_submit_requires_a_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_machine_flags_mirror_run(self):
+        args = build_parser().parse_args(
+            ["submit", "--trace", "mcf.1", "--machine", "uncompressed", "--ways", "8"]
+        )
+        assert args.machine == "uncompressed"
+        assert args.ways == 8
+
+    def test_serve_status_flags(self):
+        args = build_parser().parse_args(
+            ["serve-status", "--json", "--socket", "/tmp/x.sock", "--timeout", "5"]
+        )
+        assert args.json and args.socket == "/tmp/x.sock"
+        assert args.timeout == 5.0
+
+    def test_submit_sweep_expands_machine_pair(self):
+        from repro.cli import _submit_jobs_from_args
+
+        args = build_parser().parse_args(
+            ["submit", "--trace", "mcf.1", "--trace", "lbm.1", "--sweep"]
+        )
+        jobs = _submit_jobs_from_args(args)
+        assert len(jobs) == 4  # 2 machines x 2 traces
+        assert {job["machine"]["arch"] for job in jobs} == {
+            "uncompressed",
+            "base-victim",
+        }
+
+    def test_submit_single_machine_jobs(self):
+        from repro.cli import _submit_jobs_from_args
+
+        args = build_parser().parse_args(
+            ["submit", "--trace", "mcf.1", "--machine", "uncompressed"]
+        )
+        jobs = _submit_jobs_from_args(args)
+        assert [job["machine"]["arch"] for job in jobs] == ["uncompressed"]
+
+
 class TestCommands:
     def test_list_experiments(self, capsys):
         assert main(["list-experiments"]) == 0
