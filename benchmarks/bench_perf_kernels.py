@@ -5,6 +5,7 @@ workload once), these time the library's inner loops with repeated
 rounds, so performance regressions in the simulator itself are caught:
 
 * BDI compression/decompression throughput,
+* codec size computation, scalar vs vectorised, per codec,
 * LLC access throughput per architecture,
 * DRAM model request rate,
 * end-to-end hierarchy access rate.
@@ -12,9 +13,12 @@ rounds, so performance regressions in the simulator itself are caught:
 
 import struct
 
+import pytest
+
 from repro.cache.config import CacheGeometry
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cache.replacement import NRUPolicy, make_victim_policy
+from repro.compression import kernels, make_compressor
 from repro.compression.bdi import BDICompressor
 from repro.core.basevictim import BaseVictimLLC
 from repro.core.interfaces import AccessKind
@@ -52,6 +56,60 @@ def test_perf_bdi_roundtrip(benchmark):
             bdi.decompress(block)
 
     benchmark(kernel)
+
+
+def _codec_lines(n=256):
+    """Deterministic 64B lines spanning the compressibility spectrum."""
+    lines = []
+    state = 12345
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:
+            lines.append(b"\x00" * 64)
+        elif kind == 1:
+            base = 0x1000 + i * 97
+            lines.append(struct.pack("<8Q", *(base + j * (i % 5) for j in range(8))))
+        elif kind == 2:
+            lines.append(
+                struct.pack("<16i", *((j - 8) * (i % 7 + 1) for j in range(16)))
+            )
+        else:
+            out = bytearray()
+            for _ in range(64):
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                out.append(state & 0xFF)
+            lines.append(bytes(out))
+    return lines
+
+
+@pytest.mark.parametrize("codec", sorted(kernels.SIZE_KERNELS))
+def test_perf_codec_size_scalar(benchmark, codec):
+    """Scalar baseline: one compress() call per line, sizes only."""
+    compressor = make_compressor(codec)
+    lines = _codec_lines()
+
+    def kernel():
+        return [compressor.compress(line).size_bytes for line in lines]
+
+    benchmark(kernel)
+
+
+@pytest.mark.parametrize("codec", sorted(kernels.SIZE_KERNELS))
+def test_perf_codec_size_vectorized(benchmark, codec):
+    """One kernel pass over the whole line matrix (the load-time path)."""
+    if not kernels.available():
+        pytest.skip("NumPy unavailable; vectorised size kernels inactive")
+    lines = _codec_lines()
+    matrix = kernels.lines_matrix(lines)
+    size_kernel = kernels.SIZE_KERNELS[codec]
+
+    # The two rows must time identical work, or a regression in either
+    # path could hide behind a semantic drift between them.
+    compressor = make_compressor(codec)
+    scalar = [compressor.compress(line).size_bytes for line in lines]
+    assert size_kernel(matrix).tolist() == scalar
+
+    benchmark(lambda: size_kernel(matrix))
 
 
 def _address_stream(n=2048, footprint=4096):

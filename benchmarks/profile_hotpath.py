@@ -1,42 +1,36 @@
 #!/usr/bin/env python
 """cProfile harness for the simulation inner loop.
 
-Dumps the top-N functions by cumulative time for one (machine, trace)
-run, so perf PRs start from measured hot spots instead of guesses:
+Thin wrapper over ``repro perf --profile`` — the profiling logic lives
+in :mod:`repro.sim.perfbench` now, so the CLI and this script can never
+drift apart.  Kept for muscle memory and existing docs:
 
     PYTHONPATH=src python benchmarks/profile_hotpath.py
     PYTHONPATH=src python benchmarks/profile_hotpath.py \
         --machine baseline --trace lbm.1 --preset bench --sort tottime
 
-The profiled region is exactly one :func:`simulate_trace` call — trace
-generation and palette construction are excluded, matching what
-``repro perf`` measures.  ``--dump`` saves the raw pstats file for
-``snakeviz``/``pstats`` spelunking.
+The profiled region is one (machine, trace) matrix cell at
+``--repeats 1``: exactly one :func:`simulate_trace` call, as before.
+``--dump`` saves the raw pstats file for ``snakeviz``/``pstats``
+spelunking.
 """
 
 import argparse
-import cProfile
-import pstats
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB, PRESETS
-from repro.sim.single_core import simulate_trace
-from repro.workloads.suite import TraceSuite
-
-MACHINES = {
-    "baseline": BASELINE_2MB,
-    "base-victim": BASE_VICTIM_2MB,
-}
+from repro.sim.config import PRESETS
+from repro.sim.perfbench import PERF_MACHINES, main as perf_main
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--machine", default="base-victim", choices=sorted(MACHINES))
+    parser.add_argument(
+        "--machine", default="base-victim", choices=sorted(PERF_MACHINES)
+    )
     parser.add_argument("--trace", default="mcf.1")
     parser.add_argument("--preset", default="bench", choices=sorted(PRESETS))
     parser.add_argument("--top", type=int, default=25, metavar="N")
@@ -46,30 +40,17 @@ def main(argv=None):
     parser.add_argument("--dump", metavar="PATH", help="save raw pstats output")
     args = parser.parse_args(argv)
 
-    preset = PRESETS[args.preset]
-    machine = MACHINES[args.machine]
-    suite = TraceSuite(preset.reference_llc_lines, preset.trace_length)
-    trace = suite.trace(args.trace)
-    data = suite.data_model(args.trace)
-
-    profiler = cProfile.Profile()
-    started = time.perf_counter()
-    profiler.enable()
-    result = simulate_trace(trace, data, machine, preset)
-    profiler.disable()
-    elapsed = time.perf_counter() - started
-
-    print(
-        f"{machine.label} | {args.trace} | {preset.name}: "
-        f"{result.accesses:,} accesses in {elapsed:.3f}s "
-        f"({result.accesses / elapsed:,.0f} accesses/sec)"
-    )
-    stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort).print_stats(args.top)
+    forwarded = [
+        "--preset", args.preset,
+        "--machine", args.machine,
+        "--trace", args.trace,
+        "--repeats", "1",
+        "--profile", str(args.top),
+        "--profile-sort", args.sort,
+    ]
     if args.dump:
-        stats.dump_stats(args.dump)
-        print(f"raw pstats written to {args.dump}")
-    return 0
+        forwarded += ["--profile-dump", args.dump]
+    return perf_main(forwarded)
 
 
 if __name__ == "__main__":

@@ -125,11 +125,17 @@ class CacheHierarchy:
         size_fn: Callable[[int], int],
         config: HierarchyConfig | None = None,
         memory=None,
+        size_memo: dict | None = None,
     ) -> None:
         self.config = config or HierarchyConfig()
         self.llc = llc
         #: Maps a line address to its current compressed size in segments.
         self.size_fn = size_fn
+        #: Fast lane for size_fn: a dict of current sizes kept exact by
+        #: the data model's write invalidation (see LineDataModel
+        #: .size_memo).  A missing address falls back to size_fn, so an
+        #: empty dict (the default) simply means "always call size_fn".
+        self.size_memo = {} if size_memo is None else size_memo
         #: Size-insensitive architectures (uncompressed LLCs) never read
         #: the size argument, so the miss path skips the lookup for them.
         self._uses_sizes = llc.uses_sizes
@@ -148,6 +154,13 @@ class CacheHierarchy:
         # the shared L1/L2 outcome instances).
         self._outcome_llc = AccessOutcome(LLC)
         self._outcome_memory = AccessOutcome(MEMORY)
+        #: L1 membership mutation log for the batch engine.  When set (a
+        #: list), every flat L1 slot whose tag/valid columns change is
+        #: appended, letting the engine patch its probe snapshot instead
+        #: of re-snapshotting the whole cache after each miss.  L1 *hits*
+        #: never change membership, so only the fill/invalidate paths
+        #: below log.  None (the default) disables logging.
+        self._l1_log: list[int] | None = None
 
     # ------------------------------------------------------------------
     # Demand path
@@ -222,9 +235,15 @@ class CacheHierarchy:
             while len(table) > prefetcher.table_size:
                 del table[next(iter(table))]
 
-        result = self.llc.access(
-            addr, _READ, self.size_fn(addr) if self._uses_sizes else 1
-        )
+        if self._uses_sizes:
+            # size_memo first (one dict probe); size_fn computes-and-memoises
+            # on a miss, so steady state never leaves the dict.
+            size = self.size_memo.get(addr)
+            if size is None:
+                size = self.size_fn(addr)
+        else:
+            size = 1
+        result = self.llc.access(addr, _READ, size)
         # merge_llc_result, unrolled: this is the hottest stats callsite.
         stats.memory_reads += result.memory_reads
         stats.memory_writes += result.memory_writes
@@ -306,6 +325,9 @@ class CacheHierarchy:
         clock = l1.clocks[index] + 1
         l1.clocks[index] = clock
         stamps[slot] = clock
+        log = self._l1_log
+        if log is not None:
+            log.append(slot)
         if victim_dirty:
             # Dirty L1 victim merges into the (inclusive) L2.
             if not self.l2.probe(victim_addr, is_write=True):
@@ -364,14 +386,19 @@ class CacheHierarchy:
             l1.dirty[l1slot] = False
             l1set.valid_count -= 1
             l1.stamps[l1slot] = 0
+            log = self._l1_log
+            if log is not None:
+                log.append(l1slot)
         if was_dirty:
             stats = self.stats
             stats.writebacks_to_llc += 1
-            result = self.llc.access(
-                victim_addr,
-                _WRITEBACK,
-                self.size_fn(victim_addr) if self._uses_sizes else 1,
-            )
+            if self._uses_sizes:
+                size = self.size_memo.get(victim_addr)
+                if size is None:
+                    size = self.size_fn(victim_addr)
+            else:
+                size = 1
+            result = self.llc.access(victim_addr, _WRITEBACK, size)
             # merge_llc_result, unrolled (second-hottest stats callsite).
             stats.memory_reads += result.memory_reads
             stats.memory_writes += result.memory_writes
@@ -400,9 +427,13 @@ class CacheHierarchy:
         llc = self.llc
         if llc.contains(addr):
             return  # a prefetch hit is dropped without touching any state
-        result = llc.access(
-            addr, _PREFETCH, self.size_fn(addr) if self._uses_sizes else 1
-        )
+        if self._uses_sizes:
+            size = self.size_memo.get(addr)
+            if size is None:
+                size = self.size_fn(addr)
+        else:
+            size = 1
+        result = llc.access(addr, _PREFETCH, size)
         stats = self.stats
         # merge_llc_result, unrolled.
         stats.memory_reads += result.memory_reads
@@ -430,6 +461,11 @@ class CacheHierarchy:
         """Back-invalidate lines the LLC dropped from its baseline image."""
         l1 = self.l1
         l2 = self.l2
+        log = self._l1_log
+        # Counters batch in locals and flush once after the loop (the
+        # same pattern as the engines' post-loop flush).
+        back_invalidations = 0
+        memory_writes = 0
         for addr, wrote_back in result.invalidates:
             # l1/l2.invalidate, inlined (both are always LRU; most lines
             # the LLC drops are long gone from the private levels, so the
@@ -446,6 +482,8 @@ class CacheHierarchy:
                 l1.dirty[slot] = False
                 cset.valid_count -= 1
                 l1.stamps[slot] = 0
+                if log is not None:
+                    log.append(slot)
             cset = l2._sets[addr & l2._set_mask]
             way = cset.lookup.pop(addr, None)
             if way is not None:
@@ -457,12 +495,16 @@ class CacheHierarchy:
                 cset.valid_count -= 1
                 l2.stamps[slot] = 0
             if present:
-                self.stats.back_invalidations += 1
+                back_invalidations += 1
             if dirty and not wrote_back:
                 # Most-recent data lived upstream; it must reach memory.
-                self.stats.memory_writes += 1
+                memory_writes += 1
                 if self.memory is not None:
                     self.memory.write(addr, self.now)
+        if back_invalidations or memory_writes:
+            stats = self.stats
+            stats.back_invalidations += back_invalidations
+            stats.memory_writes += memory_writes
 
     # ------------------------------------------------------------------
     # Introspection

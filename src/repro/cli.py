@@ -169,6 +169,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs.tracing import TraceRecorder
     from repro.sim.report import observability_summary
     from repro.sim.single_core import simulate_trace
+    from repro.workloads.tracecache import process_cache
 
     registry = CounterRegistry()
     machine = _machine_from_args(args)
@@ -192,6 +193,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         with registry.timer("phase/simulate"):
             results = runner.run_many(machine, names)
+
+    # Per-cell fixed costs: trace generation / parsing and size-table
+    # precompute, accounted by the process-wide trace cache.  Process-
+    # local by design — with ``--jobs`` > 1 the loads happen in worker
+    # processes and this process's cache stays cold.
+    trace_cache = process_cache().snapshot()
+    registry.timer("trace/load_seconds").seconds += trace_cache["load_seconds"]
 
     with registry.timer("phase/report"):
         merged = merge_observations([run.obs for run in results])
@@ -217,6 +225,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                         and metric.get("kind") == "counter"
                     },
                 },
+                # Trace-load amortization: hits are cells that skipped
+                # regeneration because an earlier cell in this process
+                # already paid for the trace or its size tables.
+                "trace_cache": {
+                    f"trace_cache/{key}": value
+                    for key, value in trace_cache.items()
+                },
             }
             serve_stats = _serve_stats_snapshot()
             if serve_stats is not None:
@@ -233,6 +248,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             if name.startswith("cache/") and metric.get("kind") == "counter":
                 label = name.removeprefix("cache/").replace("_", " ")
                 print(f"cache {label}: {metric['value']}")
+        for key in ("hits", "misses", "evictions"):
+            print(f"trace cache {key}: {trace_cache[key]}")
         serve_stats = _serve_stats_snapshot()
         if serve_stats is not None:
             for name in sorted(serve_stats.get("counters", {})):

@@ -17,14 +17,26 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterable, Sequence
 
-from repro.compression import ALGORITHMS, make_compressor
+from repro.compression import ALGORITHMS, kernels, make_compressor
 
 
 @lru_cache(maxsize=256)
 def _size_histograms(lines: tuple[bytes, ...]) -> tuple[tuple[str, tuple[tuple[int, int], ...]], ...]:
-    """(codec name, ((size_bytes, count), ...)) per registered algorithm."""
+    """(codec name, ((size_bytes, count), ...)) per registered algorithm.
+
+    Codecs with a vectorised size kernel (BDI/FPC/C-Pack) reconstruct
+    their histogram from one kernel pass; SC2 (which trains on the line
+    set) and the zero codec stay scalar.  Kernel and scalar sizes are
+    byte-identical (tests/compression/test_kernels.py), so the published
+    observations never depend on NumPy's presence.
+    """
+    vectorised = kernels.available()
     out = []
     for name in sorted(ALGORITHMS):
+        kernel = kernels.SIZE_KERNELS.get(name) if vectorised else None
+        if kernel is not None:
+            out.append((name, kernels.size_histogram(kernel, lines)))
+            continue
         compressor = make_compressor(name)
         train = getattr(compressor, "train", None)
         if callable(train):

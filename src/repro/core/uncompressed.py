@@ -34,10 +34,27 @@ class UncompressedLLC(LLCArchitecture):
         self.segments_per_line = 1  # sizes are ignored; any fill is "full"
         self._cache = SetAssociativeCache(geometry, policy, name="llc")
         self.stat_writeback_misses = 0
+        #: Reused access result (one allocation per LLC instead of one
+        #: per access); only valid until the next access, like the
+        #: hierarchy's AccessOutcome instances.
+        self._result = LLCAccessResult()
 
     def access(self, addr: int, kind: int, size_segments: int) -> LLCAccessResult:
         """Service one access against this LLC architecture."""
-        result = LLCAccessResult()
+        # Reset the reused result in place (valid until the next access).
+        result = self._result
+        result.hit = False
+        result.victim_hit = False
+        result.compressed_hit = False
+        result.memory_reads = 0
+        result.memory_writes = 0
+        result.silent_evictions = 0
+        result.data_reads = 0
+        result.data_writes = 0
+        result.fill_segments = 0
+        invalidates = result.invalidates
+        if invalidates:
+            invalidates.clear()
         cache = self._cache
         # cache.probe, inlined around a single set lookup shared by every
         # request kind (this is the hottest call of the baseline machine).

@@ -128,18 +128,10 @@ class DRAMModel:
 
     def read(self, line_addr: int, now: float) -> float:
         """Issue a read at CPU-cycle ``now``; return its latency in CPU cycles."""
-        latency = self._request(line_addr, now)
-        self.stat_reads += 1
-        self.stat_total_read_latency += latency
-        return latency
-
-    def write(self, line_addr: int, now: float) -> None:
-        """Issue a posted write; occupies the bank/bus but stalls nothing."""
-        self._request(line_addr, now)
-        self.stat_writes += 1
-
-    def _request(self, line_addr: int, now: float) -> float:
-        # Inlined _map plus the precomputed CPU-cycle constants.
+        # The request body (inlined _map plus the precomputed CPU-cycle
+        # constants) is duplicated across read/write: these are the two
+        # hottest calls of a miss-dominated run, and the shared-helper
+        # version pays one extra frame per DRAM request.
         channel = line_addr % self._channels
         rest = line_addr // self._channels
         bank_index = rest % self._banks_per_channel
@@ -178,7 +170,50 @@ class DRAMModel:
         self._bus_free[channel] = completion
         bank.ready_time = completion
 
-        return completion + controller - now
+        latency = completion + controller - now
+        self.stat_reads += 1
+        self.stat_total_read_latency += latency
+        return latency
+
+    def write(self, line_addr: int, now: float) -> None:
+        """Issue a posted write; occupies the bank/bus but stalls nothing."""
+        # Same request body as read(); see the comment there.
+        channel = line_addr % self._channels
+        rest = line_addr // self._channels
+        bank_index = rest % self._banks_per_channel
+        row = rest // self._banks_per_channel // self._lines_per_row
+        bank = self._banks[channel][bank_index]
+
+        start = now + self._controller
+        if bank.ready_time > start:
+            start = bank.ready_time
+
+        open_row = bank.open_row
+        if open_row == row:
+            access_cpu = self._row_hit_cpu
+            self.stat_row_hits += 1
+        elif open_row is None:
+            access_cpu = self._row_empty_cpu
+            self.stat_activates += 1
+        else:
+            self.stat_row_conflicts += 1
+            self.stat_activates += 1
+            earliest_pre = bank.activate_time + self._tras_cpu
+            if earliest_pre > start:
+                start = earliest_pre
+            access_cpu = self._row_conflict_cpu
+        bank.open_row = row
+        bank.activate_time = start
+
+        data_ready = start + access_cpu
+        bus_free = self._bus_free[channel]
+        if bus_free > data_ready:
+            data_ready = bus_free
+        completion = data_ready + self._burst_cpu
+        self._bus_free[channel] = completion
+        bank.ready_time = completion
+
+        self.stat_writes += 1
 
     # ------------------------------------------------------------------
     # Reporting

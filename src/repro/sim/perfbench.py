@@ -44,6 +44,12 @@ SCHEMA_VERSION = 1
 #: Default measurement matrix: the two Figure 8 machines over one trace
 #: per workload category (the same four traces as the golden fixture).
 DEFAULT_MACHINES: tuple[MachineConfig, ...] = (BASELINE_2MB, BASE_VICTIM_2MB)
+
+#: ``--machine`` row names accepted by the CLI.
+PERF_MACHINES: dict[str, MachineConfig] = {
+    "baseline": BASELINE_2MB,
+    "base-victim": BASE_VICTIM_2MB,
+}
 DEFAULT_TRACES: tuple[str, ...] = ("3dmark.1", "lbm.1", "mcf.1", "sysmark.1")
 
 #: Two-trace slice used by the CI ``perf-smoke`` job (one hit-heavy, one
@@ -179,6 +185,14 @@ def check_regression(
     behind a faster engine's baseline (or vice versa).
     """
     problems: list[str] = []
+    for label, payload in (("measurement", current), ("baseline", baseline)):
+        if payload.get("profiled"):
+            problems.append(
+                f"{label} was taken under cProfile (--profile); profiled "
+                f"timings are not comparable throughput"
+            )
+    if problems:
+        return problems
     current_engine = payload_engine(current)
     baseline_engine = payload_engine(baseline)
     if current_engine != baseline_engine:
@@ -268,7 +282,37 @@ def add_arguments(parser) -> None:
         metavar="NAME",
         help=f"trace to measure (repeatable; default: {', '.join(DEFAULT_TRACES)})",
     )
+    parser.add_argument(
+        "--machine",
+        action="append",
+        dest="machines",
+        choices=sorted(PERF_MACHINES),
+        metavar="NAME",
+        help="machine row to measure (repeatable; default: both)",
+    )
     parser.add_argument("--repeats", type=int, default=3, metavar="N")
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        default=None,
+        type=int,
+        metavar="N",
+        help="run the matrix under cProfile and print the top N rows "
+        "(default 25); profiled timings are skewed, so --check is refused "
+        "and the payload is marked non-comparable",
+    )
+    parser.add_argument(
+        "--profile-sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls"],
+        help="cProfile sort key for the printed rows",
+    )
+    parser.add_argument(
+        "--profile-dump",
+        metavar="PATH",
+        help="save the raw pstats file (snakeviz/pstats spelunking)",
+    )
     parser.add_argument(
         "--engine",
         choices=ENGINES,
@@ -305,6 +349,18 @@ def run(args) -> int:
 
     preset = PRESETS[args.preset]
     traces = tuple(args.traces) if args.traces else DEFAULT_TRACES
+    machines = (
+        tuple(PERF_MACHINES[name] for name in args.machines)
+        if getattr(args, "machines", None)
+        else DEFAULT_MACHINES
+    )
+    profile_top = getattr(args, "profile", None)
+    if profile_top is not None and args.check:
+        print(
+            "--profile skews every timing; refusing to gate a profiled run",
+            file=sys.stderr,
+        )
+        return 2
 
     def progress(done: int, total: int, label: str) -> None:
         """Render an in-place progress line on stderr."""
@@ -313,14 +369,34 @@ def run(args) -> int:
         if done == total:
             print(file=sys.stderr)
 
+    profiler = None
+    if profile_top is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     payload = measure_matrix(
         preset,
+        machines=machines,
         trace_names=traces,
         repeats=args.repeats,
         progress=progress,
         engine=args.engine,
     )
+    if profiler is not None:
+        profiler.disable()
+        # Poisons the payload for check_regression: profiled rates are
+        # systematically low and must never become (or beat) a baseline.
+        payload["profiled"] = True
     print(format_report(payload))
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.profile_sort).print_stats(profile_top)
+        if args.profile_dump:
+            stats.dump_stats(args.profile_dump)
+            print(f"raw pstats written to {args.profile_dump}")
 
     if args.output:
         Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -125,7 +125,15 @@ def simulate_trace(
         size_fn=data.size_of,
         config=preset.hierarchy_config(machine.prefetch_degree),
         memory=dram,
+        size_memo=getattr(data, "size_memo", None),
     )
+    if hierarchy._uses_sizes:
+        # Precompute every trace address's current size in one vectorised
+        # pass (no-op without NumPy; values identical to size_of, so the
+        # engines stay byte-identical with or without priming).
+        prime = getattr(data, "prime_size_memo", None)
+        if prime is not None:
+            prime(trace.addrs)
     core = CoreTimingModel(core_params_for(trace, machine))
 
     env_tracer = tracer is None

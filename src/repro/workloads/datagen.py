@@ -21,6 +21,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.cache.replacement.base import DeterministicRandom
+from repro.compression import kernels
 from repro.compression.base import CompressionAlgorithm
 from repro.compression.bdi import BDICompressor
 from repro.compression.segments import EVAL_GEOMETRY, SegmentGeometry
@@ -138,10 +139,15 @@ def build_palette(
 
     ``comp_class`` "mixed" draws from both the friendly and poor mixes.
     """
+    # With the default (BDI) compressor and NumPy present, sizes for the
+    # whole palette come from one vectorised kernel pass instead of one
+    # scalar compress() per line; byte-identity with the scalar codec is
+    # enforced by tests/compression/test_kernels.py.
+    vectorised = compressor is None and kernels.available()
     compressor = compressor or BDICompressor()
     rng = DeterministicRandom(seed ^ 0xDA7A)
     classes = ["friendly", "poor"] if comp_class == "mixed" else [comp_class]
-    palette: list[PaletteEntry] = []
+    synthesised: list[tuple[str, bytes]] = []
     for cls in classes:
         try:
             mix = CATEGORY_MIXES[(category, cls)]
@@ -153,17 +159,21 @@ def build_palette(
         for pattern, weight in mix.items():
             synth = PATTERNS[pattern]
             for _ in range(weight * entries_per_pattern):
-                data = synth(rng)
-                block = compressor.compress(data)
-                palette.append(
-                    PaletteEntry(
-                        pattern=pattern,
-                        data=data,
-                        size_bytes=block.size_bytes,
-                        size_segments=block.size_in_segments(geometry),
-                    )
-                )
-    return palette
+                synthesised.append((pattern, synth(rng)))
+    if vectorised:
+        matrix = kernels.lines_matrix(data for _, data in synthesised)
+        sizes = kernels.bdi_size_bytes(matrix).tolist()
+    else:
+        sizes = [compressor.compress(data).size_bytes for _, data in synthesised]
+    return [
+        PaletteEntry(
+            pattern=pattern,
+            data=data,
+            size_bytes=size_bytes,
+            size_segments=geometry.size_in_segments(size_bytes),
+        )
+        for (pattern, data), size_bytes in zip(synthesised, sizes)
+    ]
 
 
 class LineDataModel:
@@ -174,10 +184,19 @@ class LineDataModel:
     rotates it to the next palette entry, changing its compressed size
     deterministically and identically for every architecture simulated
     over the same trace.
+
+    ``size_memo`` is the miss-path fast lane: a plain dict of each
+    address's *current* size in segments, kept exact by write
+    invalidation (``on_write`` rewrites the entry when a rotation
+    changes the size) and primeable in one vectorised pass over a
+    trace's address column (:meth:`prime_size_memo`).  The hierarchy
+    reads it directly and falls back to ``size_of`` on a miss, so the
+    memo is purely an accelerator — values are identical either way.
     """
 
     __slots__ = (
         "palette",
+        "size_memo",
         "_sizes",
         "_ring",
         "_seed",
@@ -185,6 +204,7 @@ class LineDataModel:
         "_versions",
         "_write_counts",
         "_period",
+        "size_table_cache",
     )
 
     def __init__(
@@ -215,6 +235,13 @@ class LineDataModel:
         self._versions: dict[int, int] = {}
         self._write_counts: dict[int, int] = {}
         self._period = write_change_period
+        #: addr -> current size in segments (see class docstring).
+        self.size_memo: dict[int, int] = {}
+        #: Optional ``(cache, key)`` pair installed by
+        #: :meth:`TraceSuite.data_model`: :meth:`prime_size_memo` then
+        #: fetches its tables through the process-wide trace cache
+        #: instead of recomputing them per run (sweep-wide reuse).
+        self.size_table_cache: tuple | None = None
 
     def size_of(self, addr: int) -> int:
         """Current compressed size of line ``addr`` in segments."""
@@ -225,15 +252,84 @@ class LineDataModel:
             base = self._ring_base[addr] = _mix(addr ^ self._seed) % _RING_SIZE
         version = self._versions.get(addr)
         if version is None:
-            return self._ring[base]
-        return self._ring[(base + version) % _RING_SIZE]
+            size = self._ring[base]
+        else:
+            size = self._ring[(base + version) % _RING_SIZE]
+        # Self-healing memo: an address that misses once (e.g. a prefetch
+        # target outside the primed trace set) is a dict hit afterwards.
+        self.size_memo[addr] = size
+        return size
 
     def on_write(self, addr: int) -> None:
         """Record one store to ``addr``; may rotate its data pattern."""
         count = self._write_counts.get(addr, 0) + 1
         self._write_counts[addr] = count
         if count % self._period == 0:
-            self._versions[addr] = self._versions.get(addr, 0) + 1
+            version = self._versions.get(addr, 0) + 1
+            self._versions[addr] = version
+            # Write invalidation: the rotation changed this line's size,
+            # so the memo entry is rewritten in the same step.
+            base = self._ring_base.get(addr)
+            if base is None:
+                base = self._ring_base[addr] = _mix(addr ^ self._seed) % _RING_SIZE
+            self.size_memo[addr] = self._ring[(base + version) % _RING_SIZE]
+
+    def precompute_size_tables(self, addrs) -> tuple[dict[int, int], dict[int, int]]:
+        """(ring bases, version-0 sizes) for a trace's distinct addresses.
+
+        Pure function of (trace addresses, seed, palette): both dicts are
+        shareable across runs — :meth:`adopt_size_tables` installs them.
+        Returns empty dicts when NumPy is unavailable (the scalar path
+        then populates the memo lazily through ``size_of``).
+        """
+        if not kernels.available():
+            return {}, {}
+        unique, bases = kernels.ring_bases(addrs, self._seed, _RING_SIZE)
+        ring = self._ring
+        sizes = [ring[base] for base in bases.tolist()]
+        addr_list = unique.tolist()
+        return dict(zip(addr_list, bases.tolist())), dict(zip(addr_list, sizes))
+
+    def adopt_size_tables(
+        self, tables: tuple[dict[int, int], dict[int, int]]
+    ) -> None:
+        """Install precomputed size tables (before any store is replayed).
+
+        The ring-base dict is shared by reference — entries are a pure
+        function of the address, so concurrent lazy inserts from other
+        runs write identical values.  The size dict is copied *into* the
+        existing memo: stores rotate entries, which must never leak
+        across runs, and the hierarchy holds a reference to this exact
+        dict (rebinding it would silently disconnect the fast lane).
+        """
+        ring_bases_table, size_table = tables
+        if not ring_bases_table and not size_table:
+            return
+        if self._versions or self._write_counts:
+            raise ValueError("size tables must be adopted before any on_write")
+        self._ring_base = ring_bases_table
+        self.size_memo.update(size_table)
+
+    def prime_size_memo(self, addrs) -> None:
+        """Vectorise the size memo for every distinct address in ``addrs``.
+
+        Call before replaying the trace (sizes are version-0).  No-op
+        without NumPy, and never changes any ``size_of`` value — only
+        how fast the hierarchy can look it up.
+        """
+        if self.size_memo:
+            return  # already primed (e.g. adopted from the trace cache)
+        cached = self.size_table_cache
+        if cached is not None:
+            cache, key = cached
+            # The loader runs at most once per (suite version, preset,
+            # trace) per process; the tables are a pure function of the
+            # key, so later models for the same trace adopt identical
+            # values (byte-identity is preserved by construction).
+            tables = cache.get(key, lambda: self.precompute_size_tables(addrs))
+            self.adopt_size_tables(tables)
+            return
+        self.adopt_size_tables(self.precompute_size_tables(addrs))
 
     def average_size_segments(self) -> float:
         """Unweighted palette average (the trace's nominal compressibility)."""

@@ -23,6 +23,7 @@ from functools import lru_cache
 from repro.workloads.datagen import LineDataModel, build_palette
 from repro.workloads.generators import PatternGenerator, PatternParams
 from repro.workloads.trace import Trace, TraceMeta
+from repro.workloads.tracecache import process_cache
 
 #: Bumped whenever trace generation or the spec table changes, so cached
 #: simulation results are invalidated together with the workloads.
@@ -334,31 +335,56 @@ class TraceSuite:
             instrs_per_access=spec.instrs_per_access,
         )
 
+    def _cache_key(self, kind: str, name: str) -> tuple:
+        """Process-cache key for one derived artifact of this preset."""
+        return (kind, SUITE_VERSION, self.reference_llc_lines, self.length, name)
+
     def trace(self, name: str) -> Trace:
-        """Generate (or fetch cached) the trace for ``name``."""
+        """Generate (or fetch cached) the trace for ``name``.
+
+        The per-instance dict keeps the historical object-identity
+        guarantee (two calls on one suite return the same ``Trace``);
+        the process-wide :func:`~repro.workloads.tracecache.process_cache`
+        behind it shares generation across suite *instances* — the
+        runner's, each parallel worker's, and every perf-bench
+        measurement in the same process.
+        """
         cached = self._traces.get(name)
         if cached is not None:
             return cached
-        spec = self.spec(name)
-        meta = TraceMeta(
-            name=spec.name,
-            category=spec.category,
-            seed=spec.seed,
-            footprint_lines=int(spec.ws_factor * self.reference_llc_lines),
-            comp_class=spec.comp_class,
-            cache_sensitive=spec.cache_sensitive,
-            mlp_l2=spec.mlp_l2,
-            mlp_llc=spec.mlp_llc,
-            mlp_memory=spec.mlp_memory,
-            instrs_per_access=spec.instrs_per_access,
-        )
-        generator = PatternGenerator(self.pattern_params(spec), spec.seed)
-        trace = generator.generate(meta, self.length)
+
+        def generate() -> Trace:
+            spec = self.spec(name)
+            meta = TraceMeta(
+                name=spec.name,
+                category=spec.category,
+                seed=spec.seed,
+                footprint_lines=int(spec.ws_factor * self.reference_llc_lines),
+                comp_class=spec.comp_class,
+                cache_sensitive=spec.cache_sensitive,
+                mlp_l2=spec.mlp_l2,
+                mlp_llc=spec.mlp_llc,
+                mlp_memory=spec.mlp_memory,
+                instrs_per_access=spec.instrs_per_access,
+            )
+            generator = PatternGenerator(self.pattern_params(spec), spec.seed)
+            return generator.generate(meta, self.length)
+
+        trace = process_cache().get(self._cache_key("trace", name), generate)
         self._traces[name] = trace
         return trace
 
     def data_model(self, name: str) -> LineDataModel:
-        """Fresh data model (palette + write evolution) for one run."""
+        """Fresh data model (palette + write evolution) for one run.
+
+        The model itself is never shared — stores evolve its state — but
+        its version-0 size tables are a pure function of (trace, seed,
+        palette), so the model is pointed at the process cache and
+        :meth:`~repro.workloads.datagen.LineDataModel.prime_size_memo`
+        adopts the cached tables instead of recomputing them per cell.
+        """
         spec = self.spec(name)
         palette = build_palette(spec.category, spec.comp_class, spec.seed)
-        return LineDataModel(palette, seed=spec.seed)
+        model = LineDataModel(palette, seed=spec.seed)
+        model.size_table_cache = (process_cache(), self._cache_key("sizes", name))
+        return model

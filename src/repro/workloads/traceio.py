@@ -169,6 +169,58 @@ def trace_file_version(path: str | Path) -> int:
     return version
 
 
+def trace_fingerprint(path: str | Path) -> tuple[int, int]:
+    """``(format_version, checksum)`` identifying a trace file's contents.
+
+    For v3 files the checksum is the stored header CRC: it covers the
+    section table's per-column CRCs, so it pins the payload bytes
+    transitively without reading past the header.  The header CRC is
+    recomputed and verified here, so a fingerprint never vouches for a
+    file whose header is corrupt.  Legacy (v1/v2) files have no such
+    summary and are CRC'd in full.  Used by
+    :mod:`repro.workloads.tracecache` as the cache-key component that
+    makes in-place file rewrites miss.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(10)
+        if len(head) < 6 or head[:4] != _MAGIC:
+            raise TraceFormatError(
+                f"{path}: not a trace file (magic {head[:4]!r})"
+            )
+        (version,) = struct.unpack("<H", head[4:6])
+        if version == _VERSION:
+            if len(head) < 10:
+                raise TraceFormatError(f"{path}: truncated header")
+            (meta_len,) = struct.unpack("<I", head[6:10])
+            rest_len = (
+                meta_len
+                + 8  # u64 record count
+                + len(_COLUMNS) * _TOC_ENTRY.size
+                + _HEADER_TAIL.size
+            )
+            rest = handle.read(rest_len)
+            if len(rest) != rest_len:
+                raise TraceFormatError(f"{path}: truncated header")
+            (stored,) = _HEADER_TAIL.unpack(rest[-_HEADER_TAIL.size :])
+            computed = (
+                zlib.crc32(head + rest[: -_HEADER_TAIL.size]) & 0xFFFFFFFF
+            )
+            if stored != computed:
+                raise TraceFormatError(
+                    f"{path}: header checksum mismatch (stored {stored:08x}, "
+                    f"computed {computed:08x}); the file is corrupt"
+                )
+            return version, stored
+        if version not in (_LEGACY_VERSION, _V2):
+            raise TraceFormatError(
+                f"{path}: unsupported version {version} (expected <= {_VERSION})"
+            )
+        crc = zlib.crc32(head)
+        while chunk := handle.read(1 << 20):
+            crc = zlib.crc32(chunk, crc)
+        return version, crc & 0xFFFFFFFF
+
+
 def read_trace(path: str | Path) -> Trace:
     """Load a trace written by any supported format version (v1-v3).
 

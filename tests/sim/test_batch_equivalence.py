@@ -149,6 +149,133 @@ class TestFuzzOracle:
         )
 
 
+def miss_trace(seed: int) -> Trace:
+    """A miss-dominated randomized trace (working set >> L1 and LLC).
+
+    Near-uniform accesses over several LLC capacities, so almost every
+    access walks the full scalar miss body — L2 probe, LLC fill,
+    eviction, DRAM accounting — with only incidental vectorised hit
+    runs.  This is the regime the resumable batch engine re-enters the
+    NumPy probe from, and the regime the end-to-end bench matrix is
+    weighted toward.
+    """
+    rng = random.Random(seed)
+    length = rng.randrange(600, 1400)
+    footprint = rng.randrange(3 * _LLC_LINES, 6 * _LLC_LINES)
+    base = rng.randrange(1 << 20)
+    write_fraction = rng.uniform(0.1, 0.5)
+
+    kinds = array("b")
+    addrs = array("q")
+    deltas = array("i")
+    stream_left = 0
+    stream_addr = 0
+    for _ in range(length):
+        if stream_left > 0:
+            # Short streaming runs: misses to *adjacent* lines, which
+            # stress back-invalidate ordering right after refreshes.
+            stream_left -= 1
+            stream_addr += 1
+            addr = stream_addr
+        elif rng.random() < 0.08:
+            stream_left = rng.randrange(2, 16)
+            stream_addr = base + rng.randrange(footprint)
+            addr = stream_addr
+        else:
+            addr = base + rng.randrange(footprint)
+        kinds.append(STORE if rng.random() < write_fraction else LOAD)
+        addrs.append(addr)
+        deltas.append(rng.randrange(1, 9))
+    meta = TraceMeta(
+        name=f"fuzz-miss.{seed}",
+        category="fuzz",
+        seed=seed,
+        footprint_lines=footprint,
+        comp_class="mixed",
+        cache_sensitive=True,
+    )
+    return Trace(meta, kinds, addrs, deltas)
+
+
+def _miss_cases():
+    """(case_id, seed, machine) for the miss-dominated fuzz matrix."""
+    seed = 77_000
+    for arch in ARCHS:
+        for policy in ("nru", "lru"):
+            machine = MachineConfig(arch=arch, policy=policy).validate()
+            for _ in range(4):
+                yield f"{arch}-{policy}-m{seed}", seed, machine
+                seed += 1
+
+
+MISS_CASES = list(_miss_cases())
+
+
+class TestMissDominatedOracle:
+    """Byte-identity where the scalar miss body does nearly all the work."""
+
+    @pytest.mark.parametrize(
+        "seed,machine",
+        [case[1:] for case in MISS_CASES],
+        ids=[c[0] for c in MISS_CASES],
+    )
+    def test_miss_dominated_byte_identical_to_traced(self, seed, machine):
+        trace = miss_trace(seed)
+        assert run_engine(trace, machine, "batch") == run_engine(
+            trace, machine, "traced"
+        )
+
+
+class TestSizeMemoWriteInvalidation:
+    """Property: the size memo tracks on_write rotations exactly.
+
+    The batch engine's fill fast path reads ``size_memo`` (falling back
+    to ``size_of``), so a stale entry after a store would silently skew
+    compressed fills.  A primed model replaying an arbitrary store
+    sequence must agree with a never-primed model at every step.
+    """
+
+    def _models(self, seed):
+        primed = fuzz_data(seed)
+        lazy = fuzz_data(seed)
+        addrs = array("q", [seed * 131 + i * 7 for i in range(64)])
+        primed.prime_size_memo(addrs)
+        return primed, lazy, addrs
+
+    @pytest.mark.parametrize("seed", range(88_000, 88_006))
+    def test_primed_model_tracks_stores_exactly(self, seed):
+        primed, lazy, addrs = self._models(seed)
+        rng = random.Random(seed)
+        changed = 0
+        for _ in range(600):
+            addr = addrs[rng.randrange(len(addrs))]
+            if rng.random() < 0.6:
+                before = primed.size_of(addr)
+                primed.on_write(addr)
+                lazy.on_write(addr)
+                changed += primed.size_of(addr) != before
+            assert primed.size_of(addr) == lazy.size_of(addr)
+            # Write invalidation proper: the memo entry is rewritten in
+            # the same step as the rotation, never left stale.
+            assert primed.size_memo[addr] == lazy.size_of(addr)
+        # Enough rotations to prove stores really change fill sizes
+        # (a memo that ignored stores would pass a hits-only check).
+        assert changed > 0
+
+    def test_store_to_cached_address_changes_fill_size(self):
+        primed, lazy, addrs = self._models(88_100)
+        addr = int(addrs[0])
+        period = primed._period
+        sizes = {primed.size_of(addr)}
+        for _ in range(8 * period):
+            primed.on_write(addr)
+            sizes.add(primed.size_of(addr))
+        # Eight rotations through a varied palette ring must visit more
+        # than one size; the memo reflects each rotation immediately.
+        assert len(sizes) > 1
+        assert primed.size_memo[addr] == primed.size_of(addr)
+
+
 class TestChunkBoundaries:
     """Chunk-size edge cases, all on one miss-and-hit-mixed fuzz trace."""
 

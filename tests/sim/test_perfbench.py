@@ -115,24 +115,23 @@ class TestCommittedBaseline:
             load_baseline(BASELINE_PATH, "nope")
 
     def test_committed_baseline_engine_pairing(self):
-        """The committed sections compare the traced reference loop
-        (before) against the shipped batch engine (after), and the
-        after-engine must be the one CI's perf-smoke pins — otherwise
-        the cross-engine refusal would fail every CI run."""
+        """The committed sections compare two code states of the *same*
+        engine — before is the batch engine at the parent commit, after
+        is the batch engine as shipped — and the after-engine must be
+        the one CI's perf-smoke pins (batch), otherwise the cross-engine
+        refusal would fail every CI run."""
         data = json.loads(BASELINE_PATH.read_text())
         for section in ("bench", "test-ci"):
             matrix = data["matrices"][section]
-            assert payload_engine(matrix["before"]) == "traced"
+            assert payload_engine(matrix["before"]) == "batch"
             assert payload_engine(matrix["after"]) == "batch"
+            assert not matrix["before"].get("profiled")
+            assert not matrix["after"].get("profiled")
 
     def test_committed_speedup_is_consistent_and_not_a_regression(self):
-        """The shipped engine must be no slower than the traced
-        reference on the Figure 8 single-core (bench) matrix.  The old
-        >=2x bar compared against the pre-flat-layout inner loop; that
-        loop is gone — the flat columnar refactor sped up the miss path
-        *every* engine shares, so on the miss-dominated bench matrix the
-        engines now sit close together and the vectorised gains show on
-        L1-hit-dominated workloads instead (see README "Performance")."""
+        """The shipped code must be no slower than the code state it was
+        measured against on the Figure 8 single-core (bench) matrix, and
+        the recorded speedup must match the recorded payloads."""
         data = json.loads(BASELINE_PATH.read_text())
         bench = data["matrices"]["bench"]
         ratio = (

@@ -1,0 +1,245 @@
+"""Tests for the bounded per-process trace cache (sweep-wide reuse)."""
+
+import pytest
+
+from repro.workloads import tracecache
+from repro.workloads.datagen import build_palette, LineDataModel
+from repro.workloads.suite import TraceSuite
+from repro.workloads.trace import Trace, TraceMeta
+from repro.workloads.tracecache import (
+    TraceCache,
+    load_trace,
+    process_cache,
+    reset_process_cache,
+)
+from repro.workloads.traceio import (
+    TraceFormatError,
+    trace_fingerprint,
+    write_trace,
+    write_trace_v2,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_cache():
+    """Isolate every test from cache state built by earlier ones."""
+    reset_process_cache()
+    yield
+    reset_process_cache()
+
+
+def _make_trace(name="t", length=32):
+    meta = TraceMeta(
+        name=name,
+        category="ispec",
+        seed=7,
+        footprint_lines=64,
+        comp_class="friendly",
+        cache_sensitive=True,
+        mlp_l2=2.0,
+        mlp_llc=3.0,
+        mlp_memory=1.5,
+        instrs_per_access=10.0,
+    )
+    trace = Trace(meta)
+    for i in range(length):
+        trace.append(kind=0, addr=i * 3, delta=4)
+    return trace
+
+
+class TestTraceCache:
+    def test_loader_runs_once_per_key(self):
+        cache = TraceCache(max_entries=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get(("k", 1), lambda: calls.append(1) or "v")
+            assert value == "v"
+        assert calls == [1]
+        assert cache.stat_misses == 1
+        assert cache.stat_hits == 2
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = TraceCache(max_entries=2)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.get(("a",), lambda: 1)  # refresh a; b is now oldest
+        cache.get(("c",), lambda: 3)  # evicts b
+        assert cache.stat_evictions == 1
+        assert len(cache) == 2
+        cache.get(("a",), lambda: pytest.fail("a must still be resident"))
+        cache.get(("b",), lambda: 4)  # miss: was evicted
+        assert cache.stat_misses == 4
+
+    def test_zero_entries_disables_retention_but_counts(self):
+        cache = TraceCache(max_entries=0)
+        calls = []
+        cache.get(("k",), lambda: calls.append(1) or "v")
+        cache.get(("k",), lambda: calls.append(1) or "v")
+        assert calls == [1, 1]
+        assert cache.stat_misses == 2
+        assert cache.stat_hits == 0
+        assert cache.stat_evictions == 0
+        assert len(cache) == 0
+        assert cache.stat_load_seconds >= 0.0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=-1)
+
+    def test_clear_keeps_lifetime_counters(self):
+        cache = TraceCache(max_entries=4)
+        cache.get(("k",), lambda: 1)
+        cache.get(("k",), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        snap = cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["entries"] == 0
+
+    def test_snapshot_shape(self):
+        snap = TraceCache(max_entries=3).snapshot()
+        assert set(snap) == {
+            "hits",
+            "misses",
+            "evictions",
+            "entries",
+            "max_entries",
+            "load_seconds",
+        }
+
+
+class TestProcessCache:
+    def test_singleton_identity(self):
+        assert process_cache() is process_cache()
+
+    def test_env_bound_override(self, monkeypatch):
+        monkeypatch.setenv(tracecache.MAX_ENTRIES_ENV, "5")
+        reset_process_cache()
+        assert process_cache().max_entries == 5
+
+    def test_env_bound_garbage_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(tracecache.MAX_ENTRIES_ENV, "not-a-number")
+        reset_process_cache()
+        assert process_cache().max_entries == tracecache.DEFAULT_MAX_ENTRIES
+
+
+class TestTraceFingerprint:
+    def test_v3_uses_stored_header_crc(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(_make_trace(), path)
+        version, crc = trace_fingerprint(path)
+        assert version == 3
+        # Stable across calls, and cheap: the payload is never read.
+        assert trace_fingerprint(path) == (version, crc)
+
+    def test_v3_changes_when_contents_change(self, tmp_path):
+        a, b = tmp_path / "a.rptr", tmp_path / "b.rptr"
+        write_trace(_make_trace(length=32), a)
+        write_trace(_make_trace(length=33), b)
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+
+    def test_v3_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(_make_trace(), path)
+        data = bytearray(path.read_bytes())
+        data[8] ^= 0xFF  # inside the metadata-length field
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError):
+            trace_fingerprint(path)
+
+    def test_legacy_v2_full_file_crc(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace_v2(_make_trace(), path)
+        version, crc = trace_fingerprint(path)
+        assert version == 2
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert trace_fingerprint(path)[1] != crc
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        path.write_bytes(b"NOPE")
+        with pytest.raises(TraceFormatError):
+            trace_fingerprint(path)
+
+
+class TestLoadTrace:
+    def test_second_load_is_a_hit(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(_make_trace(), path)
+        first = load_trace(path)
+        second = load_trace(path)
+        assert second is first
+        snap = process_cache().snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+
+    def test_rewritten_file_misses(self, tmp_path):
+        path = tmp_path / "t.rptr"
+        write_trace(_make_trace(length=16), path)
+        first = load_trace(path)
+        write_trace(_make_trace(length=24), path)
+        second = load_trace(path)
+        assert second is not first
+        assert len(second) == 24
+        assert process_cache().stat_misses == 2
+
+
+class TestSuiteIntegration:
+    def test_trace_shared_across_suite_instances(self):
+        one = TraceSuite(reference_llc_lines=512, length=400)
+        two = TraceSuite(reference_llc_lines=512, length=400)
+        trace = one.trace("mcf.1")
+        assert two.trace("mcf.1") is trace
+        snap = process_cache().snapshot()
+        assert snap["misses"] == 1
+        assert snap["hits"] == 1
+
+    def test_presets_do_not_collide(self):
+        short = TraceSuite(reference_llc_lines=512, length=400)
+        long = TraceSuite(reference_llc_lines=512, length=800)
+        assert len(short.trace("mcf.1")) == 400
+        assert len(long.trace("mcf.1")) == 800
+        assert process_cache().snapshot()["misses"] == 2
+
+    def test_instance_cache_still_serves_repeat_calls(self):
+        suite = TraceSuite(reference_llc_lines=512, length=400)
+        trace = suite.trace("mcf.1")
+        assert suite.trace("mcf.1") is trace
+        # The second call never reached the process cache (L1 hit).
+        assert process_cache().snapshot()["hits"] == 0
+
+    def test_adopted_size_tables_match_uncached_model(self):
+        suite = TraceSuite(reference_llc_lines=512, length=400)
+        trace = suite.trace("mcf.1")
+
+        cached = suite.data_model("mcf.1")
+        cached.prime_size_memo(trace.addrs)
+
+        spec = suite.spec("mcf.1")
+        fresh = LineDataModel(
+            build_palette(spec.category, spec.comp_class, spec.seed),
+            seed=spec.seed,
+        )
+        for addr in set(trace.addrs):
+            assert cached.size_of(addr) == fresh.size_of(addr)
+
+    def test_size_tables_computed_once_across_models(self):
+        suite = TraceSuite(reference_llc_lines=512, length=400)
+        trace = suite.trace("mcf.1")
+        first = suite.data_model("mcf.1")
+        first.prime_size_memo(trace.addrs)
+        misses_after_first = process_cache().stat_misses
+        second = suite.data_model("mcf.1")
+        second.prime_size_memo(trace.addrs)
+        assert process_cache().stat_misses == misses_after_first
+        assert second.size_memo == first.size_memo
+        # Rotations on one model never leak into the other's memo (the
+        # cached size table is copied in, not shared).
+        addr = trace.addrs[0]
+        version0 = second.size_memo[addr]
+        for _ in range(64):
+            first.on_write(addr)
+        assert second.size_of(addr) == version0
