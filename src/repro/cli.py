@@ -13,9 +13,11 @@ Exposes the paper's experiments and some exploration helpers::
     repro serve [--preset test] [--socket PATH | --tcp HOST:PORT] [--jobs 4]
     repro submit --trace mcf.1 [--sweep] [--wait] [--json]
     repro serve-status [--json]
+    repro dispatch [--workers 3 | --worker tcp:HOST:PORT ...] [--strict]
     repro perf [--repeats 3] [--output BENCH_PERF.json]
     repro cache verify [--strict] [--cache-dir DIR]
     repro cache migrate [--cache-dir DIR]
+    repro cache canonicalize [--cache-dir DIR]
     repro trace migrate FILE [FILE ...]
 
 The figure/table benches proper live in ``benchmarks/`` and run through
@@ -236,6 +238,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             serve_stats = _serve_stats_snapshot()
             if serve_stats is not None:
                 payload["serve"] = serve_stats
+            dist_stats = _dist_stats_snapshot()
+            if dist_stats is not None:
+                payload["dist"] = dist_stats
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         print(f"machine: {machine.label}")
@@ -257,6 +262,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 if name.startswith("serve/") and metric.get("kind") == "counter":
                     label = name.removeprefix("serve/").replace("_", " ")
                     print(f"serve {label}: {metric['value']}")
+        dist_stats = _dist_stats_snapshot()
+        if dist_stats is not None:
+            for name in sorted(dist_stats.get("counters", {})):
+                metric = dist_stats["counters"][name]
+                if name.startswith("dist/") and metric.get("kind") == "counter":
+                    label = name.removeprefix("dist/").replace("_", " ")
+                    print(f"dist {label}: {metric['value']}")
         print("wall time by phase:")
     for name, seconds in registry.timers.items():
         print(f"  {name:16s} {seconds:8.3f}s")
@@ -363,6 +375,13 @@ def _serve_stats_snapshot() -> dict | None:
     return load_serve_stats(default_cache_dir())
 
 
+def _dist_stats_snapshot() -> dict | None:
+    """The last dispatch's ``dist-stats.json`` snapshot, if one exists."""
+    from repro.dist.stats import load_dist_stats
+
+    return load_dist_stats(default_cache_dir())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the long-lived experiment service until SIGTERM/SIGINT drain.
 
@@ -390,6 +409,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lock_timeout=args.lock_timeout,
             max_queue=args.max_queue,
             client_quota=args.client_quota,
+            worker=args.worker,
         )
         return asyncio.run(server.run())
     except ServeError as exc:
@@ -518,6 +538,116 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if failures else 0
+
+
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    """Shard a sweep across serve workers; fold results back byte-identically.
+
+    ``--workers N`` spawns N local ``repro serve --worker`` subprocesses
+    (the single-box scale-out and test path); repeatable ``--worker``
+    flags target running workers by ``tcp:HOST:PORT`` or unix-socket
+    path (typically an ``ssh -L`` forward from a remote host).  The
+    final cache file is byte-identical to a canonicalized serial
+    ``repro sweep`` of the same matrix — worker losses, reassignments
+    and duplicate completions included.  Exit codes: 0 dispatched (and,
+    without ``--strict``, even with failed jobs — they are reported
+    structurally, like a sweep), 1 failed jobs under ``--strict``,
+    2 configuration or worker-startup errors.
+    """
+    from repro.dist.coordinator import (
+        DispatchCoordinator,
+        DispatchError,
+        sweep_cells,
+    )
+    from repro.dist.worker import (
+        LocalWorkerPool,
+        WorkerPoolError,
+        parse_worker_spec,
+    )
+
+    if args.workers is not None and args.worker_specs:
+        print(
+            "error: use --workers N (spawn local) or --worker SPEC "
+            "(connect to running), not both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.traces:
+        names = args.traces
+    else:
+        specs = all_specs() if args.all_traces else sensitive_specs()
+        names = [spec.name for spec in specs]
+    coordinator = DispatchCoordinator(
+        args.preset,
+        sweep_cells(names, [BASELINE_2MB, BASE_VICTIM_2MB]),
+        lease_size=args.lease_size,
+        worker_retries=args.worker_retries,
+        lock_timeout=args.lock_timeout,
+        timeout=args.timeout,
+        progress=None if args.json else _progress_line,
+    )
+    print(
+        f"dispatch: {coordinator.total_cells} cells, "
+        f"{coordinator.cached_cells} cached, "
+        f"{coordinator.pending_jobs} to run, preset={args.preset}",
+        file=sys.stderr,
+    )
+    try:
+        if coordinator.pending_jobs == 0:
+            # Nothing to lease: never spawn or contact a worker, and
+            # leave the cache file byte-untouched.
+            report = coordinator.run(())
+        elif args.worker_specs:
+            endpoints = [
+                parse_worker_spec(spec, index)
+                for index, spec in enumerate(args.worker_specs)
+            ]
+            report = coordinator.run(endpoints)
+        elif args.workers is not None:
+            pool = LocalWorkerPool(
+                args.workers,
+                args.preset,
+                coordinator.cache_dir,
+                jobs=args.jobs,
+                retries=args.retries,
+                job_timeout=args.job_timeout,
+                lock_timeout=args.lock_timeout,
+            )
+            with pool:
+                endpoints = pool.start()
+                report = coordinator.run(endpoints, pool=pool)
+        else:
+            print(
+                "error: dispatch has jobs to run but no workers; pass "
+                "--workers N or --worker SPEC",
+                file=sys.stderr,
+            )
+            return 2
+    except (DispatchError, WorkerPoolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"dispatched {report.dispatched} job(s) over "
+            f"{len(report.workers)} worker(s): {report.completed} completed, "
+            f"{len(report.failures)} failed, {report.reassigned} reassigned, "
+            f"{report.workers_lost} worker loss(es), "
+            f"{report.duplicates} duplicate result(s)"
+        )
+        print(
+            f"  folded in: {report.merged_new} new, "
+            f"{report.merged_existing} existing; cache canonical at "
+            f"{report.canonical_entries} entries"
+        )
+        for failure in report.failures:
+            print(
+                f"failed: {failure.get('key')}: {failure.get('error')}: "
+                f"{failure.get('message')}",
+                file=sys.stderr,
+            )
+    return 1 if (report.failures and args.strict) else 0
 
 
 def _cmd_serve_status(args: argparse.Namespace) -> int:
@@ -658,9 +788,36 @@ def _cmd_cache_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_canonicalize(args: argparse.Namespace) -> int:
+    """Rewrite cache files into their canonical (key-sorted) form.
+
+    Canonicalization makes cache bytes a pure function of the entry
+    set, independent of write order — the normal form every dispatch
+    fold ends in.  Run it on a serially-produced cache before comparing
+    it byte-for-byte against a distributed one (the differential test
+    and the CI dist-smoke job do exactly that).  Idempotent; already-
+    canonical files are rewritten to identical bytes.
+    """
+    from repro.sim.resultcache import canonicalize_cache_file
+
+    directory = _cache_dir_from_args(args)
+    files = sorted(directory.glob("results-v*.jsonl"))
+    if not files:
+        print(f"no cache files under {directory}")
+        return 0
+    for path in files:
+        entries = canonicalize_cache_file(path, lock_timeout=args.lock_timeout)
+        print(f"{path.name}: canonical ({entries} entries)")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Dispatch ``repro cache <action>``."""
-    handlers = {"verify": _cmd_cache_verify, "migrate": _cmd_cache_migrate}
+    handlers = {
+        "verify": _cmd_cache_verify,
+        "migrate": _cmd_cache_migrate,
+        "canonicalize": _cmd_cache_canonicalize,
+    }
     return handlers[args.cache_command](args)
 
 
@@ -809,17 +966,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_migrate = cache_sub.add_parser(
         "migrate", help="upgrade cache files to the checksummed v5 format"
     )
-    p_migrate.add_argument(
-        "--lock-timeout",
-        type=float,
-        default=None,
-        metavar="SECONDS",
-        help=(
-            "max seconds to wait for a cache file's lock "
-            f"(default ${LOCK_TIMEOUT_ENV} or 120)"
-        ),
+    p_canonicalize = cache_sub.add_parser(
+        "canonicalize",
+        help="rewrite cache files key-sorted (byte-comparable normal form)",
     )
-    for p in (p_verify, p_migrate):
+    for p in (p_migrate, p_canonicalize):
+        p.add_argument(
+            "--lock-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help=(
+                "max seconds to wait for a cache file's lock "
+                f"(default ${LOCK_TIMEOUT_ENV} or 120)"
+            ),
+        )
+    for p in (p_verify, p_migrate, p_canonicalize):
         p.add_argument(
             "--cache-dir",
             default=None,
@@ -883,6 +1045,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "max unresolved jobs per client connection "
             f"(default {DEFAULT_CLIENT_QUOTA})"
+        ),
+    )
+    p_serve.add_argument(
+        "--worker",
+        action="store_true",
+        help=(
+            "run as a dispatch worker: widen the per-connection quota so "
+            "one coordinator connection may lease the whole queue"
         ),
     )
     _add_jobs_argument(p_serve)
@@ -949,6 +1119,81 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="socket timeout while talking to the server (default: none)",
         )
+
+    from repro.dist.coordinator import (
+        DEFAULT_LEASE_SIZE,
+        DEFAULT_WORKER_RETRIES,
+    )
+
+    p_dispatch = sub.add_parser(
+        "dispatch",
+        help="shard a sweep across serve workers (multi-host or spawned)",
+    )
+    p_dispatch.add_argument(
+        "--preset", default="bench", choices=sorted(PRESETS)
+    )
+    p_dispatch.add_argument(
+        "--trace",
+        action="append",
+        dest="traces",
+        metavar="NAME",
+        help="trace subset (repeatable; default: the cache-sensitive suite)",
+    )
+    p_dispatch.add_argument("--all-traces", action="store_true")
+    p_dispatch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="spawn N local `repro serve --worker` subprocesses",
+    )
+    p_dispatch.add_argument(
+        "--worker",
+        action="append",
+        dest="worker_specs",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "a running worker endpoint: tcp:HOST:PORT or a unix-socket "
+            "path (repeatable; e.g. an ssh -L forward of a remote worker)"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--lease-size",
+        type=int,
+        default=DEFAULT_LEASE_SIZE,
+        metavar="N",
+        help=(
+            "jobs per batch lease; smaller leases lose less work per "
+            f"dead worker (default {DEFAULT_LEASE_SIZE})"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--worker-retries",
+        type=int,
+        default=DEFAULT_WORKER_RETRIES,
+        metavar="N",
+        help=(
+            "losses a worker survives before the coordinator retires it "
+            f"(default {DEFAULT_WORKER_RETRIES})"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero if any job failed on every eligible worker",
+    )
+    p_dispatch.add_argument(
+        "--json", action="store_true", help="machine-readable dispatch report"
+    )
+    p_dispatch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="socket timeout per lease conversation (default: none)",
+    )
+    _add_jobs_argument(p_dispatch)
     return parser
 
 
@@ -1029,6 +1274,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "serve-status": _cmd_serve_status,
+        "dispatch": _cmd_dispatch,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,648 @@
+"""The ``repro dispatch`` coordinator: shard one sweep across serve workers.
+
+One coordinator owns one preset, one result cache and one job matrix.
+It drops every cell the local cache already answers, shards the
+remainder into batch leases (:data:`~repro.serve.protocol.PROTOCOL_VERSION`
+v2 ``lease`` frames) over any mix of TCP and unix-socket workers, and
+folds the pulled-back results into its cache so the distributed sweep
+is indistinguishable — byte for byte — from a serial one.
+
+Fault model, in the order the machinery engages:
+
+* **Worker loss / partition** — any transport error, rejected lease,
+  severed stream or injected ``worker-lost`` fault marks the worker
+  lost.  Its unfinished jobs are requeued and *reassigned* to surviving
+  workers after a seeded backoff (:class:`~repro.sim.retry.RetryPolicy`
+  — deterministic per (job key, attempt), like every sweep retry).  A
+  worker that keeps failing retires after ``worker_retries`` losses.
+* **Duplicate completion** — a partitioned worker may still finish jobs
+  the coordinator has meanwhile reassigned; whichever result arrives
+  first wins the fold-in and the loser is a counted no-op
+  (``dist/duplicate_results``), never a second write.
+* **Torn pulls** — results stream back per job and are staged into
+  local checksummed shard files (one per worker).  The fold reads the
+  staged bytes tolerantly: a CRC-failed line (the ``remote-torn-merge``
+  fault) is rejected and the entry recovered from the in-memory copy,
+  so corruption in transit cannot reach the cache.
+
+Byte-determinism: the fold is the existing locked, atomic
+:func:`~repro.sim.resultcache.merge_cache_entries` (existing keys win)
+followed by :func:`~repro.sim.resultcache.canonicalize_cache_file`, so
+the final cache is a pure function of the set of jobs — identical to a
+canonicalized serial ``repro sweep`` of the same matrix, no matter how
+many workers ran, died, or answered twice.
+
+Every decision lands in ``dist/*`` counters on the runner's registry,
+snapshotted to ``dist-stats.json`` for ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.dist.stats import write_dist_stats
+from repro.dist.worker import LocalWorkerPool, WorkerEndpoint
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeClientError
+from repro.sim import faultinject
+from repro.sim.config import MachineConfig, PRESETS
+from repro.sim.experiment import ExperimentRunner, default_cache_dir
+from repro.sim.resultcache import (
+    canonicalize_cache_file,
+    corrupt_line_count,
+    crc_failure_count,
+    encode_entry,
+    iter_cache_entries,
+    merge_cache_entries,
+)
+from repro.sim.retry import RetryPolicy
+
+#: Default jobs per lease: small enough that a lost worker forfeits
+#: little work, large enough to amortise the per-lease handshake.
+DEFAULT_LEASE_SIZE = 8
+
+#: Default losses a worker survives before the coordinator retires it.
+DEFAULT_WORKER_RETRIES = 2
+
+
+class DispatchError(RuntimeError):
+    """A coordinator-level failure with a clean one-line message."""
+
+
+@dataclass(frozen=True)
+class DispatchJob:
+    """One uncached matrix cell, pinned to its submission order."""
+
+    index: int
+    key: str
+    spec: protocol.JobSpec
+
+
+@dataclass
+class WorkerHealth:
+    """Per-worker liveness and accounting the coordinator tracks."""
+
+    endpoint: WorkerEndpoint
+    leases: int = 0
+    completed: int = 0
+    failed: int = 0
+    losses: int = 0
+    retired: bool = False
+
+    def to_dict(self) -> dict:
+        """Serialisable form for reports and the stats snapshot."""
+        return {
+            "name": self.endpoint.name,
+            "address": self.endpoint.address.describe(),
+            "leases": self.leases,
+            "completed": self.completed,
+            "failed": self.failed,
+            "losses": self.losses,
+            "retired": self.retired,
+        }
+
+
+@dataclass
+class DispatchReport:
+    """What one dispatch did, cell by cell and worker by worker."""
+
+    total: int
+    cached: int
+    dispatched: int
+    completed: int = 0
+    reassigned: int = 0
+    duplicates: int = 0
+    workers_lost: int = 0
+    leases: int = 0
+    merged_new: int = 0
+    merged_existing: int = 0
+    canonical_entries: int = 0
+    recovered_from_memory: int = 0
+    shard_crc_rejected: int = 0
+    failures: list[dict] = field(default_factory=list)
+    workers: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Serialisable form for ``--json`` and the stats snapshot."""
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "reassigned": self.reassigned,
+            "duplicates": self.duplicates,
+            "workers_lost": self.workers_lost,
+            "leases": self.leases,
+            "merged_new": self.merged_new,
+            "merged_existing": self.merged_existing,
+            "canonical_entries": self.canonical_entries,
+            "recovered_from_memory": self.recovered_from_memory,
+            "shard_crc_rejected": self.shard_crc_rejected,
+            "failures": list(self.failures),
+            "workers": list(self.workers),
+        }
+
+
+class DispatchCoordinator:
+    """Lease assignment, health tracking and fold-in for one job matrix.
+
+    ``cells`` is the (machine, trace) matrix in submission order — the
+    same order ``repro sweep`` would run it.  Construction resolves the
+    matrix against the local cache (duplicate keys collapse, cached
+    cells drop out); :attr:`pending_jobs` then tells the caller whether
+    spawning workers is worth it at all, and :meth:`run` does the rest.
+    """
+
+    def __init__(
+        self,
+        preset_name: str,
+        cells: Sequence[tuple[MachineConfig, str]],
+        *,
+        cache_dir: Path | None = None,
+        lease_size: int = DEFAULT_LEASE_SIZE,
+        worker_retries: int = DEFAULT_WORKER_RETRIES,
+        retry_policy: RetryPolicy | None = None,
+        lock_timeout: float | None = None,
+        timeout: float | None = None,
+        progress: Callable[[int, int, str], None] | None = None,
+    ) -> None:
+        self.preset_name = preset_name
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.runner = ExperimentRunner(
+            PRESETS[preset_name],
+            cache_dir=self.cache_dir,
+            jobs=1,
+            strict=False,
+            lock_timeout=lock_timeout,
+        )
+        self.registry = self.runner.registry
+        self.lease_size = max(1, lease_size)
+        self.worker_retries = max(0, worker_retries)
+        self.policy = retry_policy or RetryPolicy.from_env()
+        self.lock_timeout = lock_timeout
+        self.timeout = timeout
+        self.progress = progress
+
+        self.jobs: list[DispatchJob] = []
+        seen: set[str] = set()
+        cached = 0
+        for machine, trace in cells:
+            key = self.runner.job_key(machine, trace)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.runner.cached_payload(key) is not None:
+                cached += 1
+                continue
+            self.jobs.append(
+                DispatchJob(
+                    index=len(self.jobs),
+                    key=key,
+                    spec=protocol.JobSpec(trace=trace, machine=machine),
+                )
+            )
+        self.total_cells = len(seen)
+        self.cached_cells = cached
+        self.registry.inc("dist/jobs_total", self.total_cells)
+        self.registry.inc("dist/jobs_cached", cached)
+        self.registry.inc("dist/jobs_dispatched", len(self.jobs))
+
+        self._cond = threading.Condition()
+        self._pending: deque[DispatchJob] = deque(self.jobs)
+        self._inflight: dict[str, str] = {}
+        self._attempts: dict[str, int] = {}
+        self._results: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
+        self._lease_serial = 0
+        self._workers: list[WorkerHealth] = []
+        self._pool: LocalWorkerPool | None = None
+        cache_path = self.runner.cache_path
+        self._shard_dir: Path | None = (
+            cache_path.parent / f"{cache_path.name}.dist-{os.getpid()}"
+            if cache_path is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_jobs(self) -> int:
+        """Uncached, deduplicated jobs the dispatch must actually run."""
+        return len(self.jobs)
+
+    def run(
+        self,
+        endpoints: Sequence[WorkerEndpoint] = (),
+        *,
+        pool: LocalWorkerPool | None = None,
+    ) -> DispatchReport:
+        """Dispatch every pending job, fold the results in, snapshot stats.
+
+        An empty matrix (everything cached, or no cells) never contacts
+        a worker and leaves the cache file byte-untouched.  Jobs that no
+        surviving worker could run are reported as structured failures,
+        mirroring the sweep's graceful-degradation mode — the caller
+        decides whether that is fatal (``--strict``).
+        """
+        self._pool = pool
+        self._workers = [WorkerHealth(endpoint=endpoint) for endpoint in endpoints]
+        if self.jobs:
+            if not self._workers:
+                raise DispatchError("dispatch needs at least one worker")
+            if self._shard_dir is not None:
+                self._shard_dir.mkdir(parents=True, exist_ok=True)
+            with self.registry.timer("phase/dispatch"):
+                threads = [
+                    threading.Thread(
+                        target=self._worker_loop,
+                        args=(health,),
+                        name=f"dispatch-{health.endpoint.name}",
+                        daemon=True,
+                    )
+                    for health in self._workers
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            for job in self.jobs:
+                if job.key not in self._results and job.key not in self._failures:
+                    self._failures[job.key] = {
+                        "key": job.key,
+                        "error": "NoWorkersLeft",
+                        "message": (
+                            "every worker was lost or retired before "
+                            "this job could run"
+                        ),
+                    }
+                    self.registry.inc("dist/jobs_unrunnable")
+        report = self._fold()
+        self._write_stats(report, final=True)
+        return report
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, health: WorkerHealth) -> None:
+        """One worker's thread: take leases until the matrix resolves."""
+        while not health.retired:
+            batch = self._take_batch(health)
+            if batch is None:
+                return
+            self._backoff(batch)
+            try:
+                self._run_lease(health, batch)
+            except Exception as exc:  # noqa: BLE001 — any failure = worker lost
+                self._on_worker_lost(health, batch, exc)
+            else:
+                self._reconcile(health, batch)
+
+    def _take_batch(self, health: WorkerHealth) -> list[DispatchJob] | None:
+        """Claim up to ``lease_size`` unresolved jobs; ``None`` when done.
+
+        Blocks while other workers hold the remaining in-flight jobs —
+        if one of them is lost, its jobs land back on the queue and this
+        worker picks them up (the reassignment path).
+        """
+        with self._cond:
+            while True:
+                batch: list[DispatchJob] = []
+                while self._pending and len(batch) < self.lease_size:
+                    job = self._pending.popleft()
+                    if job.key in self._results or job.key in self._failures:
+                        continue  # resolved while queued
+                    self._inflight[job.key] = health.endpoint.name
+                    batch.append(job)
+                if batch:
+                    return batch
+                if not self._unresolved():
+                    return None
+                # The 0.5s timeout is belt and braces against a lost
+                # notify; correctness only needs the wake-ups.
+                self._cond.wait(timeout=0.5)
+
+    def _unresolved(self) -> bool:
+        """Whether any job still lacks a result or a structured failure."""
+        return any(
+            job.key not in self._results and job.key not in self._failures
+            for job in self.jobs
+        )
+
+    def _backoff(self, batch: list[DispatchJob]) -> None:
+        """Seeded backoff before re-leasing reassigned jobs.
+
+        The delay is the max of the per-job schedules — the same
+        deterministic ``(seed, key, attempt)`` function sweep retries
+        use, so a re-run of the same faulty dispatch sleeps the same.
+        """
+        delays = [
+            self.policy.delay(job.key, self._attempts[job.key])
+            for job in batch
+            if self._attempts.get(job.key, 0) > 0
+        ]
+        if delays:
+            time.sleep(max(delays))
+
+    def _run_lease(self, health: WorkerHealth, batch: list[DispatchJob]) -> None:
+        """One lease conversation; raises on any sign of a lost worker."""
+        index = health.endpoint.index
+        if faultinject.dispatch_worker_lost(index):
+            self._sever(health)
+            raise ServeClientError(
+                f"{health.endpoint.name}: injected worker-lost fault (pre-lease)"
+            )
+        with self._cond:
+            self._lease_serial += 1
+            lease_id = f"lease-{os.getpid()}-{self._lease_serial}"
+        health.leases += 1
+        self.registry.inc("dist/leases")
+        self.registry.observe("dist/lease_jobs", len(batch))
+        with ServeClient(health.endpoint.address, timeout=self.timeout) as client:
+            client.handshake()
+            client.request(
+                {
+                    "op": "lease",
+                    "id": lease_id,
+                    "jobs": [job.spec.to_wire() for job in batch],
+                }
+            )
+            done = False
+            for event in client.events():
+                kind = event.get("event")
+                if kind == "result":
+                    self._record_result(health, event)
+                    if faultinject.dispatch_worker_lost(index):
+                        self._sever(health)
+                        raise ServeClientError(
+                            f"{health.endpoint.name}: injected worker-lost "
+                            "fault (mid-lease)"
+                        )
+                elif kind == "failed":
+                    self._record_failure(health, event)
+                elif kind == "lease-done":
+                    done = True
+                    break
+                elif kind == "rejected":
+                    raise ServeClientError(
+                        f"{health.endpoint.name} rejected lease {lease_id} "
+                        f"({event.get('reason')}): {event.get('detail')}"
+                    )
+                elif kind == "error":
+                    raise ServeClientError(
+                        f"{health.endpoint.name}: protocol error: "
+                        f"{event.get('message')}"
+                    )
+                # "leased" and "progress" are advisory; ignore.
+            if not done:
+                raise ServeClientError(
+                    f"{health.endpoint.name} closed the stream mid-lease "
+                    f"({lease_id})"
+                )
+
+    def _sever(self, health: WorkerHealth) -> None:
+        """Give an injected ``worker-lost`` fault its teeth.
+
+        Locally spawned workers are hard-killed so the loss is real
+        (socket dead, process gone); for remote endpoints the
+        coordinator simply abandons the connection — a partition, under
+        which the worker may finish the lease anyway and produce the
+        duplicate-completion case.
+        """
+        if self._pool is not None:
+            self._pool.kill(health.endpoint.index)
+
+    def _record_result(self, health: WorkerHealth, event: dict) -> str:
+        """Fold one streamed result into coordinator state; first wins.
+
+        Returns ``"stored"`` or ``"duplicate"`` — the duplicate branch
+        is the both-workers-finished-the-same-job race, resolved as a
+        counted no-op.
+        """
+        key = event.get("key")
+        payload = event.get("result")
+        if not isinstance(key, str) or not isinstance(payload, dict):
+            raise ServeClientError(
+                f"{health.endpoint.name}: garbled result event"
+            )
+        with self._cond:
+            if key in self._results:
+                self.registry.inc("dist/duplicate_results")
+                self._cond.notify_all()
+                return "duplicate"
+            self._results[key] = payload
+            self._inflight.pop(key, None)
+            health.completed += 1
+            self.registry.inc("dist/jobs_completed")
+            resolved = len(self._results) + len(self._failures)
+            self._cond.notify_all()
+        self._stage(health, key, payload)
+        if self.progress is not None:
+            self.progress(resolved, len(self.jobs), key)
+        return "stored"
+
+    def _record_failure(self, health: WorkerHealth, event: dict) -> None:
+        """Record one permanent per-job failure (worker retries exhausted)."""
+        key = event.get("key")
+        if not isinstance(key, str):
+            return
+        with self._cond:
+            if key not in self._failures and key not in self._results:
+                self._failures[key] = {
+                    "key": key,
+                    "error": str(event.get("error")),
+                    "message": str(event.get("message")),
+                    "worker": health.endpoint.name,
+                }
+                self._inflight.pop(key, None)
+                health.failed += 1
+                self.registry.inc("dist/jobs_failed")
+            self._cond.notify_all()
+
+    def _stage(self, health: WorkerHealth, key: str, payload: dict) -> None:
+        """Append one pulled result to the worker's staged shard file.
+
+        The shard is the durable copy of what came off the wire (and
+        the ``remote-torn-merge`` fault's target); each worker thread
+        owns its own file, so no locking is needed.
+        """
+        if self._shard_dir is None:
+            return
+        shard = self._shard_dir / f"worker-{health.endpoint.index}.jsonl"
+        with shard.open("a") as handle:
+            handle.write(encode_entry(key, payload) + "\n")
+        faultinject.after_remote_pull(health.endpoint.index, shard)
+
+    def _on_worker_lost(
+        self, health: WorkerHealth, batch: list[DispatchJob], exc: Exception
+    ) -> None:
+        """Requeue a lost worker's unfinished jobs; retire repeat offenders."""
+        health.losses += 1
+        self.registry.inc("dist/workers_lost")
+        requeued = 0
+        with self._cond:
+            for job in batch:
+                if job.key in self._results or job.key in self._failures:
+                    continue
+                self._attempts[job.key] = self._attempts.get(job.key, 0) + 1
+                self._inflight.pop(job.key, None)
+                self._pending.append(job)
+                requeued += 1
+            if requeued:
+                self.registry.inc("dist/jobs_reassigned", requeued)
+            if health.losses > self.worker_retries:
+                health.retired = True
+                self.registry.inc("dist/workers_retired")
+            self._cond.notify_all()
+        message = str(exc) or type(exc).__name__
+        suffix = "; retiring worker" if health.retired else ""
+        self._log(
+            f"{health.endpoint.name} lost ({message}); "
+            f"requeued {requeued} job(s){suffix}"
+        )
+
+    def _reconcile(self, health: WorkerHealth, batch: list[DispatchJob]) -> None:
+        """Safety net: requeue any batch job a clean lease left unresolved.
+
+        A well-behaved worker resolves every leased job before
+        ``lease-done``; this guards the coordinator's liveness against
+        one that does not.
+        """
+        with self._cond:
+            requeued = 0
+            for job in batch:
+                if job.key in self._results or job.key in self._failures:
+                    continue
+                self._attempts[job.key] = self._attempts.get(job.key, 0) + 1
+                self._inflight.pop(job.key, None)
+                self._pending.append(job)
+                requeued += 1
+            if requeued:
+                self.registry.inc("dist/jobs_reassigned", requeued)
+                self._log(
+                    f"{health.endpoint.name} finished a lease without "
+                    f"resolving {requeued} job(s); requeued"
+                )
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Fold-in and reporting
+    # ------------------------------------------------------------------
+
+    def _fold(self) -> DispatchReport:
+        """Fold pulled results into the cache; canonicalize; build the report."""
+        report = DispatchReport(
+            total=self.total_cells,
+            cached=self.cached_cells,
+            dispatched=len(self.jobs),
+            completed=len(self._results),
+            reassigned=self._counter("dist/jobs_reassigned"),
+            duplicates=self._counter("dist/duplicate_results"),
+            workers_lost=self._counter("dist/workers_lost"),
+            leases=self._counter("dist/leases"),
+            failures=sorted(self._failures.values(), key=lambda f: f["key"]),
+            workers=[health.to_dict() for health in self._workers],
+        )
+        cache_path = self.runner.cache_path
+        if not self.jobs:
+            return report  # empty dispatch: the cache is never touched
+
+        staged: dict[str, dict] = {}
+        crc_rejected = corrupt = 0
+        if self._shard_dir is not None and self._shard_dir.exists():
+            for shard in sorted(self._shard_dir.glob("worker-*.jsonl")):
+                before_crc = crc_failure_count(shard)
+                before_corrupt = corrupt_line_count(shard)
+                staged.update(dict(iter_cache_entries(shard)))
+                crc_rejected += crc_failure_count(shard) - before_crc
+                corrupt += corrupt_line_count(shard) - before_corrupt
+        if crc_rejected:
+            self.registry.inc("dist/shard_crc_rejected", crc_rejected)
+        if corrupt:
+            self.registry.inc("dist/shard_corrupt_lines", corrupt)
+        report.shard_crc_rejected = crc_rejected
+
+        items: list[tuple[str, dict]] = []
+        recovered = 0
+        for job in self.jobs:  # matrix submission order, like a sweep merge
+            if job.key not in self._results:
+                continue
+            payload = staged.get(job.key)
+            if payload is None:
+                payload = self._results[job.key]
+                recovered += 1
+            items.append((job.key, payload))
+        if recovered:
+            self.registry.inc("dist/recovered_from_memory", recovered)
+        report.recovered_from_memory = recovered
+
+        if cache_path is not None and items:
+            with self.registry.timer("phase/fold"):
+                stats = merge_cache_entries(
+                    cache_path, items, lock_timeout=self.lock_timeout
+                )
+            report.merged_new = stats.new_entries
+            report.merged_existing = stats.existing_entries
+            self.registry.inc("dist/merged_new_entries", stats.new_entries)
+            self.registry.inc(
+                "dist/merged_existing_entries", stats.existing_entries
+            )
+        if cache_path is not None:
+            with self.registry.timer("phase/canonicalize"):
+                report.canonical_entries = canonicalize_cache_file(
+                    cache_path, lock_timeout=self.lock_timeout
+                )
+        if (
+            self._shard_dir is not None
+            and self._shard_dir.exists()
+            and not self._failures
+        ):
+            # Shards are only diagnostic once folded; keep them around
+            # when something failed, for the post-mortem.
+            shutil.rmtree(self._shard_dir, ignore_errors=True)
+        return report
+
+    def _counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        metric = self.registry.as_dict().get(name)
+        return int(metric["value"]) if metric else 0
+
+    def _write_stats(self, report: DispatchReport, final: bool) -> None:
+        """Snapshot ``dist/*`` counters to ``dist-stats.json`` (atomic)."""
+        payload = {
+            "pid": os.getpid(),
+            "preset": self.preset_name,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "final": final,
+            "lease_size": self.lease_size,
+            "worker_retries": self.worker_retries,
+            "report": report.to_dict(),
+            "counters": self.registry.as_dict(),
+            "timers": self.registry.timers,
+        }
+        try:
+            write_dist_stats(self.cache_dir, payload)
+        except OSError:
+            pass  # observability must never take the dispatch down
+
+    @staticmethod
+    def _log(message: str) -> None:
+        """One coordinator log line (stderr, flushed)."""
+        print(f"repro dispatch: {message}", file=sys.stderr, flush=True)
+
+
+def sweep_cells(
+    traces: Iterable[str], machines: Sequence[MachineConfig]
+) -> list[tuple[MachineConfig, str]]:
+    """The (machine, trace) matrix in ``repro sweep`` submission order."""
+    return [(machine, trace) for machine in machines for trace in traces]

@@ -1,0 +1,34 @@
+"""The ``dist-stats.json`` snapshot bridging ``repro dispatch`` and ``repro stats``.
+
+The coordinator is a one-shot process, but its ``dist/*`` counters must
+be inspectable after it exits — the differential tests and the CI
+dist-smoke job assert on ``repro stats --json`` output, not on captured
+stdout.  Same pattern as ``serve-stats.json``: an atomic JSON snapshot
+in the cache directory, rewritten after every lease round and once more
+after the final fold, read back tolerantly (a corrupt snapshot is
+treated as absent, never an error).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.serve.stats import load_snapshot, write_snapshot
+
+#: Snapshot file name inside the cache directory.
+DIST_STATS_FILE_NAME = "dist-stats.json"
+
+
+def dist_stats_path(cache_dir: Path) -> Path:
+    """Where the dispatch snapshot lives for a given cache directory."""
+    return cache_dir / DIST_STATS_FILE_NAME
+
+
+def write_dist_stats(cache_dir: Path, payload: dict) -> Path:
+    """Atomically (re)write the dispatch snapshot; returns its path."""
+    return write_snapshot(dist_stats_path(cache_dir), payload)
+
+
+def load_dist_stats(cache_dir: Path) -> dict | None:
+    """Read the dispatch snapshot back; ``None`` if absent or unreadable."""
+    return load_snapshot(dist_stats_path(cache_dir))

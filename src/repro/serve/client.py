@@ -120,6 +120,22 @@ class ServeClient:
         finally:
             self._sock.close()
 
+    def handshake(self, version: int = protocol.PROTOCOL_VERSION) -> dict:
+        """Negotiate the protocol version; returns the ``hello`` event.
+
+        Raises :class:`ServeClientError` if the server rejects the
+        version (or answers with anything but a ``hello``) — callers
+        that need v2 features (leases) must handshake first.
+        """
+        self.request({"op": "hello", "version": version})
+        event = self.next_event()
+        if event.get("event") != "hello":
+            raise ServeClientError(
+                f"{self.address.describe()} refused protocol version "
+                f"{version}: {event.get('detail') or event.get('reason')}"
+            )
+        return event
+
     def request(self, payload: dict) -> None:
         """Send one request frame."""
         try:

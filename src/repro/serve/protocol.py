@@ -8,6 +8,11 @@ with a socket and a JSON parser.
 
 Client -> server requests (``op`` field):
 
+* ``{"op": "hello", "version": <int>}`` — version negotiation (v2).
+  The server answers with a ``hello`` event carrying the negotiated
+  version, or rejects an unsupported one with reason
+  ``version-unsupported``.  v1 clients may skip the handshake entirely;
+  ``submit`` and ``status`` behave exactly as they always have.
 * ``{"op": "submit", "id": <str>, "jobs": [<job>...], "wait": <bool>}``
   — submit one or more (machine, trace) jobs; a *sweep* is simply a
   submit with many jobs.  Each ``<job>`` is ``{"trace": <name>,
@@ -17,13 +22,24 @@ Client -> server requests (``op`` field):
   the server streams ``progress``/``result`` events and a final
   ``done``; with ``wait`` false only the admission verdict
   (``accepted``/``rejected``) is sent and the jobs run detached.
+* ``{"op": "lease", "id": <str>, "jobs": [<job>...]}`` — a batch lease
+  (v2, used by the ``repro dispatch`` coordinator): like a waiting
+  submit, but acknowledged with a ``leased`` event and terminated by
+  ``lease-done``, and only accepted after a v2 ``hello`` handshake on
+  the same connection.
 * ``{"op": "status"}`` — one ``status`` event with the live ``serve/*``
   counters, queue depth and drain state.
 
-Server -> client events (``event`` field): ``accepted``, ``rejected``
-(structured: ``reason`` is one of :data:`REJECT_REASONS`), ``progress``,
-``result``, ``failed``, ``done``, ``status`` and ``error`` (protocol
-violation; the connection closes after it).
+Server -> client events (``event`` field): ``hello``, ``accepted``,
+``leased``, ``rejected`` (structured: ``reason`` is one of
+:data:`REJECT_REASONS`), ``progress``, ``result``, ``failed``, ``done``,
+``lease-done``, ``status`` and ``error`` (protocol violation; the
+connection closes after it).
+
+The full wire format, with one validated JSON example per message type,
+is specified in ``PROTOCOL.md`` at the repository root; the docs gate
+(``tools/check_architecture_docs.py``) parses every example in that file
+back through this module so the spec cannot drift from the code.
 
 Validation in this module is *structural and eager*: a malformed frame,
 an oversized payload, an unknown trace or an invalid machine
@@ -39,8 +55,13 @@ from dataclasses import dataclass
 
 from repro.sim.config import MachineConfig, MachineConfigError
 
-#: Protocol version, echoed in ``accepted``/``status`` events.
-PROTOCOL_VERSION = 1
+#: Protocol version, echoed in ``accepted``/``status`` events.  v2
+#: added the ``hello`` version handshake and ``lease`` batch leases;
+#: v1 requests (``submit``/``status``) are accepted unchanged.
+PROTOCOL_VERSION = 2
+
+#: Oldest protocol version the server still speaks.
+MIN_PROTOCOL_VERSION = 1
 
 #: Hard ceiling on one frame's encoded size (request or event).  Result
 #: events carry full serialised run results (a few KB each), so 1 MiB
@@ -58,11 +79,31 @@ REJECT_QUEUE_FULL = "queue-full"
 REJECT_QUOTA = "quota-exceeded"
 REJECT_DRAINING = "draining"
 REJECT_INVALID = "invalid-job"
+REJECT_VERSION = "version-unsupported"
 REJECT_REASONS = (
     REJECT_QUEUE_FULL,
     REJECT_QUOTA,
     REJECT_DRAINING,
     REJECT_INVALID,
+    REJECT_VERSION,
+)
+
+#: Every request ``op`` a server understands.
+REQUEST_OPS = ("hello", "submit", "lease", "status")
+
+#: Every ``event`` kind a server may emit.
+EVENT_KINDS = (
+    "hello",
+    "accepted",
+    "leased",
+    "rejected",
+    "progress",
+    "result",
+    "failed",
+    "done",
+    "lease-done",
+    "status",
+    "error",
 )
 
 #: Machine-spec wire fields -> the ``MachineConfig`` attribute each maps
@@ -208,6 +249,29 @@ def parse_job(job: object, known_traces: frozenset[str]) -> JobSpec:
 
 
 @dataclass(frozen=True)
+class HelloRequest:
+    """One validated ``hello`` (version negotiation) frame."""
+
+    version: int
+
+
+def parse_hello(frame: dict) -> HelloRequest:
+    """Validate a ``hello`` frame into a :class:`HelloRequest`.
+
+    Structural validation only — whether the *value* is a version the
+    server speaks is an admission decision (a ``version-unsupported``
+    reject), not a protocol violation, so the connection survives it.
+    """
+    unknown = sorted(set(frame) - {"op", "version"})
+    if unknown:
+        raise ProtocolError(f"unknown hello field(s): {', '.join(unknown)}")
+    version = frame.get("version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("hello frame needs an integer 'version'")
+    return HelloRequest(version=version)
+
+
+@dataclass(frozen=True)
 class SubmitRequest:
     """One validated submit frame."""
 
@@ -236,4 +300,40 @@ def parse_submit(frame: dict, known_traces: frozenset[str]) -> SubmitRequest:
         request_id=request_id,
         jobs=tuple(parse_job(job, known_traces) for job in jobs),
         wait=wait,
+    )
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """One validated batch-lease frame (v2).
+
+    A lease is a waiting submit with coordinator semantics: the server
+    acknowledges it with ``leased`` instead of ``accepted``, always
+    streams results, and terminates the stream with ``lease-done`` so
+    the coordinator can tell a completed lease from a severed one.
+    """
+
+    lease_id: str
+    jobs: tuple[JobSpec, ...]
+
+
+def parse_lease(frame: dict, known_traces: frozenset[str]) -> LeaseRequest:
+    """Validate a ``lease`` frame into a :class:`LeaseRequest`."""
+    unknown = sorted(set(frame) - {"op", "id", "jobs"})
+    if unknown:
+        raise ProtocolError(f"unknown lease field(s): {', '.join(unknown)}")
+    lease_id = frame.get("id", "")
+    if not isinstance(lease_id, str) or not lease_id:
+        raise ProtocolError("lease frame is missing a string 'id'")
+    jobs = frame.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        raise ProtocolError("lease frame needs a non-empty 'jobs' list")
+    if len(jobs) > MAX_JOBS_PER_SUBMIT:
+        raise ProtocolError(
+            f"lease of {len(jobs)} jobs exceeds the per-request limit "
+            f"of {MAX_JOBS_PER_SUBMIT}"
+        )
+    return LeaseRequest(
+        lease_id=lease_id,
+        jobs=tuple(parse_job(job, known_traces) for job in jobs),
     )

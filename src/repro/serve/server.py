@@ -113,6 +113,9 @@ class _Connection:
         self.name = name
         self.reader = reader
         self.writer = writer
+        #: Protocol version negotiated by a ``hello`` handshake; ``None``
+        #: until one happens (v1 clients never send one).
+        self.protocol_version: int | None = None
         self._events: asyncio.Queue = asyncio.Queue()
         self._finished = False
 
@@ -156,9 +159,18 @@ class ExperimentServer:
         max_queue: int | None = None,
         client_quota: int | None = None,
         cache_dir: Path | None = None,
+        worker: bool = False,
     ) -> None:
         self.preset = PRESETS[preset_name]
         self.cache_dir = cache_dir or default_cache_dir()
+        # Worker mode (``repro serve --worker``): the server is a
+        # dispatch-fleet member, so one coordinator connection may hold
+        # leases for the entire queue — the per-client quota widens to
+        # the queue bound instead of throttling our only client.
+        self.worker = worker
+        if worker:
+            max_queue = max_queue if max_queue is not None else 1024
+            client_quota = max(client_quota or 0, max_queue)
         self.tcp = tcp
         self.socket_path = (
             None if tcp else (socket_path or default_socket_path(self.cache_dir))
@@ -262,6 +274,7 @@ class ExperimentServer:
         payload = {
             "pid": os.getpid(),
             "preset": self.preset.name,
+            "worker": self.worker,
             "protocol": protocol.PROTOCOL_VERSION,
             "address": str(self.socket_path)
             if self.socket_path is not None
@@ -350,24 +363,114 @@ class ExperimentServer:
         """Route one validated frame to its handler."""
         op = frame.get("op")
         if op == "status":
-            conn.emit(self.scheduler.status())
+            status = self.scheduler.status()
+            status["worker"] = self.worker
+            conn.emit(status)
+        elif op == "hello":
+            self._handle_hello(conn, frame)
         elif op == "submit":
             request = protocol.parse_submit(frame, self._known_traces)
             try:
                 self.scheduler.submit(conn.name, request, conn.emit)
             except SubmitRejected as rejected:
-                conn.emit(
-                    {
-                        "event": "rejected",
-                        "id": request.request_id,
-                        "reason": rejected.reason,
-                        "detail": rejected.detail,
-                    }
-                )
+                self._emit_rejected(conn, request.request_id, rejected)
+        elif op == "lease":
+            self._handle_lease(conn, frame)
         else:
             raise protocol.ProtocolError(
-                f"unknown op {op!r}; expected 'submit' or 'status'"
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(protocol.REQUEST_OPS)}"
             )
+
+    def _handle_hello(self, conn: _Connection, frame: dict) -> None:
+        """Version negotiation: pin the connection's protocol version.
+
+        An unsupported version is an admission reject (the client may
+        retry with another version on the same connection), never a
+        connection-closing protocol error.
+        """
+        request = protocol.parse_hello(frame)
+        if not (
+            protocol.MIN_PROTOCOL_VERSION
+            <= request.version
+            <= protocol.PROTOCOL_VERSION
+        ):
+            self.runner.registry.inc("serve/version_rejected")
+            conn.emit(
+                {
+                    "event": "rejected",
+                    "reason": protocol.REJECT_VERSION,
+                    "detail": (
+                        f"protocol version {request.version} is outside the "
+                        f"supported range {protocol.MIN_PROTOCOL_VERSION}.."
+                        f"{protocol.PROTOCOL_VERSION}"
+                    ),
+                }
+            )
+            return
+        conn.protocol_version = request.version
+        conn.emit(
+            {
+                "event": "hello",
+                "protocol": request.version,
+                "server_protocol": protocol.PROTOCOL_VERSION,
+                "min_protocol": protocol.MIN_PROTOCOL_VERSION,
+                "preset": self.preset.name,
+                "worker": self.worker,
+                "pid": os.getpid(),
+            }
+        )
+
+    def _handle_lease(self, conn: _Connection, frame: dict) -> None:
+        """Grant one batch lease: a waiting submit with lease framing."""
+        request = protocol.parse_lease(frame, self._known_traces)
+        if conn.protocol_version is None or conn.protocol_version < 2:
+            self.runner.registry.inc("serve/version_rejected")
+            conn.emit(
+                {
+                    "event": "rejected",
+                    "id": request.lease_id,
+                    "reason": protocol.REJECT_VERSION,
+                    "detail": (
+                        "lease requires a version >= 2 hello handshake "
+                        "on this connection"
+                    ),
+                }
+            )
+            return
+
+        def lease_emit(event: dict) -> None:
+            kind = event.get("event")
+            if kind == "accepted":
+                event = {**event, "event": "leased"}
+            elif kind == "done":
+                event = {**event, "event": "lease-done"}
+            conn.emit(event)
+
+        submit = protocol.SubmitRequest(
+            request_id=request.lease_id, jobs=request.jobs, wait=True
+        )
+        try:
+            self.scheduler.submit(conn.name, submit, lease_emit)
+        except SubmitRejected as rejected:
+            self._emit_rejected(conn, request.lease_id, rejected)
+            return
+        self.runner.registry.inc("serve/leases_granted")
+        self.runner.registry.inc("serve/lease_jobs", len(request.jobs))
+
+    @staticmethod
+    def _emit_rejected(
+        conn: _Connection, request_id: str, rejected: SubmitRejected
+    ) -> None:
+        """Deliver one structured admission reject."""
+        conn.emit(
+            {
+                "event": "rejected",
+                "id": request_id,
+                "reason": rejected.reason,
+                "detail": rejected.detail,
+            }
+        )
 
     def _protocol_error(self, conn: _Connection, message: str) -> None:
         """Account and report one protocol violation."""

@@ -25,15 +25,15 @@ def serve_stats_path(cache_dir: Path) -> Path:
     return cache_dir / STATS_FILE_NAME
 
 
-def write_serve_stats(cache_dir: Path, payload: dict) -> Path:
-    """Atomically (re)write the snapshot; returns its path.
+def write_snapshot(path: Path, payload: dict) -> Path:
+    """Atomically (re)write one JSON snapshot file; returns its path.
 
     Temp file + ``os.replace`` in the same directory, mirroring the
     result cache's write discipline: readers observe either the old
-    snapshot or the new one, never a torn hybrid.
+    snapshot or the new one, never a torn hybrid.  Shared by the serve
+    and dispatch stats bridges.
     """
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    path = serve_stats_path(cache_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     try:
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -43,16 +43,25 @@ def write_serve_stats(cache_dir: Path, payload: dict) -> Path:
     return path
 
 
-def load_serve_stats(cache_dir: Path) -> dict | None:
-    """Read the snapshot back; ``None`` if absent or unreadable.
+def load_snapshot(path: Path) -> dict | None:
+    """Read one snapshot back; ``None`` if absent or unreadable.
 
     A corrupt snapshot is treated as absent — it is an observability
     artifact, never load-bearing state, so tolerating rot beats
     failing a stats report over it.
     """
-    path = serve_stats_path(cache_dir)
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError):
         return None
     return payload if isinstance(payload, dict) else None
+
+
+def write_serve_stats(cache_dir: Path, payload: dict) -> Path:
+    """Atomically (re)write the server's snapshot; returns its path."""
+    return write_snapshot(serve_stats_path(cache_dir), payload)
+
+
+def load_serve_stats(cache_dir: Path) -> dict | None:
+    """Read the server's snapshot back; ``None`` if absent or unreadable."""
+    return load_snapshot(serve_stats_path(cache_dir))

@@ -29,14 +29,26 @@ Spec grammar — comma-separated ``kind:job_index:times`` triples::
   after it acquires a cache lock, while still holding it (exercises
   kernel ``flock`` auto-release plus stale owner-metadata detection in
   :mod:`repro.sim.locking`).
+* ``worker-lost`` — make the dispatch coordinator lose remote worker
+  ``index`` mid-lease: :func:`dispatch_worker_lost` reports the fault
+  armed, and the coordinator severs the connection (and kills the
+  subprocess, for locally spawned workers) as if the host vanished
+  (exercises worker health tracking and seeded-backoff reassignment in
+  :mod:`repro.dist.coordinator`).
+* ``remote-torn-merge`` — append a CRC-mismatched v5 line to the staged
+  shard pulled back from worker ``index``, right before the coordinator
+  folds it into the result cache, simulating a transfer torn mid-line
+  (exercises the checksummed fold-in: the line must be rejected on its
+  CRC and the entry recovered from the coordinator's in-memory copy).
 
 ``fail`` and ``hang`` count attempts within the executing process, which
 is deterministic because retries happen inside one worker.  ``crash``,
-``corrupt``, ``torn-write`` and ``lock-holder-dies`` must fire a bounded
-number of times *across* processes (a re-spawned worker must not crash
-forever), so they are one-shot through stamp files under
-``$REPRO_FAULTS_DIR``; when that directory is unset they stay disarmed
-rather than risk an unbounded crash loop.
+``corrupt``, ``torn-write``, ``lock-holder-dies``, ``worker-lost`` and
+``remote-torn-merge`` must fire a bounded number of times *across*
+processes (a re-spawned worker must not crash forever, a re-run
+coordinator must not re-lose the same worker), so they are one-shot
+through stamp files under ``$REPRO_FAULTS_DIR``; when that directory is
+unset they stay disarmed rather than risk an unbounded crash loop.
 
 Everything is driven by environment variables so tests can arm faults
 with ``monkeypatch.setenv`` and have pool workers inherit them.
@@ -60,7 +72,16 @@ FAULTS_DIR_ENV = "REPRO_FAULTS_DIR"
 HANG_SECONDS = 3600.0
 
 #: Recognised fault kinds.
-KINDS = ("fail", "hang", "crash", "corrupt", "torn-write", "lock-holder-dies")
+KINDS = (
+    "fail",
+    "hang",
+    "crash",
+    "corrupt",
+    "torn-write",
+    "lock-holder-dies",
+    "worker-lost",
+    "remote-torn-merge",
+)
 
 #: The torn line a ``corrupt`` fault appends (no closing brace, so the
 #: tolerant loader must skip and count it).
@@ -198,6 +219,52 @@ def on_lock_acquired(lock_path: Path) -> None:
     for fault in active_faults():
         if fault.kind == "lock-holder-dies" and _one_shot(fault):
             os._exit(LOCK_HOLDER_EXIT)
+
+
+def dispatch_worker_lost(worker_index: int) -> bool:
+    """Hook: called by the dispatch coordinator around lease traffic.
+
+    Returns True when an armed ``worker-lost`` fault targets worker
+    ``worker_index`` (the fault spec's job-index slot holds the worker
+    index); the coordinator then severs the connection — and hard-kills
+    the subprocess for locally spawned workers — exactly as if the host
+    dropped off the network.  One-shot across processes, like ``crash``.
+    """
+    for fault in active_faults():
+        if (
+            fault.kind == "worker-lost"
+            and fault.index == worker_index
+            and _one_shot(fault)
+        ):
+            return True
+    return False
+
+
+def after_remote_pull(worker_index: int, shard_path: Path) -> None:
+    """Hook: called after worker ``worker_index``'s results reach a staged shard.
+
+    An armed ``remote-torn-merge`` fault overwrites the checksum of the
+    shard's last line (falling back to appending :data:`TORN_V5_LINE`
+    when the shard is empty), simulating a pull torn mid-line: the fold
+    must reject the line on its CRC alone and recover the entry from
+    the coordinator's in-memory copy, leaving the final cache bytes
+    untouched by the corruption.
+    """
+    for fault in active_faults():
+        if (
+            fault.kind == "remote-torn-merge"
+            and fault.index == worker_index
+            and _one_shot(fault)
+        ):
+            lines = shard_path.read_text().splitlines() if shard_path.exists() else []
+            while lines and not lines[-1].strip():
+                lines.pop()
+            if lines:
+                head, sep, _crc = lines[-1].rpartition("#")
+                lines[-1] = f"{head}#00000000" if sep else TORN_V5_LINE
+            else:
+                lines = [TORN_V5_LINE]
+            shard_path.write_text("\n".join(lines) + "\n")
 
 
 def corrupt_file(path: Path, line: str = TORN_LINE) -> None:

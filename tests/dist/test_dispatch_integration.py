@@ -1,0 +1,186 @@
+"""End-to-end dispatch tests through real worker subprocesses.
+
+The tentpole invariant with workers dying under it: a dispatch sharded
+across a fleet of ``repro serve --worker`` processes — including one
+the ``worker-lost`` fault kills mid-dispatch — leaves a cache
+byte-identical to a canonicalized serial ``repro sweep`` of the same
+matrix, and the loss is visible in ``repro stats``.  This is the same
+code path CI's dist-smoke job drives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.sim.experiment import CACHE_DIR_ENV
+from repro.sim.faultinject import FAULTS_DIR_ENV, FAULTS_ENV
+from repro.sim.resultcache import scan_cache_file
+
+TIMEOUT = 300
+TRACES = ("mcf.1", "sjeng.1", "astar.1")
+
+
+def _env(cache_dir: Path, **extra: str) -> dict[str, str]:
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env[CACHE_DIR_ENV] = str(cache_dir)
+    env.pop(FAULTS_ENV, None)
+    env.pop(FAULTS_DIR_ENV, None)
+    env.update(extra)
+    return env
+
+
+def _repro(args: tuple[str, ...], env: dict[str, str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT,
+    )
+
+
+def _trace_flags(traces: tuple[str, ...]) -> list[str]:
+    flags: list[str] = []
+    for trace in traces:
+        flags += ["--trace", trace]
+    return flags
+
+
+def _serial_reference(cache_dir: Path) -> Path:
+    """A canonicalized serial sweep of the matrix: the golden bytes."""
+    env = _env(cache_dir)
+    sweep = _repro(
+        ("sweep", "--preset", "test", *_trace_flags(TRACES), "--jobs", "1"), env
+    )
+    assert sweep.returncode == 0, sweep.stderr
+    canon = _repro(("cache", "canonicalize", "--cache-dir", str(cache_dir)), env)
+    assert canon.returncode == 0, canon.stderr
+    [path] = cache_dir.glob("results-v*.jsonl")
+    return path
+
+
+def test_dispatch_with_worker_death_is_byte_identical_to_serial(tmp_path):
+    serial = _serial_reference(tmp_path / "serial")
+
+    # Three workers, worker-1 killed by the injected fault on its first
+    # lease; its jobs must reassign to the survivors.
+    dist_dir = tmp_path / "dist"
+    env = _env(
+        dist_dir,
+        **{
+            FAULTS_ENV: "worker-lost:1:1",
+            FAULTS_DIR_ENV: str(tmp_path / "fault-stamps"),
+        },
+    )
+    dispatch = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            *_trace_flags(TRACES),
+            "--workers",
+            "3",
+            "--lease-size",
+            "2",
+            "--json",
+        ),
+        env,
+    )
+    assert dispatch.returncode == 0, dispatch.stderr
+    report = json.loads(dispatch.stdout)
+    assert report["total"] == 2 * len(TRACES)
+    assert report["completed"] == 2 * len(TRACES)
+    assert report["failures"] == []
+    assert report["workers_lost"] >= 1
+    assert report["reassigned"] >= 1
+    assert "worker-1 lost" in dispatch.stderr
+    lost = next(w for w in report["workers"] if w["name"] == "worker-1")
+    assert lost["losses"] >= 1
+
+    # The point of the whole exercise: byte identity despite the death.
+    [dist_cache] = dist_dir.glob("results-v*.jsonl")
+    assert dist_cache.read_bytes() == serial.read_bytes()
+    assert scan_cache_file(dist_cache).clean
+    # Clean fold: the staging directory was removed.
+    assert list(dist_dir.glob("*.dist-*")) == []
+
+    # The loss is observable after the fact through repro stats.
+    stats = _repro(
+        (
+            "stats",
+            "--preset",
+            "test",
+            "--trace",
+            TRACES[0],
+            "--json",
+        ),
+        _env(dist_dir),
+    )
+    assert stats.returncode == 0, stats.stderr
+    counters = json.loads(stats.stdout)["dist"]["counters"]
+    assert counters["dist/workers_lost"]["value"] >= 1
+    assert counters["dist/jobs_reassigned"]["value"] >= 1
+
+
+def test_redispatch_is_fully_cached_and_touches_nothing(tmp_path):
+    """A second dispatch of the same matrix resolves entirely from cache."""
+    cache_dir = tmp_path / "cache"
+    env = _env(cache_dir)
+    first = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            "--trace",
+            "sjeng.1",
+            "--workers",
+            "2",
+            "--json",
+        ),
+        env,
+    )
+    assert first.returncode == 0, first.stderr
+    [cache_file] = cache_dir.glob("results-v*.jsonl")
+    before = cache_file.read_bytes()
+
+    second = _repro(
+        ("dispatch", "--preset", "test", "--trace", "sjeng.1", "--json"), env
+    )
+    assert second.returncode == 0, second.stderr
+    report = json.loads(second.stdout)
+    assert report["cached"] == 2 and report["dispatched"] == 0
+    assert cache_file.read_bytes() == before
+
+
+def test_dispatch_with_jobs_but_no_workers_exits_2(tmp_path):
+    result = _repro(
+        ("dispatch", "--preset", "test", "--trace", "sjeng.1"), _env(tmp_path)
+    )
+    assert result.returncode == 2
+    assert "no workers" in result.stderr
+    assert "Traceback" not in result.stderr
+
+
+def test_dispatch_rejects_mixing_worker_flag_styles(tmp_path):
+    result = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            "--trace",
+            "sjeng.1",
+            "--workers",
+            "2",
+            "--worker",
+            "/tmp/x.sock",
+        ),
+        _env(tmp_path),
+    )
+    assert result.returncode == 2
+    assert "not both" in result.stderr

@@ -16,10 +16,14 @@ from repro.serve import protocol
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
     MAX_JOBS_PER_SUBMIT,
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
     encode_frame,
     machine_to_wire,
+    parse_hello,
+    parse_lease,
     parse_machine,
     parse_submit,
 )
@@ -96,6 +100,67 @@ class TestMachineSpec:
         # fail here, not inside a worker process.
         with pytest.raises(ProtocolError):
             parse_machine({"policy": "definitely-not-a-policy"})
+
+
+class TestHello:
+    def test_valid_hello_parses(self):
+        request = parse_hello({"op": "hello", "version": PROTOCOL_VERSION})
+        assert request.version == PROTOCOL_VERSION
+
+    def test_out_of_range_version_still_parses(self):
+        # Version policy is an admission decision (a structured
+        # ``version-unsupported`` reject), not a protocol violation —
+        # the frame itself must parse so the connection survives.
+        assert parse_hello({"op": "hello", "version": 99}).version == 99
+        old = MIN_PROTOCOL_VERSION - 1
+        assert parse_hello({"op": "hello", "version": old}).version == old
+
+    @pytest.mark.parametrize("version", ["2", 2.0, True, None])
+    def test_non_integer_version_rejected(self, version):
+        with pytest.raises(ProtocolError, match="integer 'version'"):
+            parse_hello({"op": "hello", "version": version})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown hello field"):
+            parse_hello({"op": "hello", "version": 2, "client": "me"})
+
+
+class TestLease:
+    def _frame(self, **overrides):
+        frame = {
+            "op": "lease",
+            "id": "lease-1",
+            "jobs": [{"trace": "sjeng.1"}, {"trace": "mcf.1"}],
+        }
+        frame.update(overrides)
+        return frame
+
+    def test_valid_lease_parses(self):
+        request = parse_lease(self._frame(), TRACES)
+        assert request.lease_id == "lease-1"
+        assert [job.trace for job in request.jobs] == ["sjeng.1", "mcf.1"]
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ProtocolError, match="'id'"):
+            parse_lease(self._frame(id=""), TRACES)
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_lease(self._frame(jobs=[]), TRACES)
+
+    def test_too_many_jobs_rejected(self):
+        jobs = [{"trace": "sjeng.1"}] * (MAX_JOBS_PER_SUBMIT + 1)
+        with pytest.raises(ProtocolError, match="per-request limit"):
+            parse_lease(self._frame(jobs=jobs), TRACES)
+
+    def test_unknown_field_rejected(self):
+        # ``wait`` is a submit field; a lease always streams.
+        with pytest.raises(ProtocolError, match="unknown lease field"):
+            parse_lease(self._frame(wait=True), TRACES)
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown trace"):
+            parse_lease(self._frame(jobs=[{"trace": "nope.1"}]), TRACES)
 
 
 class TestSubmit:

@@ -127,6 +127,11 @@ class TestServeParser:
         assert args.machine == "uncompressed"
         assert args.ways == 8
 
+    def test_serve_worker_flag(self):
+        args = build_parser().parse_args(["serve", "--worker"])
+        assert args.worker
+        assert not build_parser().parse_args(["serve"]).worker
+
     def test_serve_status_flags(self):
         args = build_parser().parse_args(
             ["serve-status", "--json", "--socket", "/tmp/x.sock", "--timeout", "5"]
@@ -155,6 +160,48 @@ class TestServeParser:
         )
         jobs = _submit_jobs_from_args(args)
         assert [job["machine"]["arch"] for job in jobs] == ["uncompressed"]
+
+
+class TestDispatchParser:
+    def test_dispatch_defaults(self):
+        from repro.dist.coordinator import (
+            DEFAULT_LEASE_SIZE,
+            DEFAULT_WORKER_RETRIES,
+        )
+
+        args = build_parser().parse_args(["dispatch"])
+        assert args.preset == "bench"
+        assert args.workers is None and args.worker_specs == []
+        assert args.lease_size == DEFAULT_LEASE_SIZE
+        assert args.worker_retries == DEFAULT_WORKER_RETRIES
+        assert not args.strict and not args.json
+        assert args.timeout is None
+
+    def test_dispatch_spawned_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["dispatch", "--preset", "test", "--trace", "mcf.1",
+             "--workers", "3", "--lease-size", "2", "--worker-retries", "1",
+             "--strict", "--json", "--timeout", "30"]
+        )
+        assert args.workers == 3
+        assert args.traces == ["mcf.1"]
+        assert args.lease_size == 2 and args.worker_retries == 1
+        assert args.strict and args.json and args.timeout == 30.0
+
+    def test_dispatch_worker_specs_accumulate(self):
+        args = build_parser().parse_args(
+            ["dispatch", "--worker", "tcp:10.0.0.2:7700",
+             "--worker", "/tmp/fwd/serve.sock"]
+        )
+        assert args.worker_specs == ["tcp:10.0.0.2:7700", "/tmp/fwd/serve.sock"]
+
+    def test_dispatch_shares_the_sweep_worker_flags(self):
+        args = build_parser().parse_args(
+            ["dispatch", "--jobs", "4", "--retries", "2",
+             "--job-timeout", "9", "--lock-timeout", "5"]
+        )
+        assert args.jobs == 4 and args.retries == 2
+        assert args.job_timeout == 9.0 and args.lock_timeout == 5.0
 
 
 class TestCommands:
@@ -317,6 +364,11 @@ class TestLockAndValidationFlags:
         )
         assert args.cache_command == "migrate"
         assert args.cache_dir == "/tmp/x"
+        args = build_parser().parse_args(
+            ["cache", "canonicalize", "--lock-timeout", "5"]
+        )
+        assert args.cache_command == "canonicalize"
+        assert args.lock_timeout == 5.0
 
     def test_cache_requires_an_action(self):
         with pytest.raises(SystemExit):
@@ -397,6 +449,32 @@ class TestCacheCommands:
         # Second migrate: everything already clean.
         assert main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
         assert "already clean" in capsys.readouterr().out
+
+    def test_canonicalize_sorts_and_is_idempotent(self, capsys, tmp_path, monkeypatch):
+        from repro.sim.resultcache import load_cache_entries
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Two runs in reverse-key-friendly order: write order != key order.
+        assert main(["run", "--trace", "sjeng.1", "--preset", "test"]) == 0
+        assert main(["run", "--trace", "astar.1", "--preset", "test"]) == 0
+        cache_file = next(tmp_path.glob("results-v*.jsonl"))
+        entries = load_cache_entries(cache_file)
+        capsys.readouterr()
+
+        assert main(["cache", "canonicalize", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "canonical (2 entries)" in out
+        canonical = cache_file.read_bytes()
+        keys = list(load_cache_entries(cache_file))
+        assert keys == sorted(keys)  # key-sorted on disk
+        assert load_cache_entries(cache_file) == entries  # nothing lost
+        # Idempotent: a second pass rewrites identical bytes.
+        assert main(["cache", "canonicalize", "--cache-dir", str(tmp_path)]) == 0
+        assert cache_file.read_bytes() == canonical
+
+    def test_canonicalize_empty_directory(self, capsys, tmp_path):
+        assert main(["cache", "canonicalize", "--cache-dir", str(tmp_path)]) == 0
+        assert "no cache files" in capsys.readouterr().out
 
     def test_v4_cache_is_read_transparently_without_migration(
         self, capsys, tmp_path, monkeypatch

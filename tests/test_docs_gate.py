@@ -1,4 +1,4 @@
-"""Tier-1 enforcement of the ARCHITECTURE.md module-map docs gate."""
+"""Tier-1 enforcement of the ARCHITECTURE.md and PROTOCOL.md docs gates."""
 
 import shutil
 import subprocess
@@ -49,6 +49,52 @@ def test_gate_fails_on_stale_doc_entry(tmp_path):
     assert "no longer exist" in proc.stdout
 
 
+def _protocol_fixture(tmp_path: Path, protocol_text: str) -> Path:
+    """A repo-shaped tree with real code and a (possibly doctored) spec."""
+    shutil.copy(REPO_ROOT / "ARCHITECTURE.md", tmp_path / "ARCHITECTURE.md")
+    (tmp_path / "PROTOCOL.md").write_text(protocol_text)
+    (tmp_path / "src").symlink_to(REPO_ROOT / "src")
+    return tmp_path
+
+
+def test_gate_fails_on_missing_protocol_spec(tmp_path):
+    shutil.copy(REPO_ROOT / "ARCHITECTURE.md", tmp_path / "ARCHITECTURE.md")
+    (tmp_path / "src").symlink_to(REPO_ROOT / "src")
+    proc = _run(tmp_path)
+    assert proc.returncode == 1
+    assert "PROTOCOL.md is missing" in proc.stdout
+
+
+def test_gate_fails_on_invalid_protocol_example(tmp_path):
+    # Corrupt one documented example: a field no parser accepts.
+    text = (REPO_ROOT / "PROTOCOL.md").read_text()
+    doctored = text.replace('"op": "lease"', '"op": "lease", "wait": true', 1)
+    assert doctored != text
+    proc = _run(_protocol_fixture(tmp_path, doctored))
+    assert proc.returncode == 1
+    assert "unknown lease field" in proc.stdout
+
+
+def test_gate_fails_on_stale_protocol_constant(tmp_path):
+    text = (REPO_ROOT / "PROTOCOL.md").read_text()
+    doctored = text.replace("| `PROTOCOL_VERSION` | 2 |", "| `PROTOCOL_VERSION` | 7 |")
+    assert doctored != text
+    proc = _run(_protocol_fixture(tmp_path, doctored))
+    assert proc.returncode == 1
+    assert "PROTOCOL.md states PROTOCOL_VERSION = 7" in proc.stdout
+
+
+def test_gate_fails_when_spec_omits_an_event(tmp_path):
+    # Dropping every ``lease-done`` example must trip the coverage check.
+    text = (REPO_ROOT / "PROTOCOL.md").read_text()
+    doctored = text.replace('"event": "lease-done"', '"event": "done"')
+    assert doctored != text
+    proc = _run(_protocol_fixture(tmp_path, doctored))
+    assert proc.returncode == 1
+    assert "no example for event 'lease-done'" in proc.stdout
+
+
 def test_readme_links_architecture():
     readme = (REPO_ROOT / "README.md").read_text()
     assert "ARCHITECTURE.md" in readme
+    assert "PROTOCOL.md" in readme

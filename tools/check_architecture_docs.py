@@ -1,12 +1,25 @@
 #!/usr/bin/env python3
-"""Docs gate: keep ARCHITECTURE.md's module map in sync with src/repro.
+"""Docs gate: keep ARCHITECTURE.md and PROTOCOL.md in sync with the code.
 
-Extracts the dotted module names from the ``<!-- module-map:begin -->``
-block in ARCHITECTURE.md and compares them, as exact sets, with the
-modules that actually exist under ``src/repro/``.  Exits nonzero and
-prints the drift (missing / stale entries) if they differ, so CI fails
-whenever a module is added, removed or renamed without updating the
-documentation.
+Two independent checks, both run by CI's lint job and by
+``tests/test_docs_gate.py``; their failures aggregate so one run shows
+all drift at once:
+
+* **Module map** — extracts the dotted module names from the
+  ``<!-- module-map:begin -->`` block in ARCHITECTURE.md and compares
+  them, as exact sets, with the modules that actually exist under
+  ``src/repro/``, so CI fails whenever a module is added, removed or
+  renamed without updating the documentation.
+* **Protocol examples** — parses every fenced ``json`` example in
+  PROTOCOL.md back through ``repro.serve.protocol``: frames must
+  encode within the frame bound, requests must parse
+  (``hello``/``submit``/``lease``/``status``, real trace names, valid
+  machine specs), events and reject reasons must be ones the server
+  can emit, every op/event/reason must have at least one example or
+  mention (the spec may not silently omit a message type), and the
+  constants table must match the code's values.  Skipped when the repo
+  under ``--repo-root`` has no ``src/repro/serve/protocol.py`` (e.g.
+  the minimal fixtures the docs-gate tests build).
 
 Usage::
 
@@ -16,6 +29,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -25,6 +39,20 @@ END_MARK = "<!-- module-map:end -->"
 # A documented entry is the leading dotted name on a line, e.g.
 # ``repro.sim.retry — retry policy ...``.
 ENTRY_RE = re.compile(r"^(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)*)\s")
+
+# Fenced ```json blocks in PROTOCOL.md (each one wire-format example).
+JSON_BLOCK_RE = re.compile(r"```json\n(.*?)```", re.DOTALL)
+
+# Constants-table rows: | `NAME` | value | ...
+CONSTANT_ROW_RE = re.compile(r"\|\s*`([A-Z_]+)`\s*\|\s*`?(\d+)`?\s*\|")
+
+#: Constants PROTOCOL.md must state, checked against the code's values.
+SPEC_CONSTANTS = (
+    "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_JOBS_PER_SUBMIT",
+)
 
 
 def documented_modules(architecture_md: Path) -> set[str]:
@@ -60,8 +88,129 @@ def actual_modules(src_root: Path) -> set[str]:
     return modules
 
 
+def check_module_map(repo_root: Path) -> list[str]:
+    """Module-map drift as a list of failure lines (empty = in sync)."""
+    documented = documented_modules(repo_root / "ARCHITECTURE.md")
+    actual = actual_modules(repo_root / "src")
+    failures = []
+    for name in sorted(actual - documented):
+        failures.append(f"module missing from ARCHITECTURE.md module map: {name}")
+    for name in sorted(documented - actual):
+        failures.append(f"ARCHITECTURE.md lists a module that no longer exists: {name}")
+    return failures
+
+
+def _validate_request(protocol, frame: dict, known_traces: frozenset) -> None:
+    """Parse one request example with the op's real parser."""
+    op = frame["op"]
+    if op == "hello":
+        protocol.parse_hello(frame)
+    elif op == "submit":
+        protocol.parse_submit(frame, known_traces)
+    elif op == "lease":
+        protocol.parse_lease(frame, known_traces)
+    else:  # status
+        unknown = sorted(set(frame) - {"op"})
+        if unknown:
+            raise protocol.ProtocolError(
+                f"unknown status field(s): {', '.join(unknown)}"
+            )
+
+
+def check_protocol_examples(repo_root: Path) -> list[str]:
+    """Validate PROTOCOL.md's examples and constants against the code.
+
+    Returns failure lines (empty = spec and code agree).  Skips — with
+    no failures — when the repo has no serve protocol module, so the
+    gate still works on the minimal fixture trees tests build.
+    """
+    protocol_md = repo_root / "PROTOCOL.md"
+    protocol_py = repo_root / "src" / "repro" / "serve" / "protocol.py"
+    if not protocol_py.exists():
+        return []
+    if not protocol_md.exists():
+        return [f"{protocol_md} is missing (the serve protocol must be specified)"]
+
+    src = str(repo_root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.serve import protocol
+    from repro.workloads.suite import all_specs
+
+    known_traces = frozenset(spec.name for spec in all_specs())
+    text = protocol_md.read_text(encoding="utf-8")
+    failures: list[str] = []
+
+    seen_ops: set[str] = set()
+    seen_events: set[str] = set()
+    blocks = JSON_BLOCK_RE.findall(text)
+    if not blocks:
+        failures.append("PROTOCOL.md contains no fenced json examples")
+    for number, block in enumerate(blocks, start=1):
+        label = f"PROTOCOL.md json example #{number}"
+        try:
+            frame = json.loads(block)
+        except json.JSONDecodeError as exc:
+            failures.append(f"{label}: not valid JSON: {exc.msg}")
+            continue
+        if not isinstance(frame, dict):
+            failures.append(f"{label}: frame must be a JSON object")
+            continue
+        try:
+            protocol.encode_frame(frame)
+        except protocol.ProtocolError as exc:
+            failures.append(f"{label}: {exc}")
+            continue
+        if "op" in frame:
+            if frame["op"] not in protocol.REQUEST_OPS:
+                failures.append(f"{label}: unknown op {frame['op']!r}")
+                continue
+            seen_ops.add(frame["op"])
+            try:
+                _validate_request(protocol, frame, known_traces)
+            except protocol.ProtocolError as exc:
+                failures.append(f"{label}: {exc}")
+        elif "event" in frame:
+            if frame["event"] not in protocol.EVENT_KINDS:
+                failures.append(f"{label}: unknown event {frame['event']!r}")
+                continue
+            seen_events.add(frame["event"])
+            if frame["event"] == "rejected":
+                reason = frame.get("reason")
+                if reason not in protocol.REJECT_REASONS:
+                    failures.append(
+                        f"{label}: unknown reject reason {reason!r}"
+                    )
+        else:
+            failures.append(f"{label}: frame has neither 'op' nor 'event'")
+
+    # Coverage: the spec may not silently omit a message type.
+    for op in protocol.REQUEST_OPS:
+        if op not in seen_ops:
+            failures.append(f"PROTOCOL.md has no example for request op {op!r}")
+    for event in protocol.EVENT_KINDS:
+        if event not in seen_events:
+            failures.append(f"PROTOCOL.md has no example for event {event!r}")
+    for reason in protocol.REJECT_REASONS:
+        if f"`{reason}`" not in text:
+            failures.append(
+                f"PROTOCOL.md does not document reject reason {reason!r}"
+            )
+
+    stated = dict(CONSTANT_ROW_RE.findall(text))
+    for name in SPEC_CONSTANTS:
+        actual = getattr(protocol, name)
+        if name not in stated:
+            failures.append(f"PROTOCOL.md constants table is missing {name}")
+        elif int(stated[name]) != actual:
+            failures.append(
+                f"PROTOCOL.md states {name} = {stated[name]}, code says {actual}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Compare the documented and actual module sets; 0 iff identical."""
+    """Run both checks; 0 iff docs and code agree."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--repo-root",
@@ -71,26 +220,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    documented = documented_modules(args.repo_root / "ARCHITECTURE.md")
-    actual = actual_modules(args.repo_root / "src")
-
-    undocumented = sorted(actual - documented)
-    stale = sorted(documented - actual)
-    if undocumented:
-        print("modules missing from ARCHITECTURE.md module map:")
-        for name in undocumented:
-            print(f"  {name}")
-    if stale:
-        print("ARCHITECTURE.md lists modules that no longer exist:")
-        for name in stale:
-            print(f"  {name}")
-    if undocumented or stale:
-        print(
-            f"\ndocs gate FAILED: {len(undocumented)} undocumented, "
-            f"{len(stale)} stale (of {len(actual)} actual modules)."
-        )
+    failures = check_module_map(args.repo_root)
+    failures += check_protocol_examples(args.repo_root)
+    if failures:
+        for line in failures:
+            print(line)
+        print(f"\ndocs gate FAILED: {len(failures)} problem(s).")
         return 1
-    print(f"docs gate OK: ARCHITECTURE.md matches all {len(actual)} modules.")
+    print("docs gate OK: module map and protocol spec match the code.")
     return 0
 
 
