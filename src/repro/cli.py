@@ -14,6 +14,7 @@ Exposes the paper's experiments and some exploration helpers::
     repro submit --trace mcf.1 [--sweep] [--wait] [--json]
     repro serve-status [--json]
     repro dispatch [--workers 3 | --worker tcp:HOST:PORT ...] [--strict]
+                   [--resume] [--redispatch N] [--fold-every N]
     repro perf [--repeats 3] [--output BENCH_PERF.json]
     repro cache verify [--strict] [--cache-dir DIR]
     repro cache migrate [--cache-dir DIR]
@@ -549,11 +550,17 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     path (typically an ``ssh -L`` forward from a remote host).  The
     final cache file is byte-identical to a canonicalized serial
     ``repro sweep`` of the same matrix — worker losses, reassignments
-    and duplicate completions included.  Exit codes: 0 dispatched (and,
+    and duplicate completions included.  ``--resume`` salvages the
+    staged results of a coordinator that was killed mid-dispatch (the
+    write-ahead journal says which cells those are) and re-leases only
+    the remainder; ``--redispatch N`` re-runs resolution up to N extra
+    rounds until the matrix saturates.  Exit codes: 0 dispatched (and,
     without ``--strict``, even with failed jobs — they are reported
     structurally, like a sweep), 1 failed jobs under ``--strict``,
     2 configuration or worker-startup errors.
     """
+    import time as timelib
+
     from repro.dist.coordinator import (
         DispatchCoordinator,
         DispatchError,
@@ -564,6 +571,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         WorkerPoolError,
         parse_worker_spec,
     )
+    from repro.sim.report import dispatch_health_summary
+    from repro.sim.retry import RetryPolicy
 
     if args.workers is not None and args.worker_specs:
         print(
@@ -577,55 +586,88 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     else:
         specs = all_specs() if args.all_traces else sensitive_specs()
         names = [spec.name for spec in specs]
-    coordinator = DispatchCoordinator(
-        args.preset,
-        sweep_cells(names, [BASELINE_2MB, BASE_VICTIM_2MB]),
-        lease_size=args.lease_size,
-        worker_retries=args.worker_retries,
-        lock_timeout=args.lock_timeout,
-        timeout=args.timeout,
-        progress=None if args.json else _progress_line,
-    )
-    print(
-        f"dispatch: {coordinator.total_cells} cells, "
-        f"{coordinator.cached_cells} cached, "
-        f"{coordinator.pending_jobs} to run, preset={args.preset}",
-        file=sys.stderr,
-    )
-    try:
-        if coordinator.pending_jobs == 0:
-            # Nothing to lease: never spawn or contact a worker, and
-            # leave the cache file byte-untouched.
-            report = coordinator.run(())
-        elif args.worker_specs:
-            endpoints = [
-                parse_worker_spec(spec, index)
-                for index, spec in enumerate(args.worker_specs)
-            ]
-            report = coordinator.run(endpoints)
-        elif args.workers is not None:
-            pool = LocalWorkerPool(
-                args.workers,
+
+    redispatch = max(0, args.redispatch)
+    policy = RetryPolicy.from_env()
+    carry: dict[str, int] = {}
+    round_index = 0
+    while True:
+        try:
+            coordinator = DispatchCoordinator(
                 args.preset,
-                coordinator.cache_dir,
-                jobs=args.jobs,
-                retries=args.retries,
-                job_timeout=args.job_timeout,
+                sweep_cells(names, [BASELINE_2MB, BASE_VICTIM_2MB]),
+                lease_size=args.lease_size,
+                worker_retries=args.worker_retries,
                 lock_timeout=args.lock_timeout,
+                timeout=args.timeout,
+                progress=None if args.json else _progress_line,
+                fold_every=args.fold_every,
+                heartbeat_interval=args.heartbeat,
+                heartbeat_deadline=args.heartbeat_deadline,
+                # Every redispatch round after the first is a resume of
+                # this command's own journal.
+                resume=args.resume or round_index > 0,
+                carry_counters=carry,
             )
-            with pool:
-                endpoints = pool.start()
-                report = coordinator.run(endpoints, pool=pool)
-        else:
-            print(
-                "error: dispatch has jobs to run but no workers; pass "
-                "--workers N or --worker SPEC",
-                file=sys.stderr,
-            )
+        except DispatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-    except (DispatchError, WorkerPoolError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        print(
+            f"dispatch: {coordinator.total_cells} cells, "
+            f"{coordinator.cached_cells} cached, "
+            f"{coordinator.pending_jobs} to run, preset={args.preset}"
+            + (f" (round {round_index + 1})" if round_index else ""),
+            file=sys.stderr,
+        )
+        try:
+            if coordinator.pending_jobs == 0:
+                # Nothing to lease: never spawn or contact a worker, and
+                # leave the cache file byte-untouched.
+                report = coordinator.run(())
+            elif args.worker_specs:
+                endpoints = [
+                    parse_worker_spec(spec, index)
+                    for index, spec in enumerate(args.worker_specs)
+                ]
+                report = coordinator.run(endpoints)
+            elif args.workers is not None:
+                pool = LocalWorkerPool(
+                    args.workers,
+                    args.preset,
+                    coordinator.cache_dir,
+                    jobs=args.jobs,
+                    retries=args.retries,
+                    job_timeout=args.job_timeout,
+                    lock_timeout=args.lock_timeout,
+                )
+                with pool:
+                    endpoints = pool.start()
+                    report = coordinator.run(endpoints, pool=pool)
+            else:
+                print(
+                    "error: dispatch has jobs to run but no workers; pass "
+                    "--workers N or --worker SPEC",
+                    file=sys.stderr,
+                )
+                return 2
+        except (DispatchError, WorkerPoolError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not report.failures or round_index >= redispatch:
+            break
+        round_index += 1
+        carry = _carry_dist_counters(coordinator.registry.as_dict())
+        carry["dist/redispatch_rounds"] = (
+            carry.get("dist/redispatch_rounds", 0) + 1
+        )
+        delay = policy.delay("dispatch/redispatch", round_index)
+        print(
+            f"dispatch: {len(report.failures)} unresolved cell(s); "
+            f"redispatch round {round_index + 1}/{redispatch + 1} "
+            f"in {delay:.2f}s",
+            file=sys.stderr,
+        )
+        timelib.sleep(delay)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
@@ -641,6 +683,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
             f"{report.merged_existing} existing; cache canonical at "
             f"{report.canonical_entries} entries"
         )
+        print("  " + dispatch_health_summary(coordinator.registry.as_dict()))
         for failure in report.failures:
             print(
                 f"failed: {failure.get('key')}: {failure.get('error')}: "
@@ -648,6 +691,25 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     return 1 if (report.failures and args.strict) else 0
+
+
+def _carry_dist_counters(counters: dict) -> dict[str, int]:
+    """History ``dist/*`` counters one redispatch round hands the next.
+
+    Matrix-resolution counters (totals, cached, dispatched) are
+    per-round by design and excluded; everything else accumulates so
+    the final stats snapshot covers the whole saturation loop.
+    """
+    skip = {"dist/jobs_total", "dist/jobs_cached", "dist/jobs_dispatched"}
+    return {
+        name: int(metric["value"])
+        for name, metric in counters.items()
+        if (
+            name.startswith("dist/")
+            and name not in skip
+            and metric.get("kind") == "counter"
+        )
+    }
 
 
 def _cmd_serve_status(args: argparse.Namespace) -> int:
@@ -1121,6 +1183,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     from repro.dist.coordinator import (
+        DEFAULT_FOLD_EVERY,
+        DEFAULT_HEARTBEAT_INTERVAL,
         DEFAULT_LEASE_SIZE,
         DEFAULT_WORKER_RETRIES,
     )
@@ -1176,6 +1240,55 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "losses a worker survives before the coordinator retires it "
             f"(default {DEFAULT_WORKER_RETRIES})"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--fold-every",
+        type=int,
+        default=DEFAULT_FOLD_EVERY,
+        metavar="N",
+        help=(
+            "fold staged results into the cache every N completed "
+            "leases; 0 folds only at the end "
+            f"(default {DEFAULT_FOLD_EVERY})"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--heartbeat",
+        type=float,
+        default=DEFAULT_HEARTBEAT_INTERVAL,
+        metavar="SECONDS",
+        help=(
+            "seconds of mid-lease silence before pinging a v3 worker; "
+            f"0 disables heartbeats (default {DEFAULT_HEARTBEAT_INTERVAL})"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--heartbeat-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "total silence before a worker is declared lost "
+            "(default: 3x the heartbeat interval)"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "salvage the staged results of a crashed coordinator (from "
+            "its write-ahead journal) before re-leasing the remainder"
+        ),
+    )
+    p_dispatch.add_argument(
+        "--redispatch",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-run matrix resolution up to N extra rounds while cells "
+            "remain unresolved (default 0)"
         ),
     )
     p_dispatch.add_argument(

@@ -10,11 +10,18 @@ is indistinguishable — byte for byte — from a serial one.
 Fault model, in the order the machinery engages:
 
 * **Worker loss / partition** — any transport error, rejected lease,
-  severed stream or injected ``worker-lost`` fault marks the worker
-  lost.  Its unfinished jobs are requeued and *reassigned* to surviving
-  workers after a seeded backoff (:class:`~repro.sim.retry.RetryPolicy`
-  — deterministic per (job key, attempt), like every sweep retry).  A
-  worker that keeps failing retires after ``worker_retries`` losses.
+  severed stream or injected ``worker-lost``/``net-partition`` fault
+  marks the worker lost.  Its unfinished jobs are requeued and
+  *reassigned* to surviving workers after a seeded backoff
+  (:class:`~repro.sim.retry.RetryPolicy` — deterministic per (job key,
+  attempt), like every sweep retry).  A worker that keeps failing
+  retires after ``worker_retries`` losses.
+* **Hung workers** — mid-lease silence is probed with protocol-v3
+  ``ping``/``pong`` heartbeats; a worker that answers nothing for the
+  heartbeat deadline (the ``slow-worker`` fault's target) is declared
+  lost *proactively*, instead of blocking until a transport error.
+  Workers that only speak v2 negotiate down and keep the old
+  loss-on-error behaviour.
 * **Duplicate completion** — a partitioned worker may still finish jobs
   the coordinator has meanwhile reassigned; whichever result arrives
   first wins the fold-in and the loser is a counted no-op
@@ -24,6 +31,15 @@ Fault model, in the order the machinery engages:
   staged bytes tolerantly: a CRC-failed line (the ``remote-torn-merge``
   fault) is rejected and the entry recovered from the in-memory copy,
   so corruption in transit cannot reach the cache.
+* **Coordinator death** — every decision is journaled write-ahead
+  (:mod:`repro.dist.journal`) and staged shards fold into the cache
+  every ``fold_every`` completed leases, so a ``kill -9`` (the
+  ``coordinator-crash`` fault) loses at most one fold window of work.
+  ``repro dispatch --resume`` replays the journal, salvages
+  staged-but-unfolded results from the dead coordinator's shards, and
+  re-leases only the remainder; stale shard directories and orphaned
+  journals from dead coordinators are reclaimed on startup (live ones
+  are never touched — the stale-socket discipline).
 
 Byte-determinism: the fold is the existing locked, atomic
 :func:`~repro.sim.resultcache.merge_cache_entries` (existing keys win)
@@ -48,13 +64,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.dist.journal import (
+    DispatchJournal,
+    JournalReplay,
+    journal_path,
+    replay_journal,
+)
 from repro.dist.stats import write_dist_stats
 from repro.dist.worker import LocalWorkerPool, WorkerEndpoint
 from repro.serve import protocol
-from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.client import ServeClient, ServeClientError, ServeTimeout
 from repro.sim import faultinject
 from repro.sim.config import MachineConfig, PRESETS
 from repro.sim.experiment import ExperimentRunner, default_cache_dir
+from repro.sim.locking import _pid_alive
 from repro.sim.resultcache import (
     canonicalize_cache_file,
     corrupt_line_count,
@@ -71,6 +94,23 @@ DEFAULT_LEASE_SIZE = 8
 
 #: Default losses a worker survives before the coordinator retires it.
 DEFAULT_WORKER_RETRIES = 2
+
+#: Default completed leases per streaming partial fold-in.  1 = fold
+#: after every lease (the tightest crash window); 0 disables partial
+#: folds and restores the fold-only-at-the-end behaviour.
+DEFAULT_FOLD_EVERY = 1
+
+#: Default seconds of mid-lease silence before the coordinator pings a
+#: v3 worker.  0/None disables heartbeats entirely.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+#: Default heartbeat deadline as a multiple of the interval: a worker
+#: silent (no events, no pongs) for this long is declared lost.
+HEARTBEAT_DEADLINE_FACTOR = 3.0
+
+#: Versions the coordinator offers, in preference order: v3 for
+#: heartbeats, v2 fallback (leases only, no pings) for older workers.
+_NEGOTIATE_VERSIONS = (protocol.PROTOCOL_VERSION, 2)
 
 
 class DispatchError(RuntimeError):
@@ -95,6 +135,7 @@ class WorkerHealth:
     completed: int = 0
     failed: int = 0
     losses: int = 0
+    heartbeats_missed: int = 0
     retired: bool = False
 
     def to_dict(self) -> dict:
@@ -106,6 +147,7 @@ class WorkerHealth:
             "completed": self.completed,
             "failed": self.failed,
             "losses": self.losses,
+            "heartbeats_missed": self.heartbeats_missed,
             "retired": self.retired,
         }
 
@@ -127,6 +169,11 @@ class DispatchReport:
     canonical_entries: int = 0
     recovered_from_memory: int = 0
     shard_crc_rejected: int = 0
+    folds_partial: int = 0
+    heartbeats_missed: int = 0
+    resumes: int = 0
+    salvaged: int = 0
+    stale_shards_reclaimed: int = 0
     failures: list[dict] = field(default_factory=list)
     workers: list[dict] = field(default_factory=list)
 
@@ -146,6 +193,11 @@ class DispatchReport:
             "canonical_entries": self.canonical_entries,
             "recovered_from_memory": self.recovered_from_memory,
             "shard_crc_rejected": self.shard_crc_rejected,
+            "folds_partial": self.folds_partial,
+            "heartbeats_missed": self.heartbeats_missed,
+            "resumes": self.resumes,
+            "salvaged": self.salvaged,
+            "stale_shards_reclaimed": self.stale_shards_reclaimed,
             "failures": list(self.failures),
             "workers": list(self.workers),
         }
@@ -173,6 +225,11 @@ class DispatchCoordinator:
         lock_timeout: float | None = None,
         timeout: float | None = None,
         progress: Callable[[int, int, str], None] | None = None,
+        fold_every: int = DEFAULT_FOLD_EVERY,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_deadline: float | None = None,
+        resume: bool = False,
+        carry_counters: dict[str, int] | None = None,
     ) -> None:
         self.preset_name = preset_name
         self.cache_dir = cache_dir or default_cache_dir()
@@ -190,6 +247,52 @@ class DispatchCoordinator:
         self.lock_timeout = lock_timeout
         self.timeout = timeout
         self.progress = progress
+        self.fold_every = max(0, fold_every)
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval and heartbeat_interval > 0
+            else None
+        )
+        if heartbeat_deadline is not None and heartbeat_deadline > 0:
+            self.heartbeat_deadline: float | None = heartbeat_deadline
+        elif self.heartbeat_interval is not None:
+            self.heartbeat_deadline = (
+                self.heartbeat_interval * HEARTBEAT_DEADLINE_FACTOR
+            )
+        else:
+            self.heartbeat_deadline = None
+        self.resume = resume
+
+        # Stable counter shape: the crash-safety counters exist (at 0)
+        # in every dist-stats snapshot, fired or not.
+        for name in (
+            "dist/folds_partial",
+            "dist/heartbeats_missed",
+            "dist/resumes",
+            "dist/jobs_salvaged",
+            "dist/stale_shards_reclaimed",
+        ):
+            self.registry.inc(name, 0)
+        # A redispatch loop threads history counters (losses, folds,
+        # resumes...) from round to round so the final snapshot is
+        # cumulative; resolution counters are per-round by design.
+        for name, value in (carry_counters or {}).items():
+            self.registry.inc(name, value)
+
+        cache_path_early = self.runner.cache_path
+        self._journal_path: Path | None = (
+            journal_path(cache_path_early.parent, preset_name)
+            if cache_path_early is not None
+            else None
+        )
+        self._journal: DispatchJournal | None = (
+            DispatchJournal(self._journal_path, lock_timeout=lock_timeout)
+            if self._journal_path is not None
+            else None
+        )
+        # Crash recovery happens *before* matrix resolution so salvaged
+        # cells resolve as cached and never re-lease.
+        self._recover_previous()
+        self._reclaim_stale_shards()
 
         self.jobs: list[DispatchJob] = []
         seen: set[str] = set()
@@ -230,6 +333,126 @@ class DispatchCoordinator:
             if cache_path is not None
             else None
         )
+        self._folded: set[str] = set()
+        self._fold_lock = threading.Lock()
+        self._fold_serial = 0
+        self._leases_since_fold = 0
+        self._canonical_entries = 0
+        # Per-shard torn-line watermarks: partial folds re-read shard
+        # files, and the cache's CRC/corruption counters are global
+        # accumulators — these dedupe so each torn line counts once.
+        self._shard_crc_seen: dict[Path, int] = {}
+        self._shard_corrupt_seen: dict[Path, int] = {}
+
+    # ------------------------------------------------------------------
+    # Crash recovery (constructor-time, before matrix resolution)
+    # ------------------------------------------------------------------
+
+    def _recover_previous(self) -> None:
+        """Replay (and clear) a journal left behind by an earlier dispatch.
+
+        Three cases, in the stale-socket discipline:
+
+        * ended journal — a finished dispatch kept it for post-mortem;
+          silently removed.
+        * un-ended journal, owner pid alive — a live dispatch owns this
+          preset's cache; refuse to race it.
+        * un-ended journal, owner dead — a crashed coordinator.  With
+          ``resume``, staged-but-unfolded results are salvaged from its
+          shard files *before* the matrix resolves (so they count as
+          cached and never re-lease); without, the journal is discarded
+          and every unfolded cell recomputes.
+        """
+        self._resumed = False
+        path = self._journal_path
+        if path is None or not path.exists():
+            return
+        replay = replay_journal(path)
+        if not replay.ended:
+            pid = replay.pid
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                raise DispatchError(
+                    f"another dispatch (pid {pid}) is live on this cache — "
+                    f"journal {path.name} is still open"
+                )
+            if self.resume:
+                self._salvage(replay)
+                self._resumed = True
+                self.registry.inc("dist/resumes")
+                self._log(
+                    f"resuming after coordinator crash (pid {pid}): "
+                    f"{len(replay.staged)} staged, {len(replay.folded)} "
+                    f"folded, {replay.torn_lines} torn journal line(s)"
+                )
+            else:
+                self._log(
+                    f"discarding crashed dispatch journal {path.name} "
+                    f"(pid {pid}); pass --resume to salvage staged results"
+                )
+        assert self._journal is not None
+        self._journal.remove()
+
+    def _salvage(self, replay: JournalReplay) -> None:
+        """Fold a dead coordinator's staged shards into the cache.
+
+        Everything readable in the shard files is merged — including
+        results staged just before the crash whose journal record never
+        landed — then the cache is canonicalized, so salvage order can
+        never perturb the final bytes.  Torn shard lines fail their CRC
+        and are skipped; those cells simply recompute.
+        """
+        cache_path = self.runner.cache_path
+        shard_dir = replay.shard_dir
+        if cache_path is None or shard_dir is None or not shard_dir.exists():
+            return
+        entries: dict[str, dict] = {}
+        for shard in sorted(shard_dir.glob("worker-*.jsonl")):
+            entries.update(dict(iter_cache_entries(shard)))
+        if not entries:
+            return
+        with self.registry.timer("phase/salvage"):
+            stats = merge_cache_entries(
+                cache_path, sorted(entries.items()),
+                lock_timeout=self.lock_timeout,
+            )
+            canonicalize_cache_file(cache_path, lock_timeout=self.lock_timeout)
+        self.registry.inc("dist/jobs_salvaged", stats.new_entries)
+        # The runner snapshotted the disk cache before salvage existed;
+        # reload so resolution sees the salvaged cells as cached.
+        self.runner._load_disk_cache()
+        self._log(
+            f"salvaged {stats.new_entries} staged result(s) from "
+            f"{shard_dir.name}"
+        )
+
+    def _reclaim_stale_shards(self) -> None:
+        """Remove shard directories abandoned by dead coordinators.
+
+        Mirrors the serve server's stale-socket reclaim: a directory
+        named for a live pid is left alone (that dispatch may still
+        fold it); one named for a dead pid can never be folded by its
+        owner again, and salvage (when asked for) has already read it.
+        """
+        cache_path = self.runner.cache_path
+        if cache_path is None:
+            return
+        reclaimed = 0
+        for stale in sorted(cache_path.parent.glob(f"{cache_path.name}.dist-*")):
+            if not stale.is_dir():
+                continue
+            suffix = stale.name.rsplit(".dist-", 1)[-1]
+            if not suffix.isdigit():
+                continue
+            pid = int(suffix)
+            if pid == os.getpid() or _pid_alive(pid):
+                continue
+            shutil.rmtree(stale, ignore_errors=True)
+            reclaimed += 1
+            self._log(
+                f"reclaimed stale shard directory {stale.name} (pid {pid})"
+            )
+        if reclaimed:
+            self.registry.inc("dist/stale_shards_reclaimed", reclaimed)
 
     # ------------------------------------------------------------------
     # Public surface
@@ -261,6 +484,17 @@ class DispatchCoordinator:
                 raise DispatchError("dispatch needs at least one worker")
             if self._shard_dir is not None:
                 self._shard_dir.mkdir(parents=True, exist_ok=True)
+            if self._journal is not None:
+                # Written only when there is work: an empty or fully
+                # cached matrix must leave the cache directory untouched.
+                self._journal.begin(
+                    preset=self.preset_name,
+                    total=self.total_cells,
+                    cached=self.cached_cells,
+                    keys=[job.key for job in self.jobs],
+                    shard_dir=self._shard_dir,
+                    resumed=self._resumed,
+                )
             with self.registry.timer("phase/dispatch"):
                 threads = [
                     threading.Thread(
@@ -287,6 +521,14 @@ class DispatchCoordinator:
                     }
                     self.registry.inc("dist/jobs_unrunnable")
         report = self._fold()
+        if self._journal is not None and self.jobs:
+            self._journal.end(
+                completed=len(self._results), failed=len(self._failures)
+            )
+            if not self._failures:
+                # Clean dispatch: nothing left to post-mortem.  Kept on
+                # failures; the next startup removes an ended journal.
+                self._journal.remove()
         self._write_stats(report, final=True)
         return report
 
@@ -307,6 +549,7 @@ class DispatchCoordinator:
                 self._on_worker_lost(health, batch, exc)
             else:
                 self._reconcile(health, batch)
+                self._maybe_fold()
 
     def _take_batch(self, health: WorkerHealth) -> list[DispatchJob] | None:
         """Claim up to ``lease_size`` unresolved jobs; ``None`` when done.
@@ -362,14 +605,41 @@ class DispatchCoordinator:
             raise ServeClientError(
                 f"{health.endpoint.name}: injected worker-lost fault (pre-lease)"
             )
+        if faultinject.dispatch_net_partition(index):
+            # A partition severs the conversation without killing the
+            # worker — it may finish the lease into its own cache and
+            # later produce the duplicate-completion case.
+            raise ServeClientError(
+                f"{health.endpoint.name}: injected net-partition fault "
+                "(pre-lease)"
+            )
         with self._cond:
             self._lease_serial += 1
             lease_id = f"lease-{os.getpid()}-{self._lease_serial}"
         health.leases += 1
         self.registry.inc("dist/leases")
         self.registry.observe("dist/lease_jobs", len(batch))
-        with ServeClient(health.endpoint.address, timeout=self.timeout) as client:
-            client.handshake()
+        # The handshake happens before heartbeats are armed, so a hung
+        # worker (say, one the slow-worker fault just stalled) must not
+        # be able to block it forever: the heartbeat deadline bounds the
+        # connect/negotiate reads whenever no explicit timeout is set.
+        connect_timeout = (
+            self.timeout if self.timeout is not None else self.heartbeat_deadline
+        )
+        with ServeClient(
+            health.endpoint.address, timeout=connect_timeout
+        ) as client:
+            hello = client.negotiate(_NEGOTIATE_VERSIONS)
+            version = hello.get("protocol")
+            heartbeat = (
+                self.heartbeat_interval is not None
+                and isinstance(version, int)
+                and version >= protocol.PING_MIN_VERSION
+            )
+            if self._journal is not None:
+                self._journal.lease(
+                    lease_id, health.endpoint.name, [job.key for job in batch]
+                )
             client.request(
                 {
                     "op": "lease",
@@ -377,8 +647,55 @@ class DispatchCoordinator:
                     "jobs": [job.spec.to_wire() for job in batch],
                 }
             )
+            if faultinject.dispatch_slow_worker(index):
+                # Stall the worker mid-lease and keep listening:
+                # detection must come from the heartbeat deadline
+                # (unanswered pings), not from the injection site.
+                self._stall(health)
+            if heartbeat:
+                client.settimeout(self.heartbeat_interval)
+            else:
+                # v2 worker (or heartbeats disabled): restore the
+                # caller's timeout — long jobs must not trip the
+                # handshake bound mid-lease.
+                client.settimeout(self.timeout)
             done = False
-            for event in client.events():
+            last_traffic = time.monotonic()
+            ping_serial = 0
+            ping_outstanding = False
+            while True:
+                try:
+                    event = client.poll_event()
+                except ServeTimeout:
+                    if not heartbeat:
+                        raise
+                    silent = time.monotonic() - last_traffic
+                    if (
+                        self.heartbeat_deadline is not None
+                        and silent >= self.heartbeat_deadline
+                    ):
+                        health.heartbeats_missed += 1
+                        self.registry.inc("dist/heartbeats_missed")
+                        raise ServeClientError(
+                            f"{health.endpoint.name} missed the heartbeat "
+                            f"deadline ({silent:.1f}s silent)"
+                        ) from None
+                    if ping_outstanding:
+                        # The previous ping went unanswered for a full
+                        # interval — that is a missed heartbeat; a busy
+                        # but healthy worker answers between frames.
+                        health.heartbeats_missed += 1
+                        self.registry.inc("dist/heartbeats_missed")
+                    ping_serial += 1
+                    client.request(
+                        {"op": "ping", "id": f"{lease_id}-hb-{ping_serial}"}
+                    )
+                    ping_outstanding = True
+                    continue
+                if event is None:
+                    break
+                last_traffic = time.monotonic()
+                ping_outstanding = False
                 kind = event.get("event")
                 if kind == "result":
                     self._record_result(health, event)
@@ -388,11 +705,18 @@ class DispatchCoordinator:
                             f"{health.endpoint.name}: injected worker-lost "
                             "fault (mid-lease)"
                         )
+                    if faultinject.dispatch_net_partition(index):
+                        raise ServeClientError(
+                            f"{health.endpoint.name}: injected net-partition "
+                            "fault (mid-lease)"
+                        )
                 elif kind == "failed":
                     self._record_failure(health, event)
                 elif kind == "lease-done":
                     done = True
                     break
+                elif kind == "pong":
+                    continue  # heartbeat answered; traffic already noted
                 elif kind == "rejected":
                     raise ServeClientError(
                         f"{health.endpoint.name} rejected lease {lease_id} "
@@ -409,6 +733,17 @@ class DispatchCoordinator:
                     f"{health.endpoint.name} closed the stream mid-lease "
                     f"({lease_id})"
                 )
+
+    def _stall(self, health: WorkerHealth) -> None:
+        """Give an injected ``slow-worker`` fault its teeth (SIGSTOP).
+
+        Only locally spawned workers can be stalled; the lease then
+        proceeds normally and the heartbeat deadline does the detecting.
+        """
+        if self._pool is not None and self._pool.stall(health.endpoint.index):
+            self._log(
+                f"{health.endpoint.name}: injected slow-worker fault (stalled)"
+            )
 
     def _sever(self, health: WorkerHealth) -> None:
         """Give an injected ``worker-lost`` fault its teeth.
@@ -447,6 +782,11 @@ class DispatchCoordinator:
             resolved = len(self._results) + len(self._failures)
             self._cond.notify_all()
         self._stage(health, key, payload)
+        if self._journal is not None:
+            # WAL order: the staged shard line is durable first, then
+            # the journal claims it — a crash between the two leaves a
+            # stageable-but-unclaimed result that salvage still reads.
+            self._journal.result(key, health.endpoint.name)
         if self.progress is not None:
             self.progress(resolved, len(self.jobs), key)
         return "stored"
@@ -456,6 +796,7 @@ class DispatchCoordinator:
         key = event.get("key")
         if not isinstance(key, str):
             return
+        recorded = False
         with self._cond:
             if key not in self._failures and key not in self._results:
                 self._failures[key] = {
@@ -467,7 +808,10 @@ class DispatchCoordinator:
                 self._inflight.pop(key, None)
                 health.failed += 1
                 self.registry.inc("dist/jobs_failed")
+                recorded = True
             self._cond.notify_all()
+        if recorded and self._journal is not None:
+            self._journal.failed(key, str(event.get("error")))
 
     def _stage(self, health: WorkerHealth, key: str, payload: dict) -> None:
         """Append one pulled result to the worker's staged shard file.
@@ -539,69 +883,121 @@ class DispatchCoordinator:
     # Fold-in and reporting
     # ------------------------------------------------------------------
 
-    def _fold(self) -> DispatchReport:
-        """Fold pulled results into the cache; canonicalize; build the report."""
-        report = DispatchReport(
-            total=self.total_cells,
-            cached=self.cached_cells,
-            dispatched=len(self.jobs),
-            completed=len(self._results),
-            reassigned=self._counter("dist/jobs_reassigned"),
-            duplicates=self._counter("dist/duplicate_results"),
-            workers_lost=self._counter("dist/workers_lost"),
-            leases=self._counter("dist/leases"),
-            failures=sorted(self._failures.values(), key=lambda f: f["key"]),
-            workers=[health.to_dict() for health in self._workers],
-        )
+    def _maybe_fold(self) -> None:
+        """Run a streaming partial fold when the lease window fills.
+
+        Called by worker threads after each clean lease; ``fold_every``
+        completed leases trigger one fold of everything staged so far,
+        bounding a coordinator crash to at most one window of rework.
+        """
+        if not self.fold_every:
+            return
+        with self._fold_lock:
+            self._leases_since_fold += 1
+            if self._leases_since_fold < self.fold_every:
+                return
+            self._leases_since_fold = 0
+            self._fold_window(final=False)
+
+    def _fold_window(self, *, final: bool) -> None:
+        """Fold every staged-but-unfolded result into the cache.
+
+        Caller holds ``_fold_lock``.  The fold is merge (existing keys
+        win) + canonicalize, so any sequence of windows — in any order,
+        interleaved with crashes and salvages — converges on the same
+        bytes as one big final fold.  Each window is journaled after
+        the cache write, then offered to the ``coordinator-crash``
+        fault hook.
+        """
         cache_path = self.runner.cache_path
-        if not self.jobs:
-            return report  # empty dispatch: the cache is never touched
-
-        staged: dict[str, dict] = {}
-        crc_rejected = corrupt = 0
-        if self._shard_dir is not None and self._shard_dir.exists():
-            for shard in sorted(self._shard_dir.glob("worker-*.jsonl")):
-                before_crc = crc_failure_count(shard)
-                before_corrupt = corrupt_line_count(shard)
-                staged.update(dict(iter_cache_entries(shard)))
-                crc_rejected += crc_failure_count(shard) - before_crc
-                corrupt += corrupt_line_count(shard) - before_corrupt
-        if crc_rejected:
-            self.registry.inc("dist/shard_crc_rejected", crc_rejected)
-        if corrupt:
-            self.registry.inc("dist/shard_corrupt_lines", corrupt)
-        report.shard_crc_rejected = crc_rejected
-
+        if cache_path is None or not self.jobs:
+            return  # empty dispatch: the cache is never touched
+        with self._cond:
+            snapshot = dict(self._results)
+        pending = [
+            job
+            for job in self.jobs  # matrix submission order, like a sweep merge
+            if job.key in snapshot and job.key not in self._folded
+        ]
+        if not pending and not final:
+            return
+        staged = self._read_staged()
         items: list[tuple[str, dict]] = []
         recovered = 0
-        for job in self.jobs:  # matrix submission order, like a sweep merge
-            if job.key not in self._results:
-                continue
+        for job in pending:
             payload = staged.get(job.key)
             if payload is None:
-                payload = self._results[job.key]
+                # The staged copy was torn (or never flushed); the
+                # in-memory copy from the wire is just as authoritative.
+                payload = snapshot[job.key]
                 recovered += 1
             items.append((job.key, payload))
         if recovered:
             self.registry.inc("dist/recovered_from_memory", recovered)
-        report.recovered_from_memory = recovered
-
-        if cache_path is not None and items:
+        if items:
             with self.registry.timer("phase/fold"):
                 stats = merge_cache_entries(
                     cache_path, items, lock_timeout=self.lock_timeout
                 )
-            report.merged_new = stats.new_entries
-            report.merged_existing = stats.existing_entries
             self.registry.inc("dist/merged_new_entries", stats.new_entries)
             self.registry.inc(
                 "dist/merged_existing_entries", stats.existing_entries
             )
-        if cache_path is not None:
+        if items or final:
             with self.registry.timer("phase/canonicalize"):
-                report.canonical_entries = canonicalize_cache_file(
+                self._canonical_entries = canonicalize_cache_file(
                     cache_path, lock_timeout=self.lock_timeout
                 )
+        self._folded.update(job.key for job in pending)
+        self._fold_serial += 1
+        if not final:
+            self.registry.inc("dist/folds_partial")
+        if self._journal is not None:
+            self._journal.fold(
+                self._fold_serial,
+                [job.key for job in pending],
+                partial=not final,
+            )
+        faultinject.dispatch_after_fold(self._fold_serial)
+        if not final:
+            # Keep the on-disk snapshot current between windows so a
+            # post-crash `repro stats` shows how far the dispatch got.
+            self._write_stats(self._build_report(), final=False)
+
+    def _read_staged(self) -> dict[str, dict]:
+        """Read every staged shard tolerantly; count *new* torn lines.
+
+        The cache module's CRC/corruption counters accumulate per read,
+        and windows re-read shards — the per-shard watermarks charge
+        each torn line to the counters exactly once.
+        """
+        staged: dict[str, dict] = {}
+        if self._shard_dir is None or not self._shard_dir.exists():
+            return staged
+        crc_new = corrupt_new = 0
+        for shard in sorted(self._shard_dir.glob("worker-*.jsonl")):
+            before_crc = crc_failure_count(shard)
+            before_corrupt = corrupt_line_count(shard)
+            staged.update(dict(iter_cache_entries(shard)))
+            read_crc = crc_failure_count(shard) - before_crc
+            read_corrupt = corrupt_line_count(shard) - before_corrupt
+            crc_new += max(0, read_crc - self._shard_crc_seen.get(shard, 0))
+            corrupt_new += max(
+                0, read_corrupt - self._shard_corrupt_seen.get(shard, 0)
+            )
+            self._shard_crc_seen[shard] = read_crc
+            self._shard_corrupt_seen[shard] = read_corrupt
+        if crc_new:
+            self.registry.inc("dist/shard_crc_rejected", crc_new)
+        if corrupt_new:
+            self.registry.inc("dist/shard_corrupt_lines", corrupt_new)
+        return staged
+
+    def _fold(self) -> DispatchReport:
+        """Final fold: everything unfolded, then the end-of-run report."""
+        with self._fold_lock:
+            self._fold_window(final=True)
+        report = self._build_report()
         if (
             self._shard_dir is not None
             and self._shard_dir.exists()
@@ -611,6 +1007,31 @@ class DispatchCoordinator:
             # when something failed, for the post-mortem.
             shutil.rmtree(self._shard_dir, ignore_errors=True)
         return report
+
+    def _build_report(self) -> DispatchReport:
+        """Assemble the report from coordinator state and the counters."""
+        return DispatchReport(
+            total=self.total_cells,
+            cached=self.cached_cells,
+            dispatched=len(self.jobs),
+            completed=len(self._results),
+            reassigned=self._counter("dist/jobs_reassigned"),
+            duplicates=self._counter("dist/duplicate_results"),
+            workers_lost=self._counter("dist/workers_lost"),
+            leases=self._counter("dist/leases"),
+            merged_new=self._counter("dist/merged_new_entries"),
+            merged_existing=self._counter("dist/merged_existing_entries"),
+            canonical_entries=self._canonical_entries,
+            recovered_from_memory=self._counter("dist/recovered_from_memory"),
+            shard_crc_rejected=self._counter("dist/shard_crc_rejected"),
+            folds_partial=self._counter("dist/folds_partial"),
+            heartbeats_missed=self._counter("dist/heartbeats_missed"),
+            resumes=self._counter("dist/resumes"),
+            salvaged=self._counter("dist/jobs_salvaged"),
+            stale_shards_reclaimed=self._counter("dist/stale_shards_reclaimed"),
+            failures=sorted(self._failures.values(), key=lambda f: f["key"]),
+            workers=[health.to_dict() for health in self._workers],
+        )
 
     def _counter(self, name: str) -> int:
         """Current value of one counter (0 if never incremented)."""
@@ -626,6 +1047,10 @@ class DispatchCoordinator:
             "final": final,
             "lease_size": self.lease_size,
             "worker_retries": self.worker_retries,
+            "fold_every": self.fold_every,
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_deadline": self.heartbeat_deadline,
+            "resumed": self._resumed,
             "report": report.to_dict(),
             "counters": self.registry.as_dict(),
             "timers": self.registry.timers,

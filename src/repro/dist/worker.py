@@ -22,6 +22,7 @@ worker would fire it once per process instead of once per sweep.
 from __future__ import annotations
 
 import os
+import signal
 import socket as socketlib
 import subprocess
 import sys
@@ -30,16 +31,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO
 
-from repro.serve.client import Address
+from repro.serve.client import Address, ServeClient, ServeClientError
 from repro.serve.server import SOCKET_ENV, ServeError, parse_tcp
 from repro.sim.experiment import CACHE_DIR_ENV
 from repro.sim.faultinject import FAULTS_DIR_ENV, FAULTS_ENV
+from repro.sim.locking import _pid_alive
 
 #: Seconds a spawned worker gets to start accepting connections.
 STARTUP_TIMEOUT = 60.0
 
 #: Seconds a SIGTERM'd worker gets to drain before SIGKILL.
 _DRAIN_GRACE = 15.0
+
+#: Socket timeout for the adoption probe's hello handshake.
+_ADOPT_TIMEOUT = 5.0
 
 
 class WorkerPoolError(RuntimeError):
@@ -83,6 +88,61 @@ def parse_worker_spec(spec: str, index: int) -> WorkerEndpoint:
     )
 
 
+class _WorkerHandle:
+    """One pool slot: a spawned subprocess, or an adopted running worker.
+
+    Adoption is the crash-recovery case — a coordinator killed by
+    ``SIGKILL`` (or a ``coordinator-crash`` fault) orphans its spawned
+    workers, which keep serving on their private sockets.  A resumed
+    dispatch finds them accepting and adopts them by pid instead of
+    failing to bind a second server on the same socket; from then on
+    kill/stall/stop treat both shapes identically through ``os.kill``.
+    """
+
+    def __init__(self, proc: subprocess.Popen | None, pid: int) -> None:
+        self.proc = proc
+        self.pid = pid
+        self.stalled = False
+
+    @property
+    def adopted(self) -> bool:
+        """Whether this worker was inherited from a dead coordinator."""
+        return self.proc is None
+
+    def alive(self) -> bool:
+        """Whether the worker process still exists."""
+        if self.proc is not None:
+            return self.proc.poll() is None
+        return _pid_alive(self.pid)
+
+    def signal(self, signum: int) -> bool:
+        """Send ``signum``; False if the process is already gone."""
+        try:
+            os.kill(self.pid, signum)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
+    def wait(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds for death; True once dead.
+
+        Adopted workers are not our children, so there is nothing to
+        reap — liveness polling is the only portable wait.
+        """
+        if self.proc is not None:
+            try:
+                self.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                return False
+            return True
+        deadline = time.monotonic() + timeout
+        while _pid_alive(self.pid):
+            if time.monotonic() > deadline:
+                return False
+            time.sleep(0.05)
+        return True
+
+
 class LocalWorkerPool:
     """N ``repro serve --worker`` subprocesses on private sockets.
 
@@ -91,7 +151,10 @@ class LocalWorkerPool:
     capturing stdout+stderr — the failure artifact the CI smoke job
     uploads.  Worker cache directories persist across dispatches on
     purpose: a re-dispatch finds warm workers whose local caches answer
-    repeated leases without re-simulating.
+    repeated leases without re-simulating — and if a previous
+    coordinator died without stopping its fleet, the still-running
+    workers are *adopted* rather than clobbered (see
+    :class:`_WorkerHandle`).
     """
 
     def __init__(
@@ -115,7 +178,7 @@ class LocalWorkerPool:
         self.job_timeout = job_timeout
         self.lock_timeout = lock_timeout
         self.endpoints: list[WorkerEndpoint] = []
-        self._procs: list[subprocess.Popen] = []
+        self._handles: list[_WorkerHandle] = []
         self._logs: list[IO[bytes]] = []
 
     def __enter__(self) -> "LocalWorkerPool":
@@ -129,12 +192,35 @@ class LocalWorkerPool:
         return self.root / f"dist-worker-{index}"
 
     def start(self) -> list[WorkerEndpoint]:
-        """Spawn every worker and wait until each accepts connections."""
+        """Spawn (or adopt) every worker; wait until each accepts.
+
+        A socket that already accepts connections belongs to a live
+        worker orphaned by a dead coordinator — spawning over it would
+        fail startup (``a server is already listening``), so the pool
+        adopts it instead: same endpoint, same warm cache, managed by
+        pid from here on.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         for index in range(self.count):
             directory = self.worker_dir(index)
             directory.mkdir(parents=True, exist_ok=True)
             socket_path = directory / "serve.sock"
+            endpoint = WorkerEndpoint(
+                index=index,
+                name=f"worker-{index}",
+                address=Address(path=socket_path),
+            )
+            adopted_pid = self._try_adopt(endpoint.address)
+            if adopted_pid is not None:
+                self._handles.append(_WorkerHandle(None, adopted_pid))
+                self.endpoints.append(endpoint)
+                print(
+                    f"repro dispatch: adopted running {endpoint.name} "
+                    f"(pid {adopted_pid}) from a previous coordinator",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                continue
             command = [
                 sys.executable,
                 "-m",
@@ -160,25 +246,44 @@ class LocalWorkerPool:
                 env.pop(name, None)
             log = (directory / "serve.log").open("ab")
             self._logs.append(log)
-            self._procs.append(
-                subprocess.Popen(
-                    command, stdout=log, stderr=subprocess.STDOUT, env=env
-                )
+            proc = subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
             )
-            self.endpoints.append(
-                WorkerEndpoint(
-                    index=index,
-                    name=f"worker-{index}",
-                    address=Address(path=socket_path),
-                )
-            )
+            self._handles.append(_WorkerHandle(proc, proc.pid))
+            self.endpoints.append(endpoint)
         self._await_ready()
         return list(self.endpoints)
+
+    @staticmethod
+    def _try_adopt(address: Address) -> int | None:
+        """Probe a worker socket; the live server's pid, or ``None``.
+
+        Mirrors ``reclaim_stale_socket``'s live/stale distinction from
+        the client side: a refused connect means a stale file the
+        spawned server will reclaim itself, an accepted one means a
+        running worker whose ``hello`` tells us the pid to manage.
+        """
+        assert address.path is not None
+        if not address.path.exists():
+            return None
+        try:
+            with ServeClient(address, timeout=_ADOPT_TIMEOUT) as client:
+                hello = client.handshake()
+        except ServeClientError:
+            return None
+        pid = hello.get("pid")
+        return pid if isinstance(pid, int) and pid > 0 else None
 
     def _await_ready(self) -> None:
         """Block until every worker accepts, or fail with its log path."""
         deadline = time.monotonic() + STARTUP_TIMEOUT
-        for index, (proc, endpoint) in enumerate(zip(self._procs, self.endpoints)):
+        for index, (handle, endpoint) in enumerate(
+            zip(self._handles, self.endpoints)
+        ):
+            if handle.adopted:
+                continue  # adoption only happens to accepting workers
+            proc = handle.proc
+            assert proc is not None
             while not self._accepting(endpoint.address):
                 if proc.poll() is not None:
                     self.stop()
@@ -214,7 +319,7 @@ class LocalWorkerPool:
 
     def alive(self, index: int) -> bool:
         """Whether worker ``index`` is still running."""
-        return self._procs[index].poll() is None
+        return self._handles[index].alive()
 
     def kill(self, index: int) -> bool:
         """SIGKILL one worker (the ``worker-lost`` fault's teeth).
@@ -223,26 +328,49 @@ class LocalWorkerPool:
         worker side — its socket file, logs and partial cache stay put,
         exactly like a host dropping off the network.
         """
-        proc = self._procs[index]
-        if proc.poll() is not None:
+        handle = self._handles[index]
+        if not handle.alive():
             return False
-        proc.kill()
-        proc.wait()
+        handle.signal(signal.SIGKILL)
+        handle.wait(_DRAIN_GRACE)
         return True
 
+    def stall(self, index: int) -> bool:
+        """SIGSTOP one worker (the ``slow-worker`` fault's teeth).
+
+        The process keeps its socket open but stops answering anything —
+        including heartbeat pings — which is indistinguishable, from the
+        coordinator's side, from a hung host or a one-way partition.
+        Returns True if the worker was alive to stall.
+        """
+        handle = self._handles[index]
+        if not handle.alive():
+            return False
+        if handle.signal(signal.SIGSTOP):
+            handle.stalled = True
+            return True
+        return False
+
     def stop(self) -> None:
-        """Drain every surviving worker: SIGTERM, bounded wait, SIGKILL."""
-        for proc in self._procs:
-            if proc.poll() is None:
-                proc.terminate()
+        """Drain every surviving worker: SIGTERM, bounded wait, SIGKILL.
+
+        Stalled (``SIGSTOP``'d) workers are hung by definition, so they
+        get SIGKILL directly — a SIGTERM would sit undelivered for the
+        whole drain grace.
+        """
+        for handle in self._handles:
+            if not handle.alive():
+                continue
+            if handle.stalled:
+                handle.signal(signal.SIGKILL)
+            else:
+                handle.signal(signal.SIGTERM)
         deadline = time.monotonic() + _DRAIN_GRACE
-        for proc in self._procs:
-            if proc.poll() is None:
-                try:
-                    proc.wait(timeout=max(0.1, deadline - time.monotonic()))
-                except subprocess.TimeoutExpired:
-                    proc.kill()
-                    proc.wait()
+        for handle in self._handles:
+            if handle.alive():
+                if not handle.wait(max(0.1, deadline - time.monotonic())):
+                    handle.signal(signal.SIGKILL)
+                    handle.wait(_DRAIN_GRACE)
         for log in self._logs:
             try:
                 log.close()

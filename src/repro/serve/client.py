@@ -26,6 +26,16 @@ class ServeClientError(Exception):
     """A connection or conversation failure with a clean one-line message."""
 
 
+class ServeTimeout(ServeClientError):
+    """A read hit the socket timeout — the peer may be slow, hung or gone.
+
+    A subclass (not a sibling) of :class:`ServeClientError` so existing
+    callers that treat any conversation failure as fatal keep working;
+    the dispatch coordinator catches it *first* to drive heartbeats
+    instead of declaring the worker lost on the spot.
+    """
+
+
 @dataclass(frozen=True)
 class Address:
     """Where a server lives: a unix socket path or a TCP endpoint."""
@@ -105,7 +115,13 @@ class ServeClient:
     def __init__(self, address: Address, timeout: float | None = None) -> None:
         self.address = address
         self._sock = _connect(address, timeout)
-        self._reader = self._sock.makefile("rb")
+        # Hand-rolled line buffering instead of ``makefile``: a file
+        # object wrapped around a socket becomes permanently unusable
+        # after one timeout ("cannot read from timed out object"), and
+        # the heartbeat loop *lives* on timed-out reads.  ``recv`` that
+        # times out transfers nothing, so the buffer — including any
+        # half-received frame — survives intact across timeouts.
+        self._buffer = bytearray()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -115,10 +131,36 @@ class ServeClient:
 
     def close(self) -> None:
         """Close the transport (idempotent)."""
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Adjust the read timeout mid-conversation (heartbeat pacing)."""
+        self._sock.settimeout(timeout)
+
+    def _readline(self, limit: int) -> bytes:
+        """One ``\\n``-terminated line from the socket; ``b""`` on EOF.
+
+        Raises ``socket.timeout`` when the socket deadline expires with
+        the line incomplete — already-buffered bytes are kept for the
+        next call.  An over-``limit`` or EOF-truncated line is returned
+        as-is; frame decoding rejects it downstream.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline != -1:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            if len(self._buffer) > limit:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                line = bytes(self._buffer)
+                self._buffer.clear()
+                return line
+            self._buffer.extend(chunk)
 
     def handshake(self, version: int = protocol.PROTOCOL_VERSION) -> dict:
         """Negotiate the protocol version; returns the ``hello`` event.
@@ -136,6 +178,37 @@ class ServeClient:
             )
         return event
 
+    def negotiate(self, versions: tuple[int, ...]) -> dict:
+        """Handshake with the first version in ``versions`` the server takes.
+
+        A ``version-unsupported`` reject leaves the connection open by
+        design, so each fallback retries on the same socket — this is
+        how the dispatch coordinator speaks v3 (heartbeats) to current
+        workers and v2 to older ones.  Raises :class:`ServeClientError`
+        when no version is mutually supported.
+        """
+        detail: object = None
+        for version in versions:
+            self.request({"op": "hello", "version": version})
+            event = self.next_event()
+            if event.get("event") == "hello":
+                return event
+            if (
+                event.get("event") == "rejected"
+                and event.get("reason") == protocol.REJECT_VERSION
+            ):
+                detail = event.get("detail") or event.get("reason")
+                continue
+            raise ServeClientError(
+                f"{self.address.describe()} answered the version handshake "
+                f"with {event.get('event')!r}: "
+                f"{event.get('detail') or event.get('message')}"
+            )
+        raise ServeClientError(
+            f"{self.address.describe()} supports none of protocol "
+            f"version(s) {', '.join(map(str, versions))}: {detail}"
+        )
+
     def request(self, payload: dict) -> None:
         """Send one request frame."""
         try:
@@ -146,28 +219,40 @@ class ServeClient:
                 f"{exc.strerror or exc}"
             ) from None
 
+    def poll_event(self) -> dict | None:
+        """Read one server event; ``None`` on a clean end of stream.
+
+        Raises :class:`ServeTimeout` when the socket timeout expires
+        with no frame — the heartbeat caller's cue to ping — and
+        :class:`ServeClientError` for every terminal failure.
+        """
+        try:
+            line = self._readline(protocol.MAX_FRAME_BYTES + 1024)
+        except socketlib.timeout:
+            raise ServeTimeout(
+                f"timed out waiting for {self.address.describe()}"
+            ) from None
+        except OSError as exc:
+            raise ServeClientError(
+                f"lost connection to {self.address.describe()}: "
+                f"{exc.strerror or exc}"
+            ) from None
+        if not line:
+            return None
+        try:
+            return protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            raise ServeClientError(
+                f"garbled event from {self.address.describe()}: {exc}"
+            ) from None
+
     def events(self) -> Iterator[dict]:
         """Yield server events until the server closes the stream."""
         while True:
-            try:
-                line = self._reader.readline(protocol.MAX_FRAME_BYTES + 1024)
-            except socketlib.timeout:
-                raise ServeClientError(
-                    f"timed out waiting for {self.address.describe()}"
-                ) from None
-            except OSError as exc:
-                raise ServeClientError(
-                    f"lost connection to {self.address.describe()}: "
-                    f"{exc.strerror or exc}"
-                ) from None
-            if not line:
+            event = self.poll_event()
+            if event is None:
                 return
-            try:
-                yield protocol.decode_frame(line)
-            except protocol.ProtocolError as exc:
-                raise ServeClientError(
-                    f"garbled event from {self.address.describe()}: {exc}"
-                ) from None
+            yield event
 
     def next_event(self) -> dict:
         """The next server event; raises if the stream ends first."""

@@ -29,12 +29,20 @@ Client -> server requests (``op`` field):
   the same connection.
 * ``{"op": "status"}`` — one ``status`` event with the live ``serve/*``
   counters, queue depth and drain state.
+* ``{"op": "ping", "id": <str>}`` — a liveness heartbeat (v3, used by
+  the ``repro dispatch`` coordinator mid-lease).  The server answers
+  with a ``pong`` event echoing the id; a worker whose event loop is
+  hung or partitioned answers nothing, which is exactly the signal the
+  coordinator's heartbeat deadline detects.  Requires a version >= 3
+  ``hello`` handshake on the connection; v2 peers simply never ping
+  (the coordinator negotiates v3 and falls back to v2 without
+  heartbeats).
 
 Server -> client events (``event`` field): ``hello``, ``accepted``,
 ``leased``, ``rejected`` (structured: ``reason`` is one of
 :data:`REJECT_REASONS`), ``progress``, ``result``, ``failed``, ``done``,
-``lease-done``, ``status`` and ``error`` (protocol violation; the
-connection closes after it).
+``lease-done``, ``status``, ``pong`` and ``error`` (protocol violation;
+the connection closes after it).
 
 The full wire format, with one validated JSON example per message type,
 is specified in ``PROTOCOL.md`` at the repository root; the docs gate
@@ -57,8 +65,14 @@ from repro.sim.config import MachineConfig, MachineConfigError
 
 #: Protocol version, echoed in ``accepted``/``status`` events.  v2
 #: added the ``hello`` version handshake and ``lease`` batch leases;
-#: v1 requests (``submit``/``status``) are accepted unchanged.
-PROTOCOL_VERSION = 2
+#: v3 added ``ping``/``pong`` liveness heartbeats; v1 requests
+#: (``submit``/``status``) are accepted unchanged.
+PROTOCOL_VERSION = 3
+
+#: Oldest protocol version whose connections may ``ping`` (heartbeats
+#: are a v3 feature; the dispatch coordinator disables them after a v2
+#: fallback handshake).
+PING_MIN_VERSION = 3
 
 #: Oldest protocol version the server still speaks.
 MIN_PROTOCOL_VERSION = 1
@@ -89,7 +103,7 @@ REJECT_REASONS = (
 )
 
 #: Every request ``op`` a server understands.
-REQUEST_OPS = ("hello", "submit", "lease", "status")
+REQUEST_OPS = ("hello", "submit", "lease", "status", "ping")
 
 #: Every ``event`` kind a server may emit.
 EVENT_KINDS = (
@@ -103,6 +117,7 @@ EVENT_KINDS = (
     "done",
     "lease-done",
     "status",
+    "pong",
     "error",
 )
 
@@ -269,6 +284,29 @@ def parse_hello(frame: dict) -> HelloRequest:
     if not isinstance(version, int) or isinstance(version, bool):
         raise ProtocolError("hello frame needs an integer 'version'")
     return HelloRequest(version=version)
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """One validated ``ping`` (liveness heartbeat) frame (v3)."""
+
+    ping_id: str
+
+
+def parse_ping(frame: dict) -> PingRequest:
+    """Validate a ``ping`` frame into a :class:`PingRequest`.
+
+    The ``id`` is optional (an empty id still gets its ``pong``); when
+    present it must be a string, and is echoed back so a client
+    interleaving pings with lease traffic can correlate answers.
+    """
+    unknown = sorted(set(frame) - {"op", "id"})
+    if unknown:
+        raise ProtocolError(f"unknown ping field(s): {', '.join(unknown)}")
+    ping_id = frame.get("id", "")
+    if not isinstance(ping_id, str):
+        raise ProtocolError("ping field 'id' must be a string")
+    return PingRequest(ping_id=ping_id)
 
 
 @dataclass(frozen=True)

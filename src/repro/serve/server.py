@@ -376,6 +376,8 @@ class ExperimentServer:
                 self._emit_rejected(conn, request.request_id, rejected)
         elif op == "lease":
             self._handle_lease(conn, frame)
+        elif op == "ping":
+            self._handle_ping(conn, frame)
         else:
             raise protocol.ProtocolError(
                 f"unknown op {op!r}; expected one of "
@@ -420,6 +422,36 @@ class ExperimentServer:
                 "pid": os.getpid(),
             }
         )
+
+    def _handle_ping(self, conn: _Connection, frame: dict) -> None:
+        """Answer one liveness heartbeat with a ``pong`` (v3).
+
+        The answer is emitted through the connection's ordinary event
+        queue, interleaving with any in-flight lease stream — a worker
+        that still pongs has a live event loop even while its batch
+        executor grinds, which is precisely the liveness signal the
+        dispatch coordinator's heartbeat deadline wants.
+        """
+        request = protocol.parse_ping(frame)
+        if (
+            conn.protocol_version is None
+            or conn.protocol_version < protocol.PING_MIN_VERSION
+        ):
+            self.runner.registry.inc("serve/version_rejected")
+            conn.emit(
+                {
+                    "event": "rejected",
+                    "id": request.ping_id,
+                    "reason": protocol.REJECT_VERSION,
+                    "detail": (
+                        f"ping requires a version >= {protocol.PING_MIN_VERSION} "
+                        "hello handshake on this connection"
+                    ),
+                }
+            )
+            return
+        self.runner.registry.inc("serve/pings")
+        conn.emit({"event": "pong", "id": request.ping_id, "pid": os.getpid()})
 
     def _handle_lease(self, conn: _Connection, frame: dict) -> None:
         """Grant one batch lease: a waiting submit with lease framing."""

@@ -40,15 +40,31 @@ Spec grammar — comma-separated ``kind:job_index:times`` triples::
   folds it into the result cache, simulating a transfer torn mid-line
   (exercises the checksummed fold-in: the line must be rejected on its
   CRC and the entry recovered from the coordinator's in-memory copy).
+* ``net-partition`` — sever the coordinator's connection to worker
+  ``index`` *without* killing the process: the coordinator abandons the
+  lease as if the network dropped, while the worker lives on and may
+  keep computing into its own cache (exercises reassignment without the
+  kill, and warm-cache answers on a later lease).
+* ``slow-worker`` — stall worker ``index`` past the heartbeat deadline
+  by ``SIGSTOP``-ing its process: the connection stays open, the kernel
+  buffers writes, but no event — and no ``pong`` — ever arrives
+  (exercises proactive heartbeat-deadline detection of a hung or
+  partitioned worker, as opposed to loss-on-transport-error).
+* ``coordinator-crash`` — hard-exit the coordinator (``os._exit``)
+  right after its ``index``-th fold-in, journal already written
+  (exercises the write-ahead dispatch journal and
+  ``repro dispatch --resume``: only un-folded cells may recompute).
 
 ``fail`` and ``hang`` count attempts within the executing process, which
 is deterministic because retries happen inside one worker.  ``crash``,
-``corrupt``, ``torn-write``, ``lock-holder-dies``, ``worker-lost`` and
-``remote-torn-merge`` must fire a bounded number of times *across*
+``corrupt``, ``torn-write``, ``lock-holder-dies``, ``worker-lost``,
+``remote-torn-merge``, ``net-partition``, ``slow-worker`` and
+``coordinator-crash`` must fire a bounded number of times *across*
 processes (a re-spawned worker must not crash forever, a re-run
-coordinator must not re-lose the same worker), so they are one-shot
-through stamp files under ``$REPRO_FAULTS_DIR``; when that directory is
-unset they stay disarmed rather than risk an unbounded crash loop.
+coordinator must not re-lose the same worker or re-crash after the same
+fold), so they are one-shot through stamp files under
+``$REPRO_FAULTS_DIR``; when that directory is unset they stay disarmed
+rather than risk an unbounded crash loop.
 
 Everything is driven by environment variables so tests can arm faults
 with ``monkeypatch.setenv`` and have pool workers inherit them.
@@ -81,6 +97,9 @@ KINDS = (
     "lock-holder-dies",
     "worker-lost",
     "remote-torn-merge",
+    "net-partition",
+    "slow-worker",
+    "coordinator-crash",
 )
 
 #: The torn line a ``corrupt`` fault appends (no closing brace, so the
@@ -94,6 +113,10 @@ TORN_V5_LINE = '{"key": "torn-by-faultinject", "result": {}}#00000000'
 
 #: Exit code used when a ``lock-holder-dies`` fault kills the process.
 LOCK_HOLDER_EXIT = 87
+
+#: Exit code used when a ``coordinator-crash`` fault kills the dispatch
+#: coordinator mid-flight (tests and CI assert on it).
+COORDINATOR_CRASH_EXIT = 88
 
 
 class InjectedFault(RuntimeError):
@@ -265,6 +288,65 @@ def after_remote_pull(worker_index: int, shard_path: Path) -> None:
             else:
                 lines = [TORN_V5_LINE]
             shard_path.write_text("\n".join(lines) + "\n")
+
+
+def dispatch_net_partition(worker_index: int) -> bool:
+    """Hook: called by the dispatch coordinator around lease traffic.
+
+    Returns True when an armed ``net-partition`` fault targets worker
+    ``worker_index``; the coordinator then abandons the connection —
+    but, unlike ``worker-lost``, never kills the subprocess — as if the
+    route to the host flapped.  The worker may finish the lease into
+    its own cache anyway, warming later leases.  One-shot across
+    processes, like ``worker-lost``.
+    """
+    for fault in active_faults():
+        if (
+            fault.kind == "net-partition"
+            and fault.index == worker_index
+            and _one_shot(fault)
+        ):
+            return True
+    return False
+
+
+def dispatch_slow_worker(worker_index: int) -> bool:
+    """Hook: called by the dispatch coordinator before leasing to a worker.
+
+    Returns True when an armed ``slow-worker`` fault targets worker
+    ``worker_index``; the coordinator then ``SIGSTOP``s the locally
+    spawned subprocess and carries on.  Detection is deliberately *not*
+    part of the injection: the stalled worker's silence must trip the
+    heartbeat deadline on its own, or the test fails.  One-shot across
+    processes.
+    """
+    for fault in active_faults():
+        if (
+            fault.kind == "slow-worker"
+            and fault.index == worker_index
+            and _one_shot(fault)
+        ):
+            return True
+    return False
+
+
+def dispatch_after_fold(fold_number: int) -> None:
+    """Hook: called by the dispatch coordinator after each fold-in.
+
+    An armed ``coordinator-crash`` fault hard-kills the coordinator
+    once ``fold_number`` reaches the spec's index slot (the N in "crash
+    after N fold-ins") — after the fold and its journal record are
+    durable, which is the worst surviving state ``--resume`` must
+    reconstruct from.  One-shot across processes, so the resumed
+    coordinator does not re-crash.
+    """
+    for fault in active_faults():
+        if (
+            fault.kind == "coordinator-crash"
+            and fold_number >= fault.index
+            and _one_shot(fault)
+        ):
+            os._exit(COORDINATOR_CRASH_EXIT)
 
 
 def corrupt_file(path: Path, line: str = TORN_LINE) -> None:

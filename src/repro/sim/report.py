@@ -211,6 +211,34 @@ def sweep_health_summary(
     return "  ".join(values)
 
 
+def dispatch_health_summary(counters: Mapping[str, Mapping]) -> str:
+    """One line of dispatch crash-safety counters from a serialised registry.
+
+    The ``dist/*`` companion to :func:`sweep_health_summary`: leases,
+    streaming partial folds, heartbeat misses, resumes/salvage and
+    stale-shard reclaims — the counters an operator reads after a
+    crashy distributed sweep to see what the machinery absorbed.
+    Counters that never fired print as 0 so the line's shape is stable.
+    """
+    names = (
+        ("leases", "dist/leases"),
+        ("partial folds", "dist/folds_partial"),
+        ("heartbeats missed", "dist/heartbeats_missed"),
+        ("resumes", "dist/resumes"),
+        ("cells salvaged", "dist/jobs_salvaged"),
+        ("stale shards reclaimed", "dist/stale_shards_reclaimed"),
+        ("workers lost", "dist/workers_lost"),
+        ("jobs reassigned", "dist/jobs_reassigned"),
+        ("duplicates", "dist/duplicate_results"),
+    )
+    values = []
+    for label, name in names:
+        metric = counters.get(name)
+        value = metric["value"] if metric and metric.get("kind") == "counter" else 0
+        values.append(f"{label}: {value}")
+    return "  ".join(values)
+
+
 def traffic_summary(runs: Sequence[RunResult], baselines: Sequence[RunResult]) -> str:
     """Section VI.D traffic rows: reads, writes, bandwidth, LLC accesses."""
     reads = sum(r.memory_reads for r in runs) / max(

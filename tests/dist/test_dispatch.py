@@ -1,15 +1,19 @@
 """Unit tests for the dispatch coordinator's edge cases.
 
-The three races a distributed sweep must get right without a server in
+The races a distributed sweep must get right without a server in
 sight: a worker dying mid-batch (requeue, reassign, retire), a
 partitioned worker completing a job the coordinator already reassigned
-(first result wins, duplicate is a counted no-op), and the degenerate
-empty matrix (never touch a worker or the cache file).  The
+(first result wins, duplicate is a counted no-op), the degenerate
+empty matrix (never touch a worker or the cache file), and the
+crash-safety machinery — streaming partial folds, journal lifecycle,
+stale-shard reclaim and crashed-coordinator salvage.  The
 wire-in-the-middle versions of the same invariants live in
 ``test_dispatch_integration.py``.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -19,9 +23,11 @@ from repro.dist.coordinator import (
     WorkerHealth,
     sweep_cells,
 )
+from repro.dist.journal import DispatchJournal, journal_path, replay_journal
 from repro.dist.worker import WorkerEndpoint, parse_worker_spec
 from repro.serve.client import Address, ServeClientError
 from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB
+from repro.sim.resultcache import encode_entry, iter_cache_entries
 
 
 def _coordinator(tmp_path, traces=("sjeng.1",), **kwargs) -> DispatchCoordinator:
@@ -183,3 +189,174 @@ class TestEmptyMatrix:
         coordinator = DispatchCoordinator("test", cells, cache_dir=tmp_path)
         assert coordinator.total_cells == 1
         assert coordinator.pending_jobs == 1
+
+
+def _dead_pid() -> int:
+    """A pid guaranteed dead: a reaped child's."""
+    import subprocess
+
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestPartialFold:
+    def test_fold_window_makes_results_durable_midflight(self, tmp_path):
+        coordinator = _coordinator(tmp_path, fold_every=1)
+        coordinator._shard_dir.mkdir(parents=True)
+        health = _health(0, tmp_path)
+        job = coordinator.jobs[0]
+        coordinator._record_result(
+            health, {"event": "result", "key": job.key, "result": {"ipc": 1.0}}
+        )
+
+        coordinator._maybe_fold()
+
+        # The result is in the cache *now*, mid-dispatch: a kill -9
+        # from here on cannot lose it.
+        cache = coordinator.runner.cache_path
+        assert dict(iter_cache_entries(cache)) == {job.key: {"ipc": 1.0}}
+        assert _counter(coordinator, "dist/folds_partial") == 1
+        replay = replay_journal(coordinator._journal.path)
+        assert replay.completed == {job.key}
+        assert replay.folded == {job.key}
+        assert replay.staged == set()
+
+    def test_empty_window_is_skipped(self, tmp_path):
+        coordinator = _coordinator(tmp_path, fold_every=1)
+        coordinator._maybe_fold()  # no results staged: nothing to fold
+        assert _counter(coordinator, "dist/folds_partial") == 0
+        assert coordinator.runner.cache_path.exists() is False
+
+    def test_fold_every_zero_disables_partial_folds(self, tmp_path):
+        coordinator = _coordinator(tmp_path, fold_every=0)
+        coordinator._shard_dir.mkdir(parents=True)
+        job = coordinator.jobs[0]
+        coordinator._record_result(
+            _health(0, tmp_path),
+            {"event": "result", "key": job.key, "result": {"ipc": 1.0}},
+        )
+        coordinator._maybe_fold()
+        assert _counter(coordinator, "dist/folds_partial") == 0
+        assert coordinator.runner.cache_path.exists() is False
+
+    def test_window_folds_only_new_results(self, tmp_path):
+        coordinator = _coordinator(tmp_path, fold_every=1)
+        coordinator._shard_dir.mkdir(parents=True)
+        health = _health(0, tmp_path)
+        first, second = coordinator.jobs
+        coordinator._record_result(
+            health, {"event": "result", "key": first.key, "result": {"a": 1}}
+        )
+        coordinator._maybe_fold()
+        coordinator._record_result(
+            health, {"event": "result", "key": second.key, "result": {"b": 2}}
+        )
+        coordinator._maybe_fold()
+        replay = replay_journal(coordinator._journal.path)
+        assert replay.folds == 2
+        assert replay.folded == {first.key, second.key}
+        cache = dict(iter_cache_entries(coordinator.runner.cache_path))
+        assert cache == {first.key: {"a": 1}, second.key: {"b": 2}}
+        assert _counter(coordinator, "dist/merged_new_entries") == 2
+
+
+class TestJournalLifecycle:
+    def test_live_foreign_journal_refuses_to_race(self, tmp_path):
+        # pid 1 is always alive (and never us): the coordinator must
+        # refuse to dispatch over another live dispatch's journal.
+        probe = _coordinator(tmp_path)
+        journal = DispatchJournal(journal_path(tmp_path, "test"))
+        journal._append(
+            {"t": "begin", "pid": 1, "preset": "test", "shard_dir": ""}
+        )
+        del probe
+        with pytest.raises(DispatchError, match="another dispatch \\(pid 1\\)"):
+            _coordinator(tmp_path)
+
+    def test_ended_journal_is_silently_removed(self, tmp_path):
+        journal = DispatchJournal(journal_path(tmp_path, "test"))
+        journal._append({"t": "begin", "pid": 1, "shard_dir": ""})
+        journal._append({"t": "end", "completed": 2, "failed": 0})
+        coordinator = _coordinator(tmp_path)
+        assert not journal.path.exists()
+        assert _counter(coordinator, "dist/resumes") == 0
+
+    def test_dead_journal_without_resume_is_discarded(self, tmp_path):
+        journal = DispatchJournal(journal_path(tmp_path, "test"))
+        journal._append({"t": "begin", "pid": _dead_pid(), "shard_dir": ""})
+        coordinator = _coordinator(tmp_path)
+        assert not journal.path.exists()
+        assert _counter(coordinator, "dist/resumes") == 0
+        assert _counter(coordinator, "dist/jobs_salvaged") == 0
+
+    def test_resume_salvages_staged_results_before_resolution(self, tmp_path):
+        # Learn the real cache key the matrix will resolve, then fake a
+        # crashed coordinator that staged exactly that cell.
+        probe = _coordinator(tmp_path)
+        assert probe.pending_jobs == 2
+        key = probe.jobs[0].key
+        payload = {"ipc": 1.25}
+        cache_path = probe.runner.cache_path
+        shard_dir = cache_path.parent / f"{cache_path.name}.dist-{_dead_pid()}"
+        shard_dir.mkdir(parents=True)
+        (shard_dir / "worker-0.jsonl").write_text(
+            encode_entry(key, payload) + "\n"
+        )
+        journal = DispatchJournal(journal_path(tmp_path, "test"))
+        journal.begin(
+            preset="test",
+            total=2,
+            cached=0,
+            keys=[job.key for job in probe.jobs],
+            shard_dir=shard_dir,
+            resumed=False,
+        )
+        journal.result(key, "worker-0")
+        # Overwrite the pid with a dead one (begin() records ours).
+        text = journal.path.read_text()
+        journal.remove()
+        from repro.dist.journal import decode_record, encode_record
+
+        lines = []
+        for line in text.splitlines():
+            record = decode_record(line)
+            if record and record["t"] == "begin":
+                record["pid"] = _dead_pid()
+            lines.append(encode_record(record))
+        journal.path.write_text("\n".join(lines) + "\n")
+
+        coordinator = _coordinator(tmp_path, resume=True)
+
+        # Salvage folded the staged cell in *before* resolution: it now
+        # counts as cached and will never re-lease.
+        assert coordinator.pending_jobs == 1
+        assert coordinator.cached_cells == 1
+        assert _counter(coordinator, "dist/resumes") == 1
+        assert _counter(coordinator, "dist/jobs_salvaged") == 1
+        assert dict(iter_cache_entries(cache_path))[key] == payload
+        assert not journal.path.exists()
+        # The dead coordinator's shard directory was reclaimed too.
+        assert not shard_dir.exists()
+        assert _counter(coordinator, "dist/stale_shards_reclaimed") == 1
+
+
+class TestStaleShardReclaim:
+    def test_dead_pid_shards_reclaimed_live_and_own_kept(self, tmp_path):
+        probe = _coordinator(tmp_path)
+        cache_path = probe.runner.cache_path
+        dead = cache_path.parent / f"{cache_path.name}.dist-{_dead_pid()}"
+        live = cache_path.parent / f"{cache_path.name}.dist-1"
+        own = cache_path.parent / f"{cache_path.name}.dist-{os.getpid()}"
+        for path in (dead, live, own):
+            path.mkdir(parents=True)
+        odd = cache_path.parent / f"{cache_path.name}.dist-notapid"
+        odd.mkdir()
+
+        coordinator = _coordinator(tmp_path)
+
+        assert not dead.exists()
+        assert live.exists()  # pid 1 is alive: never touched
+        assert own.exists()
+        assert odd.exists()  # unparseable suffix: left alone
+        assert _counter(coordinator, "dist/stale_shards_reclaimed") == 1

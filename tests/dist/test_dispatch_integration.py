@@ -158,6 +158,166 @@ def test_redispatch_is_fully_cached_and_touches_nothing(tmp_path):
     assert cache_file.read_bytes() == before
 
 
+def test_coordinator_crash_then_resume_is_byte_identical(tmp_path):
+    """kill -9 mid-dispatch: --resume salvages staged cells, finishes, matches serial.
+
+    The injected ``coordinator-crash`` fault hard-exits the coordinator
+    (``os._exit(88)``) right after its first partial fold, leaving the
+    journal, the staged-shard dir and the orphaned workers behind —
+    exactly the wreckage a real SIGKILL leaves.  The resumed dispatch
+    must salvage, adopt or reclaim all of it and still produce the
+    golden bytes.
+    """
+    serial = _serial_reference(tmp_path / "serial")
+
+    dist_dir = tmp_path / "dist"
+    crash_env = _env(
+        dist_dir,
+        **{
+            FAULTS_ENV: "coordinator-crash:1:1",
+            FAULTS_DIR_ENV: str(tmp_path / "fault-stamps"),
+        },
+    )
+    crashed = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            *_trace_flags(TRACES),
+            "--workers",
+            "2",
+            "--lease-size",
+            "2",
+        ),
+        crash_env,
+    )
+    assert crashed.returncode == 88, crashed.stderr
+    [journal] = dist_dir.glob("dispatch-journal-*.ndjson")
+    assert journal.exists()
+
+    # Resume with the fault disarmed (its one-shot stamp also remains).
+    resume_env = _env(dist_dir)
+    resumed = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            *_trace_flags(TRACES),
+            "--workers",
+            "2",
+            "--lease-size",
+            "2",
+            "--resume",
+            "--json",
+        ),
+        resume_env,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    report = json.loads(resumed.stdout)
+    assert report["total"] == 2 * len(TRACES)
+    assert report["completed"] + report["cached"] == 2 * len(TRACES)
+    assert report["cached"] >= 1  # salvaged cells resolve as cached
+    assert report["resumes"] == 1
+    assert report["failures"] == []
+    assert "resuming after coordinator crash" in resumed.stderr
+
+    [dist_cache] = dist_dir.glob("results-v*.jsonl")
+    assert dist_cache.read_bytes() == serial.read_bytes()
+    assert scan_cache_file(dist_cache).clean
+    assert list(dist_dir.glob("dispatch-journal-*")) == []
+    assert list(dist_dir.glob("*.dist-*")) == []
+
+    stats = _repro(
+        ("stats", "--preset", "test", "--trace", TRACES[0], "--json"),
+        _env(dist_dir),
+    )
+    assert stats.returncode == 0, stats.stderr
+    counters = json.loads(stats.stdout)["dist"]["counters"]
+    assert counters["dist/resumes"]["value"] >= 1
+    assert counters["dist/folds_partial"]["value"] >= 1
+
+
+def test_net_partition_dispatch_converges_byte_identical(tmp_path):
+    """A partitioned worker is retired and its jobs reassigned; bytes match."""
+    serial = _serial_reference(tmp_path / "serial")
+
+    dist_dir = tmp_path / "dist"
+    env = _env(
+        dist_dir,
+        **{
+            FAULTS_ENV: "net-partition:1:1",
+            FAULTS_DIR_ENV: str(tmp_path / "fault-stamps"),
+        },
+    )
+    dispatch = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            *_trace_flags(TRACES),
+            "--workers",
+            "3",
+            "--lease-size",
+            "2",
+            "--json",
+        ),
+        env,
+    )
+    assert dispatch.returncode == 0, dispatch.stderr
+    report = json.loads(dispatch.stdout)
+    assert report["completed"] == 2 * len(TRACES)
+    assert report["failures"] == []
+    assert report["workers_lost"] >= 1
+    assert "injected net-partition fault" in dispatch.stderr
+
+    [dist_cache] = dist_dir.glob("results-v*.jsonl")
+    assert dist_cache.read_bytes() == serial.read_bytes()
+    assert scan_cache_file(dist_cache).clean
+
+
+def test_slow_worker_is_caught_by_heartbeat_deadline(tmp_path):
+    """A SIGSTOPped worker misses pings; the deadline retires it mid-lease."""
+    serial = _serial_reference(tmp_path / "serial")
+
+    dist_dir = tmp_path / "dist"
+    env = _env(
+        dist_dir,
+        **{
+            FAULTS_ENV: "slow-worker:0:1",
+            FAULTS_DIR_ENV: str(tmp_path / "fault-stamps"),
+        },
+    )
+    dispatch = _repro(
+        (
+            "dispatch",
+            "--preset",
+            "test",
+            *_trace_flags(TRACES),
+            "--workers",
+            "2",
+            "--lease-size",
+            "2",
+            "--heartbeat",
+            "0.3",
+            "--heartbeat-deadline",
+            "1",
+            "--json",
+        ),
+        env,
+    )
+    assert dispatch.returncode == 0, dispatch.stderr
+    report = json.loads(dispatch.stdout)
+    assert report["completed"] == 2 * len(TRACES)
+    assert report["failures"] == []
+    assert report["heartbeats_missed"] >= 1
+    assert "missed the heartbeat deadline" in dispatch.stderr
+    assert "injected slow-worker fault (stalled)" in dispatch.stderr
+
+    [dist_cache] = dist_dir.glob("results-v*.jsonl")
+    assert dist_cache.read_bytes() == serial.read_bytes()
+    assert scan_cache_file(dist_cache).clean
+
+
 def test_dispatch_with_jobs_but_no_workers_exits_2(tmp_path):
     result = _repro(
         ("dispatch", "--preset", "test", "--trace", "sjeng.1"), _env(tmp_path)

@@ -25,6 +25,7 @@ from repro.serve.protocol import (
     parse_hello,
     parse_lease,
     parse_machine,
+    parse_ping,
     parse_submit,
 )
 from repro.sim.config import BASE_VICTIM_2MB, BASELINE_2MB
@@ -123,6 +124,29 @@ class TestHello:
     def test_unknown_field_rejected(self):
         with pytest.raises(ProtocolError, match="unknown hello field"):
             parse_hello({"op": "hello", "version": 2, "client": "me"})
+
+
+class TestPing:
+    def test_valid_ping_parses(self):
+        assert parse_ping({"op": "ping", "id": "hb-1"}).ping_id == "hb-1"
+
+    def test_id_is_optional(self):
+        assert parse_ping({"op": "ping"}).ping_id == ""
+
+    @pytest.mark.parametrize("ping_id", [7, None, True, ["hb"]])
+    def test_non_string_id_rejected(self, ping_id):
+        with pytest.raises(ProtocolError, match="'id' must be a string"):
+            parse_ping({"op": "ping", "id": ping_id})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown ping field"):
+            parse_ping({"op": "ping", "id": "hb-1", "payload": "x"})
+
+    def test_ping_is_a_known_op_and_pong_a_known_event(self):
+        assert "ping" in protocol.REQUEST_OPS
+        assert "pong" in protocol.EVENT_KINDS
+        assert protocol.PING_MIN_VERSION == 3
+        assert PROTOCOL_VERSION >= protocol.PING_MIN_VERSION
 
 
 class TestLease:

@@ -165,6 +165,82 @@ class TestDisconnect:
         _run(scenario())
 
 
+class TestHeartbeat:
+    def test_ping_before_v3_handshake_is_rejected(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b'{"op": "ping", "id": "hb-0"}\n')
+                rejected = await h.event(reader)
+                assert rejected["event"] == "rejected"
+                assert rejected["reason"] == "version-unsupported"
+                assert rejected["id"] == "hb-0"
+                assert "version >= 3" in rejected["detail"]
+                # The reject is an admission decision, not a protocol
+                # error — the connection survives and can handshake up.
+                await h.send(writer, b'{"op": "hello", "version": 3}\n')
+                assert (await h.event(reader))["event"] == "hello"
+                await h.send(writer, b'{"op": "status"}\n')
+                counters = (await h.event(reader))["counters"]
+                assert counters["serve/version_rejected"] == 1
+                writer.close()
+
+        _run(scenario())
+
+    def test_ping_after_v3_hello_pongs_with_echoed_id(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b'{"op": "hello", "version": 3}\n')
+                hello = await h.event(reader)
+                assert hello["event"] == "hello"
+                assert hello["protocol"] == 3
+                await h.send(writer, b'{"op": "ping", "id": "lease-1-hb-7"}\n')
+                pong = await h.event(reader)
+                assert pong["event"] == "pong"
+                assert pong["id"] == "lease-1-hb-7"
+                assert isinstance(pong["pid"], int)
+                await h.send(writer, b'{"op": "status"}\n')
+                counters = (await h.event(reader))["counters"]
+                assert counters["serve/pings"] == 1
+                writer.close()
+
+        _run(scenario())
+
+    def test_ping_on_v2_connection_is_rejected(self, tmp_path):
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b'{"op": "hello", "version": 2}\n')
+                assert (await h.event(reader))["event"] == "hello"
+                await h.send(writer, b'{"op": "ping"}\n')
+                rejected = await h.event(reader)
+                assert rejected["event"] == "rejected"
+                assert rejected["reason"] == "version-unsupported"
+                assert rejected["id"] == ""  # id defaults to empty
+                writer.close()
+
+        _run(scenario())
+
+    def test_unsupported_hello_falls_back_on_the_same_socket(self, tmp_path):
+        """The v3→v2 negotiation path: reject leaves the stream usable."""
+
+        async def scenario():
+            async with _Harness(tmp_path) as h:
+                reader, writer = await h.connect()
+                await h.send(writer, b'{"op": "hello", "version": 99}\n')
+                rejected = await h.event(reader)
+                assert rejected["event"] == "rejected"
+                assert rejected["reason"] == "version-unsupported"
+                await h.send(writer, b'{"op": "hello", "version": 3}\n')
+                hello = await h.event(reader)
+                assert hello["event"] == "hello"
+                assert hello["server_protocol"] == 3
+                writer.close()
+
+        _run(scenario())
+
+
 class TestStaleSocket:
     def test_stale_socket_file_is_reclaimed(self, tmp_path):
         path = tmp_path / "stale.sock"

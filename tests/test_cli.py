@@ -177,6 +177,30 @@ class TestDispatchParser:
         assert not args.strict and not args.json
         assert args.timeout is None
 
+    def test_dispatch_crash_safety_defaults(self):
+        from repro.dist.coordinator import (
+            DEFAULT_FOLD_EVERY,
+            DEFAULT_HEARTBEAT_INTERVAL,
+        )
+
+        args = build_parser().parse_args(["dispatch"])
+        assert args.fold_every == DEFAULT_FOLD_EVERY
+        assert args.heartbeat == DEFAULT_HEARTBEAT_INTERVAL
+        assert args.heartbeat_deadline is None
+        assert not args.resume
+        assert args.redispatch == 0
+
+    def test_dispatch_crash_safety_flags(self):
+        args = build_parser().parse_args(
+            ["dispatch", "--fold-every", "4", "--heartbeat", "0.3",
+             "--heartbeat-deadline", "1", "--resume", "--redispatch", "2"]
+        )
+        assert args.fold_every == 4
+        assert args.heartbeat == 0.3
+        assert args.heartbeat_deadline == 1.0
+        assert args.resume
+        assert args.redispatch == 2
+
     def test_dispatch_spawned_fleet_flags(self):
         args = build_parser().parse_args(
             ["dispatch", "--preset", "test", "--trace", "mcf.1",

@@ -77,7 +77,7 @@ def test_gate_fails_on_invalid_protocol_example(tmp_path):
 
 def test_gate_fails_on_stale_protocol_constant(tmp_path):
     text = (REPO_ROOT / "PROTOCOL.md").read_text()
-    doctored = text.replace("| `PROTOCOL_VERSION` | 2 |", "| `PROTOCOL_VERSION` | 7 |")
+    doctored = text.replace("| `PROTOCOL_VERSION` | 3 |", "| `PROTOCOL_VERSION` | 7 |")
     assert doctored != text
     proc = _run(_protocol_fixture(tmp_path, doctored))
     assert proc.returncode == 1

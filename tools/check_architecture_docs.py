@@ -50,6 +50,7 @@ CONSTANT_ROW_RE = re.compile(r"\|\s*`([A-Z_]+)`\s*\|\s*`?(\d+)`?\s*\|")
 SPEC_CONSTANTS = (
     "PROTOCOL_VERSION",
     "MIN_PROTOCOL_VERSION",
+    "PING_MIN_VERSION",
     "MAX_FRAME_BYTES",
     "MAX_JOBS_PER_SUBMIT",
 )
@@ -109,6 +110,8 @@ def _validate_request(protocol, frame: dict, known_traces: frozenset) -> None:
         protocol.parse_submit(frame, known_traces)
     elif op == "lease":
         protocol.parse_lease(frame, known_traces)
+    elif op == "ping":
+        protocol.parse_ping(frame)
     else:  # status
         unknown = sorted(set(frame) - {"op"})
         if unknown:
